@@ -1,0 +1,233 @@
+package flymon
+
+// One benchmark per table and figure of the paper's evaluation (§5), each
+// delegating to the shared experiment harness at Small scale, plus
+// micro-benchmarks of the per-packet data-plane path. Run the full-scale
+// versions with: go run ./cmd/flymon-bench -scale full
+import (
+	"io"
+	"testing"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/core"
+	"flymon/internal/core/algorithms"
+	"flymon/internal/dataplane"
+	"flymon/internal/experiments"
+	"flymon/internal/hashing"
+	"flymon/internal/netwide"
+	"flymon/internal/packet"
+	"flymon/internal/sdm"
+	"flymon/internal/sketch"
+	"flymon/internal/trace"
+)
+
+func benchTables(b *testing.B, run func() *experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := run()
+		t.Render(io.Discard)
+	}
+}
+
+func BenchmarkFig2StaticFootprint(b *testing.B) {
+	benchTables(b, experiments.Fig2)
+}
+
+func BenchmarkTable3DeploymentDelay(b *testing.B) {
+	benchTables(b, experiments.Table3)
+}
+
+func BenchmarkFig11AddressTranslation(b *testing.B) {
+	benchTables(b, experiments.Fig11)
+}
+
+func BenchmarkFig12aForwarding(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Fig12a(42).Table })
+}
+
+func BenchmarkFig12bAccuracyUnderReconfig(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Fig12b(experiments.Small, 42) })
+}
+
+func BenchmarkFig13aOverhead(b *testing.B) {
+	benchTables(b, experiments.Fig13a)
+}
+
+func BenchmarkFig13bCrossStacking(b *testing.B) {
+	benchTables(b, experiments.Fig13b)
+}
+
+func BenchmarkFig13cKeyScalability(b *testing.B) {
+	benchTables(b, experiments.Fig13c)
+}
+
+func BenchmarkFig14aHeavyHitter(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Fig14a(experiments.Small, 42) })
+}
+
+func BenchmarkFig14bProbabilistic(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Fig14b(experiments.Small, 42) })
+}
+
+func BenchmarkFig14cDDoS(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Fig14c(experiments.Small, 42) })
+}
+
+func BenchmarkFig14dCardinality(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Fig14d(experiments.Small, 42) })
+}
+
+func BenchmarkFig14eEntropy(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Fig14e(experiments.Small, 42) })
+}
+
+func BenchmarkFig14fMaxInterval(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Fig14f(experiments.Small, 42) })
+}
+
+func BenchmarkFig14gExistence(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Fig14g(experiments.Small, 42) })
+}
+
+func BenchmarkAblationSubParts(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.AblationSubParts(experiments.Small, 42) })
+}
+
+func BenchmarkAblationTranslation(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.AblationTranslation(experiments.Small, 42) })
+}
+
+// --- Micro-benchmarks of the data-plane hot path ---
+
+// BenchmarkPipelinePerPacket measures one packet through a fully loaded
+// 9-group pipeline (27 CMUs, one task per CMU triple).
+func BenchmarkPipelinePerPacket(b *testing.B) {
+	ctrl := controlplane.NewController(controlplane.Config{Groups: 9, Buckets: 65536, BitWidth: 32})
+	for g := 0; g < 9; g++ {
+		_, err := ctrl.AddTask(controlplane.TaskSpec{
+			Name: "t", Key: packet.KeyFiveTuple,
+			Attribute: controlplane.AttrFrequency, MemBuckets: 16384, D: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tr := trace.Generate(trace.Config{Flows: 1000, Packets: 4096, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Process(&tr.Packets[i&4095])
+	}
+}
+
+// BenchmarkCMUProcess measures one CMU Group processing one packet.
+func BenchmarkCMUProcess(b *testing.B) {
+	g := core.NewGroup(core.GroupConfig{Buckets: 65536, BitWidth: 32})
+	if _, err := algorithms.InstallCMS(g, 1, packet.MatchAll, packet.KeyFiveTuple, core.Const(1), 3, nil); err != nil {
+		b.Fatal(err)
+	}
+	pl := core.NewPipelineWith(g)
+	p := packet.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SrcIP = uint32(i)
+		pl.Process(&p)
+	}
+}
+
+// BenchmarkHashUnit measures one dynamic-hash digest of the candidate key
+// set.
+func BenchmarkHashUnit(b *testing.B) {
+	u := hashing.NewUnit(0)
+	u.Configure(packet.KeyFiveTuple)
+	p := packet.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SrcIP = uint32(i)
+		_ = u.Hash(&p)
+	}
+}
+
+// BenchmarkRegisterExecute measures one stateful operation.
+func BenchmarkRegisterExecute(b *testing.B) {
+	r := dataplane.NewRegister(65536, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Execute(dataplane.OpCondAdd, uint32(i), 1, ^uint32(0))
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic workload generation.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = trace.Generate(trace.Config{Flows: 1000, Packets: 10_000, Seed: int64(i)})
+	}
+}
+
+// BenchmarkNetworkWideEstimate measures a fleet-wide merged estimate (3
+// switches, 3×16K-bucket rows merged per query).
+func BenchmarkNetworkWideEstimate(b *testing.B) {
+	fleet := netwide.NewFleet(3, controlplane.Config{Groups: 1, Buckets: 16384, BitWidth: 32})
+	if err := fleet.Deploy(controlplane.TaskSpec{
+		Name: "hh", Key: packet.KeyFiveTuple,
+		Attribute: controlplane.AttrFrequency, MemBuckets: 16384, D: 3,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.Generate(trace.Config{Flows: 1000, Packets: 10_000, Seed: 1})
+	for i := range tr.Packets {
+		fleet.Process(i%3, &tr.Packets[i])
+	}
+	k := packet.KeyFiveTuple.Extract(&tr.Packets[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.EstimateKey("hh", k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSDMEpoch measures one adaptive-allocation epoch decision over
+// four managed tasks.
+func BenchmarkSDMEpoch(b *testing.B) {
+	ctrl := controlplane.NewController(controlplane.Config{Groups: 2, Buckets: 65536, BitWidth: 32})
+	alloc := sdm.NewAllocator(ctrl, sdm.DefaultPolicy())
+	for i := 0; i < 4; i++ {
+		task, err := ctrl.AddTask(controlplane.TaskSpec{
+			Name: "t", Key: packet.KeyFiveTuple, Attribute: controlplane.AttrFrequency,
+			MemBuckets: 8192, D: 1, Filter: packet.Filter{DstPort: uint16(i + 1)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = alloc.Manage(task.ID)
+	}
+	tr := trace.Generate(trace.Config{Flows: 3000, Packets: 20_000, Seed: 2})
+	for i := range tr.Packets {
+		tr.Packets[i].DstPort = uint16(i%4 + 1)
+		ctrl.Process(&tr.Packets[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = alloc.EpochEnd()
+	}
+}
+
+// BenchmarkSketchMerge measures merging two 3×16K CMS sketches.
+func BenchmarkSketchMerge(b *testing.B) {
+	a := sketch.NewCMS(packet.KeyFiveTuple, 3, 16384)
+	c := sketch.NewCMS(packet.KeyFiveTuple, 3, 16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Merge(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendixERecirculation(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.AppendixE(experiments.Small, 42) })
+}
+
+func BenchmarkMultitasking96(b *testing.B) {
+	benchTables(b, func() *experiments.Table { return experiments.Multitasking(experiments.Small, 42) })
+}

@@ -1,0 +1,410 @@
+// Command flymonctl is the interactive control-plane client for flymond:
+// it defines measurement tasks, reconfigures them on the fly, and reads
+// results back — the operator workflow of the paper's §1 example.
+//
+// Usage:
+//
+//	flymonctl [-addr host:9177] <command> [flags]
+//
+// Commands: add, rm, resize, list, estimate, cardinality, contains,
+// distribution, resources, gen, replay, stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flymon/internal/cli"
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+	"flymon/internal/rpc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	addr := ":9177"
+	args := os.Args[1:]
+	if args[0] == "-addr" && len(args) >= 2 {
+		addr, args = args[1], args[2:]
+	}
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := args[0], args[1:]
+
+	client, err := rpc.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	switch cmd {
+	case "add":
+		cmdAdd(client, args)
+	case "rm":
+		cmdRemove(client, args)
+	case "resize":
+		cmdResize(client, args)
+	case "split":
+		cmdSplit(client, args)
+	case "load":
+		cmdLoad(client, args)
+	case "list":
+		cmdList(client)
+	case "estimate":
+		cmdEstimate(client, args)
+	case "cardinality":
+		cmdCardinality(client, args)
+	case "contains":
+		cmdContains(client, args)
+	case "distribution":
+		cmdDistribution(client, args)
+	case "resources":
+		cmdResources(client)
+	case "report":
+		cmdReport(client)
+	case "gen":
+		cmdGen(client, args)
+	case "replay":
+		cmdReplay(client, args)
+	case "stats":
+		cmdStats(client)
+	default:
+		fmt.Fprintf(os.Stderr, "flymonctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flymonctl: %v\n", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: flymonctl [-addr host:9177] <command> [flags]
+
+commands:
+  add          deploy a measurement task
+               -name N -key srcip|dstip|ippair|5tuple|srcip/24|... -attr frequency|distinct|existence|max
+               -param count|bytes|qlen|qdelay|interval|<keyspec> -mem BUCKETS [-d N]
+               [-threshold N] [-filter-src CIDR] [-filter-dst CIDR] [-prob P]
+  rm           -id N                      remove a task
+  resize       -id N -mem BUCKETS         reallocate a task's memory on the fly
+  split        -id N                      split a task into two filter-disjoint subtasks
+  load         -file PATH                 load a binary trace (trafficgen output) into the daemon
+  list                                    list deployed tasks
+  estimate     -id N -key SPEC -src IP -dst IP [-sport P -dport P -proto N]
+  cardinality  -id N                      read a cardinality task
+  contains     -id N -key SPEC -src IP ...  query an existence task
+  distribution -id N                      read an MRAC task's size distribution
+  resources                               free memory per CMU
+  report                                  per-group occupancy (keys, rules, TCAM)
+  gen          -flows N -packets N [-zipf S] [-seed N]   synthesize a workload
+  replay       [-n N]                     push trace packets through the pipeline
+  stats                                   daemon counters
+`)
+}
+
+func cmdAdd(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("add", flag.ExitOnError)
+	name := fs.String("name", "", "task name")
+	key := fs.String("key", "5tuple", "flow key spec")
+	attr := fs.String("attr", "frequency", "attribute: frequency|distinct|existence|max")
+	param := fs.String("param", "count", "attribute parameter")
+	mem := fs.Int("mem", 16384, "memory buckets per row")
+	d := fs.Int("d", 0, "rows (0 = algorithm default)")
+	threshold := fs.Int("threshold", 0, "detection threshold")
+	fsrc := fs.String("filter-src", "", "source prefix filter (CIDR)")
+	fdst := fs.String("filter-dst", "", "destination prefix filter (CIDR)")
+	prob := fs.Float64("prob", 0, "probabilistic execution (0 or 1 = always)")
+	alg := fs.String("alg", "", "pin algorithm: cms|sumax|mrac|tower|cb|beaucoup|hll|lc|bloom|sumaxmax|interval")
+	_ = fs.Parse(args)
+
+	spec := controlplane.TaskSpec{Name: *name, MemBuckets: *mem, D: *d,
+		Threshold: *threshold, Prob: *prob}
+	var err error
+	if spec.Key, err = cli.ParseKeySpec(*key); err != nil {
+		fatal(err)
+	}
+	if spec.Filter.SrcPrefix, err = cli.ParseCIDR(*fsrc); err != nil {
+		fatal(err)
+	}
+	if spec.Filter.DstPrefix, err = cli.ParseCIDR(*fdst); err != nil {
+		fatal(err)
+	}
+	switch strings.ToLower(*attr) {
+	case "frequency":
+		spec.Attribute = controlplane.AttrFrequency
+	case "distinct":
+		spec.Attribute = controlplane.AttrDistinct
+	case "existence":
+		spec.Attribute = controlplane.AttrExistence
+	case "max":
+		spec.Attribute = controlplane.AttrMax
+	default:
+		fatal(fmt.Errorf("unknown attribute %q", *attr))
+	}
+	switch strings.ToLower(*param) {
+	case "count", "":
+		spec.Param.Kind = controlplane.ParamPacketCount
+	case "bytes":
+		spec.Param.Kind = controlplane.ParamPacketBytes
+	case "qlen":
+		spec.Param.Kind = controlplane.ParamQueueLength
+	case "qdelay":
+		spec.Param.Kind = controlplane.ParamQueueDelay
+	case "interval":
+		spec.Param.Kind = controlplane.ParamPacketInterval
+	default:
+		ks, err := cli.ParseKeySpec(*param)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Param = controlplane.ParamSpec{Kind: controlplane.ParamFlowKey, Key: ks}
+	}
+	switch strings.ToLower(*alg) {
+	case "":
+	case "cms":
+		spec.Algorithm = controlplane.AlgCMS
+	case "sumax":
+		spec.Algorithm = controlplane.AlgSuMaxSum
+	case "mrac":
+		spec.Algorithm = controlplane.AlgMRAC
+	case "tower":
+		spec.Algorithm = controlplane.AlgTower
+	case "cb":
+		spec.Algorithm = controlplane.AlgCounterBraids
+	case "beaucoup":
+		spec.Algorithm = controlplane.AlgBeauCoup
+	case "hll":
+		spec.Algorithm = controlplane.AlgHLL
+	case "lc":
+		spec.Algorithm = controlplane.AlgLinearCounting
+	case "bloom":
+		spec.Algorithm = controlplane.AlgBloom
+	case "sumaxmax":
+		spec.Algorithm = controlplane.AlgSuMaxMax
+	case "interval":
+		spec.Algorithm = controlplane.AlgMaxInterval
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	res, err := c.AddTask(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("task %d deployed: %s on groups %v, %d buckets/row (%d B), delay %v\n",
+		res.ID, res.Algorithm, res.Groups, res.Buckets, res.MemoryBytes, res.Delay)
+}
+
+func cmdRemove(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("rm", flag.ExitOnError)
+	id := fs.Int("id", 0, "task id")
+	_ = fs.Parse(args)
+	if err := c.RemoveTask(*id); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("task %d removed\n", *id)
+}
+
+func cmdResize(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("resize", flag.ExitOnError)
+	id := fs.Int("id", 0, "task id")
+	mem := fs.Int("mem", 0, "new buckets per row")
+	_ = fs.Parse(args)
+	res, err := c.ResizeTask(*id, *mem)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("task %d resized: %d buckets/row (%d B), delay %v\n",
+		res.ID, res.Buckets, res.MemoryBytes, res.Delay)
+}
+
+func cmdSplit(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	id := fs.Int("id", 0, "task id")
+	_ = fs.Parse(args)
+	lo, hi, err := c.SplitTask(*id)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("task %d split into %d (%s) and %d (%s)\n", *id, lo.ID, lo.Name, hi.ID, hi.Name)
+}
+
+func cmdLoad(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	file := fs.String("file", "", "binary trace path on the daemon host")
+	_ = fs.Parse(args)
+	n, err := c.LoadTrace(*file)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d packets\n", n)
+}
+
+func cmdList(c *rpc.Client) {
+	tasks, err := c.ListTasks()
+	if err != nil {
+		fatal(err)
+	}
+	if len(tasks) == 0 {
+		fmt.Println("no tasks deployed")
+		return
+	}
+	fmt.Printf("%-4s %-16s %-22s %-3s %-8s %-10s %s\n", "ID", "NAME", "ALGORITHM", "D", "GROUPS", "BUCKETS", "MEMORY")
+	for _, t := range tasks {
+		fmt.Printf("%-4d %-16s %-22s %-3d %-8v %-10d %dB\n",
+			t.ID, t.Name, t.Algorithm, t.D, t.Groups, t.Buckets, t.MemoryBytes)
+	}
+}
+
+func packetFromFlags(fs *flag.FlagSet, args []string) (*packet.Packet, string) {
+	src := fs.String("src", "0.0.0.0", "source IP")
+	dst := fs.String("dst", "0.0.0.0", "destination IP")
+	sport := fs.Int("sport", 0, "source port")
+	dport := fs.Int("dport", 0, "destination port")
+	proto := fs.Int("proto", 6, "protocol")
+	key := fs.String("key", "5tuple", "key spec the task uses")
+	_ = fs.Parse(args)
+	s, err := cli.ParseIPv4(*src)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := cli.ParseIPv4(*dst)
+	if err != nil {
+		fatal(err)
+	}
+	return &packet.Packet{SrcIP: s, DstIP: d, SrcPort: uint16(*sport),
+		DstPort: uint16(*dport), Proto: uint8(*proto)}, *key
+}
+
+func cmdEstimate(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	id := fs.Int("id", 0, "task id")
+	p, keyStr := packetFromFlags(fs, args)
+	spec, err := cli.ParseKeySpec(keyStr)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := c.Estimate(*id, spec.Extract(p))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("task %d estimate for %s: %.2f\n", *id, spec, v)
+}
+
+func cmdCardinality(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("cardinality", flag.ExitOnError)
+	id := fs.Int("id", 0, "task id")
+	_ = fs.Parse(args)
+	v, err := c.Cardinality(*id)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("task %d cardinality estimate: %.1f\n", *id, v)
+}
+
+func cmdContains(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("contains", flag.ExitOnError)
+	id := fs.Int("id", 0, "task id")
+	p, keyStr := packetFromFlags(fs, args)
+	spec, err := cli.ParseKeySpec(keyStr)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := c.Contains(*id, spec.Extract(p))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("task %d contains %s: %v\n", *id, spec, v)
+}
+
+func cmdDistribution(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("distribution", flag.ExitOnError)
+	id := fs.Int("id", 0, "task id")
+	top := fs.Int("top", 10, "sizes to print")
+	_ = fs.Parse(args)
+	res, err := c.Distribution(*id)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("task %d flow-size distribution (entropy %.3f bits):\n", *id, res.Entropy)
+	for i, sz := range res.Sizes {
+		if i >= *top {
+			fmt.Printf("  ... %d more sizes\n", len(res.Sizes)-i)
+			break
+		}
+		fmt.Printf("  size %-8d ≈ %.1f flows\n", sz, res.Counts[i])
+	}
+}
+
+func cmdResources(c *rpc.Client) {
+	res, err := c.Resources()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d tasks deployed; free buckets per CMU:\n", res.Tasks)
+	for gi, cmus := range res.FreeBuckets {
+		fmt.Printf("  group %d: %v\n", gi, cmus)
+	}
+}
+
+func cmdReport(c *rpc.Client) {
+	groups, err := c.ResourceReport()
+	if err != nil {
+		fatal(err)
+	}
+	for _, g := range groups {
+		fmt.Printf("group %d: %d rules, %d TCAM entries, tasks %v\n",
+			g.Group, g.Rules, g.TCAMEntries, g.Tasks)
+		for i, k := range g.Keys {
+			if k == "" {
+				k = "<idle>"
+			}
+			fmt.Printf("  unit %d: %s\n", i, k)
+		}
+		fmt.Printf("  free buckets: %v\n", g.FreeBuckets)
+	}
+}
+
+func cmdGen(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	flows := fs.Int("flows", 10000, "distinct flows")
+	packets := fs.Int("packets", 500000, "packets")
+	zipf := fs.Float64("zipf", 1.2, "Zipf skew")
+	seed := fs.Int64("seed", 1, "seed")
+	_ = fs.Parse(args)
+	n, err := c.GenTrace(*flows, *packets, *zipf, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %d packets\n", n)
+}
+
+func cmdReplay(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	n := fs.Int("n", 0, "packets to replay (0 = all)")
+	_ = fs.Parse(args)
+	done, err := c.Replay(*n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d packets\n", done)
+}
+
+func cmdStats(c *rpc.Client) {
+	s, err := c.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("packets processed: %d\ntrace loaded: %d packets\ntasks: %d\n",
+		s.PacketsProcessed, s.TracePackets, s.Tasks)
+}

@@ -1,0 +1,68 @@
+// Command flymond is the FlyMon switch daemon: it hosts the simulated RMT
+// data plane (CMU Groups + registers) and serves the southbound control
+// channel that flymonctl and SDM controllers speak.
+//
+// Usage:
+//
+//	flymond [-listen :9177] [-groups 9] [-buckets 65536] [-bitwidth 32]
+//	        [-mode accurate|efficient]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/rpc"
+)
+
+func main() {
+	listen := flag.String("listen", ":9177", "control-channel listen address")
+	groups := flag.Int("groups", 9, "CMU Groups in the pipeline (9 = full cross-stacked Tofino pipeline)")
+	spliced := flag.Int("spliced", 0, "additional Appendix-E groups reached by mirror+recirculation (max 3)")
+	buckets := flag.Int("buckets", 65536, "register buckets per CMU")
+	bitWidth := flag.Int("bitwidth", 32, "register bucket width in bits")
+	partitions := flag.Int("partitions", 32, "memory partitions per CMU")
+	mode := flag.String("mode", "accurate", "memory allocation mode: accurate or efficient")
+	flag.Parse()
+
+	var memMode controlplane.MemoryMode
+	switch strings.ToLower(*mode) {
+	case "accurate":
+		memMode = controlplane.Accurate
+	case "efficient":
+		memMode = controlplane.Efficient
+	default:
+		log.Fatalf("flymond: unknown memory mode %q", *mode)
+	}
+
+	ctrl := controlplane.NewController(controlplane.Config{
+		Groups:        *groups,
+		SplicedGroups: *spliced,
+		Buckets:       *buckets,
+		BitWidth:      *bitWidth,
+		Partitions:    *partitions,
+		Mode:          memMode,
+	})
+	srv := rpc.NewServer(ctrl, log.Printf)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("flymond: %v", err)
+	}
+	fmt.Printf("flymond: %d+%d CMU Groups (%d CMUs), %d×%d-bit buckets/CMU, %s allocation\n",
+		*groups, ctrl.Pipeline().SplicedGroups(), (*groups+ctrl.Pipeline().SplicedGroups())*3, *buckets, *bitWidth, memMode)
+	fmt.Printf("flymond: control channel on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("flymond: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("flymond: close: %v", err)
+	}
+}

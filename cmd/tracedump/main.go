@@ -1,0 +1,42 @@
+// Command tracedump summarizes a binary trace file (the trafficgen output
+// format): packet/flow counts, duration, and heavy-tail statistics — the
+// quick look an operator takes before sizing measurement tasks.
+//
+// Usage:
+//
+//	tracedump trace.fmt [more.fmt ...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"flymon/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracedump <trace.fmt> [...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("tracedump: %v", err)
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			log.Fatalf("tracedump: %s: %v", path, err)
+		}
+		tr, err := r.ReadAll()
+		f.Close()
+		if err != nil {
+			log.Fatalf("tracedump: %s: %v", path, err)
+		}
+		fmt.Printf("== %s ==\n", path)
+		trace.Summarize(tr).Render(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,9 @@
+// Package flymon is a from-scratch Go reproduction of "FlyMon: Enabling
+// On-the-Fly Task Reconfiguration for Network Measurement" (Zheng et al.,
+// SIGCOMM 2022): Composable Measurement Units on a simulated RMT data
+// plane, a runtime-reconfiguration control plane with dynamic memory
+// management, reference sketch baselines, and a benchmark harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for the layout and DESIGN.md for the system inventory.
+package flymon

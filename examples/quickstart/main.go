@@ -1,0 +1,100 @@
+// Quickstart: boot a FlyMon switch daemon in-process, connect over the
+// control channel, deploy a per-flow frequency task at runtime, replay a
+// synthetic workload, and read an estimate back — the complete
+// task-reconfiguration loop without touching the data-plane program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+	"flymon/internal/rpc"
+	"flymon/internal/sketch"
+	"flymon/internal/trace"
+)
+
+func main() {
+	// The "switch": a full cross-stacked pipeline (9 CMU Groups, 27 CMUs).
+	ctrl := controlplane.NewController(controlplane.Config{
+		Groups: 9, Buckets: 65536, BitWidth: 32,
+	})
+	srv := rpc.NewServer(ctrl, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("flymond listening on %s\n", addr)
+
+	// The "operator": a control-channel client.
+	client, err := rpc.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Deploy a per-flow packet-count task. This installs runtime rules
+	// only — no P4 reload, no traffic interruption.
+	task, err := client.AddTask(controlplane.TaskSpec{
+		Name:       "per-flow-size",
+		Key:        packet.KeyFiveTuple,
+		Attribute:  controlplane.AttrFrequency,
+		MemBuckets: 16384,
+		D:          3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed %s (task %d) on groups %v: %d buckets/row, modeled delay %v\n",
+		task.Algorithm, task.ID, task.Groups, task.Buckets, task.Delay)
+
+	// Synthesize and replay a workload inside the daemon.
+	const (
+		flows, packets, zipfS = 5000, 200_000, 1.2
+		seed                  = int64(7)
+	)
+	n, err := client.GenTrace(flows, packets, zipfS, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Replay(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d packets\n", n)
+
+	// Generation is deterministic per seed, so the operator side can
+	// reconstruct the trace to pick a flow worth querying: the heaviest.
+	local := trace.Generate(trace.Config{Flows: flows, Packets: packets, ZipfS: zipfS, Seed: seed})
+	exact := sketch.NewExactFrequency(packet.KeyFiveTuple)
+	for i := range local.Packets {
+		exact.AddPacket(&local.Packets[i])
+	}
+	var top packet.CanonicalKey
+	var topCount uint64
+	for k, c := range exact.Counts() {
+		if c > topCount {
+			top, topCount = k, c
+		}
+	}
+	est, err := client.Estimate(task.ID, top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate for the heaviest flow: %.0f packets (ground truth %d)\n", est, topCount)
+
+	// Reconfigure on the fly: double the task's memory.
+	resized, err := client.ResizeTask(task.ID, 32768)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resized to %d buckets/row (delay %v) — traffic never stopped\n",
+		resized.Buckets, resized.Delay)
+
+	stats, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon processed %d packets total\n", stats.PacketsProcessed)
+}

@@ -1,0 +1,3 @@
+module flymon
+
+go 1.22

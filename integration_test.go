@@ -1,0 +1,157 @@
+package flymon
+
+// Integration test: the paper's §1 operator story as one end-to-end run.
+// A tenant reports degraded performance; the operator, over the control
+// channel, walks through flow cardinality → DDoS-victim detection →
+// heavy-hitter detection on the SAME pipeline, reconfiguring on the fly —
+// the sequence of tasks the static approach cannot host simultaneously.
+import (
+	"testing"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/metrics"
+	"flymon/internal/packet"
+	"flymon/internal/rpc"
+	"flymon/internal/sketch"
+	"flymon/internal/trace"
+)
+
+func TestOperatorTroubleshootingStory(t *testing.T) {
+	// The switch: a full cross-stacked pipeline behind the RPC control
+	// channel, exactly as flymond runs it.
+	ctrl := controlplane.NewController(controlplane.Config{Groups: 9, Buckets: 65536, BitWidth: 32})
+	srv := rpc.NewServer(ctrl, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// The traffic: background flows plus a DDoS toward one victim and a
+	// handful of elephants (the congestion culprits).
+	tr := trace.Generate(trace.Config{Flows: 8000, Packets: 300_000, ZipfS: 1.3, Seed: 77})
+	victim := packet.IPv4(198, 51, 100, 7)
+	tr.InjectDDoS(victim, 2048, 2, 78)
+
+	exactCard := sketch.NewExactCardinality(packet.KeyFiveTuple)
+	exactDistinct := sketch.NewExactDistinct(packet.KeyDstIP, packet.KeySrcIP)
+	exactFreq := sketch.NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		exactCard.AddPacket(&tr.Packets[i])
+		exactDistinct.AddPacket(&tr.Packets[i])
+		exactFreq.AddPacket(&tr.Packets[i])
+	}
+
+	replay := func() {
+		for i := range tr.Packets {
+			ctrl.Process(&tr.Packets[i])
+		}
+	}
+
+	// --- Step 1: "is the flow count abnormal?" — cardinality task.
+	card, err := client.AddTask(controlplane.TaskSpec{
+		Name: "cardinality", Attribute: controlplane.AttrDistinct,
+		Param:      controlplane.ParamSpec{Kind: controlplane.ParamFlowKey, Key: packet.KeyFiveTuple},
+		MemBuckets: 8192,
+	})
+	if err != nil {
+		t.Fatalf("step 1 deploy: %v", err)
+	}
+	replay()
+	got, err := client.Cardinality(card.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := metrics.RE(float64(exactCard.Cardinality()), got); re > 0.1 {
+		t.Fatalf("step 1: cardinality RE %.3f (est %.0f, truth %d)", re, got, exactCard.Cardinality())
+	}
+
+	// --- Step 2: "is someone being DDoSed?" — switch the measurement, no
+	// reload, cardinality task keeps running.
+	const ddosThreshold = 512
+	ddos, err := client.AddTask(controlplane.TaskSpec{
+		Name: "ddos", Key: packet.KeyDstIP, Attribute: controlplane.AttrDistinct,
+		Param:     controlplane.ParamSpec{Kind: controlplane.ParamFlowKey, Key: packet.KeySrcIP},
+		Threshold: ddosThreshold, MemBuckets: 16384, D: 3,
+	})
+	if err != nil {
+		t.Fatalf("step 2 deploy: %v", err)
+	}
+	replay()
+	cands := make([]packet.CanonicalKey, 0)
+	for k := range exactDistinct.Counts() {
+		cands = append(cands, k)
+	}
+	reported, err := client.Reported(ddos.ID, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk := packet.KeyDstIP.Extract(&packet.Packet{DstIP: victim})
+	found := false
+	for _, k := range reported {
+		if k == vk {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("step 2: injected victim (%d sources) not reported among %d",
+			exactDistinct.Count(vk), len(reported))
+	}
+
+	// --- Step 3: "which elephants congest the switch?" — heavy hitters,
+	// then rebalance. Remove the DDoS task first (on the fly).
+	if err := client.RemoveTask(ddos.ID); err != nil {
+		t.Fatal(err)
+	}
+	const hhThreshold = 1024
+	hh, err := client.AddTask(controlplane.TaskSpec{
+		Name: "heavy-hitters", Key: packet.KeyFiveTuple,
+		Attribute: controlplane.AttrFrequency, Threshold: hhThreshold,
+		MemBuckets: 16384, D: 3,
+	})
+	if err != nil {
+		t.Fatalf("step 3 deploy: %v", err)
+	}
+	replay()
+	truth := exactFreq.HeavyHitters(hhThreshold)
+	flowCands := make([]packet.CanonicalKey, 0, exactFreq.Flows())
+	universe := make(map[packet.CanonicalKey]bool)
+	for k := range exactFreq.Counts() {
+		flowCands = append(flowCands, k)
+		universe[k] = true
+	}
+	hhReported, err := client.Reported(hh.ID, flowCands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := make(map[packet.CanonicalKey]bool, len(hhReported))
+	for _, k := range hhReported {
+		rep[k] = true
+	}
+	if f1 := metrics.Classify(universe, truth, rep).F1(); f1 < 0.9 {
+		t.Fatalf("step 3: heavy-hitter F1 %.3f", f1)
+	}
+
+	// --- Throughout: the cardinality task from step 1 was never touched.
+	got2, err := client.Cardinality(card.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 < got {
+		t.Fatal("step 1 task lost state while other tasks were reconfigured")
+	}
+
+	// The control plane saw every reconfiguration as rule installs only.
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks != 2 { // cardinality + heavy hitters
+		t.Fatalf("final task count = %d, want 2", stats.Tasks)
+	}
+}

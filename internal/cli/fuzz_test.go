@@ -1,0 +1,37 @@
+package cli
+
+import "testing"
+
+// FuzzParseKeySpec hardens the operator-facing key-spec parser: arbitrary
+// strings must parse or error, never panic, and accepted specs must have
+// sane widths.
+func FuzzParseKeySpec(f *testing.F) {
+	for _, s := range []string{"5tuple", "srcip/24-dstport", "ippair", "x", "srcip/99", "-", "srcip-"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseKeySpec(s)
+		if err != nil {
+			return
+		}
+		if b := spec.Bits(); b < 0 || b > 200 {
+			t.Fatalf("accepted spec %q has %d bits", s, b)
+		}
+	})
+}
+
+// FuzzParseCIDR hardens the filter parser.
+func FuzzParseCIDR(f *testing.F) {
+	for _, s := range []string{"10.0.0.0/8", "1.2.3.4", "", "256.0.0.1/8", "1.2.3.4/40", "a/b"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		pr, err := ParseCIDR(s)
+		if err != nil {
+			return
+		}
+		if pr.Bits < 0 || pr.Bits > 32 {
+			t.Fatalf("accepted CIDR %q has %d bits", s, pr.Bits)
+		}
+	})
+}

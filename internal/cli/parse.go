@@ -1,0 +1,109 @@
+// Package cli holds the flag-value parsers shared by the flymonctl and
+// trafficgen command-line tools: key specs ("srcip-dstport", "5tuple",
+// "srcip/24"), IPv4 addresses, and CIDR prefixes.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"flymon/internal/packet"
+)
+
+// ParseKeySpec parses a flow-key spec: a dash-joined list of fields, each
+// optionally narrowed by a /prefix, plus the aliases "5tuple" and "ippair".
+// The empty string parses to the empty spec (used for single-key distinct
+// tasks, where the key is implicit).
+func ParseKeySpec(s string) (packet.KeySpec, error) {
+	switch strings.ToLower(s) {
+	case "5tuple", "five-tuple", "flow":
+		return packet.KeyFiveTuple, nil
+	case "ippair", "ip-pair":
+		return packet.KeyIPPair, nil
+	case "":
+		return packet.KeySpec{}, nil
+	}
+	var spec packet.KeySpec
+	for _, part := range strings.Split(s, "-") {
+		name, prefix := part, 0
+		if i := strings.IndexByte(part, '/'); i >= 0 {
+			name = part[:i]
+			p, err := strconv.Atoi(part[i+1:])
+			if err != nil || p < 0 {
+				return packet.KeySpec{}, fmt.Errorf("cli: bad prefix in %q", part)
+			}
+			prefix = p
+		}
+		f, err := parseField(name)
+		if err != nil {
+			return packet.KeySpec{}, err
+		}
+		if prefix > f.Bits() {
+			return packet.KeySpec{}, fmt.Errorf("cli: prefix /%d exceeds %s's %d bits", prefix, f, f.Bits())
+		}
+		spec.Parts = append(spec.Parts, packet.KeyPart{Field: f, PrefixBits: prefix})
+	}
+	return spec, nil
+}
+
+func parseField(name string) (packet.Field, error) {
+	switch strings.ToLower(name) {
+	case "srcip":
+		return packet.FieldSrcIP, nil
+	case "dstip":
+		return packet.FieldDstIP, nil
+	case "srcport":
+		return packet.FieldSrcPort, nil
+	case "dstport":
+		return packet.FieldDstPort, nil
+	case "proto":
+		return packet.FieldProto, nil
+	case "timestamp", "ts":
+		return packet.FieldTimestamp, nil
+	default:
+		return 0, fmt.Errorf("cli: unknown key field %q", name)
+	}
+}
+
+// ParseIPv4 parses a dotted-quad IPv4 address into host byte order.
+func ParseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("cli: bad IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return 0, fmt.Errorf("cli: bad IPv4 address %q", s)
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("cli: bad IPv4 address %q", s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return ip, nil
+}
+
+// ParseCIDR parses "a.b.c.d/len" (or a bare address, meaning /32) into a
+// Prefix. The empty string parses to the match-all prefix.
+func ParseCIDR(s string) (packet.Prefix, error) {
+	if s == "" {
+		return packet.Prefix{}, nil
+	}
+	ipStr, bits := s, 32
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		ipStr = s[:i]
+		b, err := strconv.Atoi(s[i+1:])
+		if err != nil || b < 0 || b > 32 {
+			return packet.Prefix{}, fmt.Errorf("cli: bad prefix length in %q", s)
+		}
+		bits = b
+	}
+	ip, err := ParseIPv4(ipStr)
+	if err != nil {
+		return packet.Prefix{}, err
+	}
+	return packet.Prefix{Value: ip, Bits: bits}, nil
+}

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"testing"
+
+	"flymon/internal/packet"
+)
+
+func TestParseKeySpecAliases(t *testing.T) {
+	for _, s := range []string{"5tuple", "five-tuple", "flow", "5TUPLE"} {
+		spec, err := ParseKeySpec(s)
+		if err != nil || !spec.Equal(packet.KeyFiveTuple) {
+			t.Fatalf("%q → %v, %v", s, spec, err)
+		}
+	}
+	spec, err := ParseKeySpec("ippair")
+	if err != nil || !spec.Equal(packet.KeyIPPair) {
+		t.Fatalf("ippair → %v, %v", spec, err)
+	}
+	empty, err := ParseKeySpec("")
+	if err != nil || len(empty.Parts) != 0 {
+		t.Fatalf("empty → %v, %v", empty, err)
+	}
+}
+
+func TestParseKeySpecCompound(t *testing.T) {
+	spec, err := ParseKeySpec("srcip/24-dstport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Parts) != 2 {
+		t.Fatalf("parts = %d", len(spec.Parts))
+	}
+	if spec.Parts[0].Field != packet.FieldSrcIP || spec.Parts[0].PrefixBits != 24 {
+		t.Fatalf("part 0 = %+v", spec.Parts[0])
+	}
+	if spec.Parts[1].Field != packet.FieldDstPort {
+		t.Fatalf("part 1 = %+v", spec.Parts[1])
+	}
+	if spec.Bits() != 24+16 {
+		t.Fatalf("bits = %d", spec.Bits())
+	}
+}
+
+func TestParseKeySpecErrors(t *testing.T) {
+	for _, s := range []string{"bogus", "srcip/abc", "srcip/40", "srcip-", "dstport/17"} {
+		if _, err := ParseKeySpec(s); err == nil {
+			t.Errorf("%q must fail", s)
+		}
+	}
+}
+
+func TestParseIPv4(t *testing.T) {
+	ip, err := ParseIPv4("192.168.1.200")
+	if err != nil || ip != packet.IPv4(192, 168, 1, 200) {
+		t.Fatalf("parse = %#x, %v", ip, err)
+	}
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3"} {
+		if _, err := ParseIPv4(s); err == nil {
+			t.Errorf("%q must fail", s)
+		}
+	}
+}
+
+func TestParseCIDR(t *testing.T) {
+	pr, err := ParseCIDR("10.0.0.0/8")
+	if err != nil || pr.Bits != 8 || pr.Value != packet.IPv4(10, 0, 0, 0) {
+		t.Fatalf("parse = %+v, %v", pr, err)
+	}
+	host, err := ParseCIDR("1.2.3.4")
+	if err != nil || host.Bits != 32 {
+		t.Fatalf("bare address = %+v, %v", host, err)
+	}
+	empty, err := ParseCIDR("")
+	if err != nil || empty.Bits != 0 {
+		t.Fatalf("empty = %+v, %v", empty, err)
+	}
+	for _, s := range []string{"10.0.0.0/33", "10.0.0.0/-1", "10.0.0/8", "x/8"} {
+		if _, err := ParseCIDR(s); err == nil {
+			t.Errorf("%q must fail", s)
+		}
+	}
+}

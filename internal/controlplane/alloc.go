@@ -1,0 +1,191 @@
+// Package controlplane implements FlyMon's control plane (§3.4): task
+// management (define/modify/remove measurement tasks compiled into runtime
+// rules), resource management (compressed-key registry, buddy memory
+// allocation over CMU registers, greedy CMU-Group placement), the
+// accurate/efficient memory-allocation modes, and the deployment-delay
+// model used for Table 3.
+package controlplane
+
+import (
+	"fmt"
+)
+
+// BuddyAllocator manages one CMU register's buckets as power-of-two
+// partitions — exactly the ranges address translation can map (§3.3).
+// MinPartition bounds fragmentation: with 32 partitions per register the
+// paper's 96-task-per-group figure follows (32 × 3 CMUs).
+type BuddyAllocator struct {
+	size     int
+	minBlock int
+	// free[order] holds free block bases of size minBlock<<order.
+	free   map[int]map[int]bool
+	orders int
+	// allocated maps base → order for Free validation.
+	allocated map[int]int
+}
+
+// NewBuddyAllocator manages `size` buckets (a power of two) with the given
+// minimum partition size.
+func NewBuddyAllocator(size, minBlock int) *BuddyAllocator {
+	if size <= 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("controlplane: allocator size %d not a power of two", size))
+	}
+	if minBlock <= 0 || minBlock&(minBlock-1) != 0 || minBlock > size {
+		panic(fmt.Sprintf("controlplane: min block %d invalid for size %d", minBlock, size))
+	}
+	b := &BuddyAllocator{
+		size:      size,
+		minBlock:  minBlock,
+		free:      make(map[int]map[int]bool),
+		allocated: make(map[int]int),
+	}
+	for s := minBlock; s <= size; s <<= 1 {
+		b.free[b.orders] = make(map[int]bool)
+		b.orders++
+	}
+	b.free[b.orders-1][0] = true // the whole register
+	return b
+}
+
+func (b *BuddyAllocator) orderFor(buckets int) (int, error) {
+	if buckets <= 0 {
+		return 0, fmt.Errorf("controlplane: cannot allocate %d buckets", buckets)
+	}
+	size := b.minBlock
+	for o := 0; o < b.orders; o++ {
+		if size >= buckets {
+			return o, nil
+		}
+		size <<= 1
+	}
+	return 0, fmt.Errorf("controlplane: %d buckets exceed register size %d", buckets, b.size)
+}
+
+// Alloc reserves a partition of at least `buckets` buckets (rounded up to a
+// power of two ≥ MinPartition) and returns its base.
+func (b *BuddyAllocator) Alloc(buckets int) (base, got int, err error) {
+	order, err := b.orderFor(buckets)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Find the smallest free block of order ≥ requested.
+	from := -1
+	for o := order; o < b.orders; o++ {
+		if len(b.free[o]) > 0 {
+			from = o
+			break
+		}
+	}
+	if from < 0 {
+		return 0, 0, fmt.Errorf("controlplane: no free partition of %d buckets", b.minBlock<<order)
+	}
+	// Take any block at `from` (smallest base for determinism).
+	base = -1
+	for bb := range b.free[from] {
+		if base < 0 || bb < base {
+			base = bb
+		}
+	}
+	delete(b.free[from], base)
+	// Split down to the requested order.
+	for o := from; o > order; o-- {
+		half := b.minBlock << (o - 1)
+		b.free[o-1][base+half] = true
+	}
+	b.allocated[base] = order
+	return base, b.minBlock << order, nil
+}
+
+// Free releases the partition at base, coalescing buddies.
+func (b *BuddyAllocator) Free(base int) error {
+	order, ok := b.allocated[base]
+	if !ok {
+		return fmt.Errorf("controlplane: free of unallocated base %d", base)
+	}
+	delete(b.allocated, base)
+	for order < b.orders-1 {
+		size := b.minBlock << order
+		buddy := base ^ size
+		if !b.free[order][buddy] {
+			break
+		}
+		delete(b.free[order], buddy)
+		if buddy < base {
+			base = buddy
+		}
+		order++
+	}
+	b.free[order][base] = true
+	return nil
+}
+
+// FreeBuckets returns the total unallocated buckets.
+func (b *BuddyAllocator) FreeBuckets() int {
+	total := 0
+	for o, blocks := range b.free {
+		total += len(blocks) * (b.minBlock << o)
+	}
+	return total
+}
+
+// LargestFree returns the largest allocatable partition size (0 when full).
+func (b *BuddyAllocator) LargestFree() int {
+	for o := b.orders - 1; o >= 0; o-- {
+		if len(b.free[o]) > 0 {
+			return b.minBlock << o
+		}
+	}
+	return 0
+}
+
+// Allocations returns the number of live partitions.
+func (b *BuddyAllocator) Allocations() int { return len(b.allocated) }
+
+// Size returns the managed bucket count.
+func (b *BuddyAllocator) Size() int { return b.size }
+
+// MemoryMode selects how requested memory maps to a power-of-two partition
+// (§3.4): Accurate never under-allocates; Efficient picks the nearest
+// partition size, possibly smaller than requested.
+type MemoryMode uint8
+
+const (
+	// Accurate allocates the smallest power of two ≥ the request.
+	Accurate MemoryMode = iota
+	// Efficient allocates the power of two closest to the request.
+	Efficient
+)
+
+// String implements fmt.Stringer.
+func (m MemoryMode) String() string {
+	if m == Efficient {
+		return "efficient"
+	}
+	return "accurate"
+}
+
+// PartitionFor maps a bucket request to the partition size the mode grants.
+func (m MemoryMode) PartitionFor(request, minBlock, max int) int {
+	if request < minBlock {
+		request = minBlock
+	}
+	up := minBlock
+	for up < request {
+		up <<= 1
+	}
+	if up > max {
+		up = max
+	}
+	if m == Accurate {
+		return up
+	}
+	down := up >> 1
+	if down < minBlock {
+		return up
+	}
+	// Nearest in log space: prefer the smaller side on ties.
+	if float64(request)/float64(down) <= float64(up)/float64(request) {
+		return down
+	}
+	return up
+}

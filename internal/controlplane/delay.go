@@ -1,0 +1,51 @@
+package controlplane
+
+import (
+	"time"
+)
+
+// DelayModel converts a deployment's rule counts into the rule-install
+// latency a hardware control plane would incur. Calibrated to the paper's
+// measurements (§5.1): ≈3 ms per common table rule, ≈16 ms per hash-mask
+// rule; the control plane batches common rules so a burst of entries does
+// not grow the delay linearly.
+type DelayModel struct {
+	CommonRule time.Duration
+	HashMask   time.Duration
+	BatchSize  int
+}
+
+// DefaultDelayModel returns the paper-calibrated model.
+func DefaultDelayModel() DelayModel {
+	return DelayModel{
+		CommonRule: 3 * time.Millisecond,
+		HashMask:   16 * time.Millisecond,
+		BatchSize:  8,
+	}
+}
+
+// RuleCount tallies the runtime rules a deployment installs.
+type RuleCount struct {
+	// Common is the number of ordinary table entries: task filter, key and
+	// parameter selection, operation selection, and address translation.
+	Common int
+	// TCAMEntries counts preparation-stage mapping entries (one-hot
+	// coupons, rank tables); they install at common-rule cost but in
+	// bursts, so batching matters for them most.
+	TCAMEntries int
+	// HashMasks is the number of dynamic hash-mask reconfigurations.
+	HashMasks int
+}
+
+// Total returns the total rule count.
+func (rc RuleCount) Total() int { return rc.Common + rc.TCAMEntries + rc.HashMasks }
+
+// Delay returns the modeled deployment delay for the rule counts.
+func (m DelayModel) Delay(rc RuleCount) time.Duration {
+	batch := m.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	batches := (rc.Common + rc.TCAMEntries + batch - 1) / batch
+	return time.Duration(rc.HashMasks)*m.HashMask + time.Duration(batches)*m.CommonRule
+}

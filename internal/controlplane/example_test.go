@@ -1,0 +1,74 @@
+package controlplane_test
+
+import (
+	"fmt"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+)
+
+// Deploy a per-flow frequency task, feed packets, and read an estimate —
+// the minimal FlyMon loop.
+func ExampleController() {
+	ctrl := controlplane.NewController(controlplane.Config{
+		Groups: 1, Buckets: 65536, BitWidth: 32,
+	})
+	task, err := ctrl.AddTask(controlplane.TaskSpec{
+		Name:       "per-flow-size",
+		Key:        packet.KeyFiveTuple,
+		Attribute:  controlplane.AttrFrequency,
+		MemBuckets: 4096,
+		D:          3,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	p := packet.Packet{SrcIP: packet.IPv4(10, 0, 0, 1), DstIP: packet.IPv4(10, 0, 0, 2),
+		SrcPort: 1234, DstPort: 80, Proto: 6}
+	for i := 0; i < 7; i++ {
+		ctrl.Process(&p)
+	}
+	est, _ := ctrl.EstimateKey(task.ID, packet.KeyFiveTuple.Extract(&p))
+	fmt.Printf("%s estimate: %.0f packets\n", task.Algorithm, est)
+	// Output: FlyMon-CMS estimate: 7 packets
+}
+
+// Reconfigure a running task's memory without interrupting measurement of
+// co-resident tasks.
+func ExampleController_ResizeTask() {
+	ctrl := controlplane.NewController(controlplane.Config{
+		Groups: 1, Buckets: 65536, BitWidth: 32,
+	})
+	task, _ := ctrl.AddTask(controlplane.TaskSpec{
+		Name: "t", Key: packet.KeyFiveTuple,
+		Attribute: controlplane.AttrFrequency, MemBuckets: 2048, D: 3,
+	})
+	fmt.Println("before:", task.Buckets)
+	_, _ = ctrl.ResizeTask(task.ID, 16384)
+	after, _ := ctrl.Task(task.ID)
+	fmt.Println("after:", after.Buckets)
+	// Output:
+	// before: 2048
+	// after: 16384
+}
+
+// Choose implementations per attribute: the compiler's defaults (Table 3).
+func ExampleTaskSpec_ChooseAlgorithm() {
+	specs := []controlplane.TaskSpec{
+		{Attribute: controlplane.AttrFrequency},
+		{Attribute: controlplane.AttrDistinct, Key: packet.KeyDstIP,
+			Param: controlplane.ParamSpec{Kind: controlplane.ParamFlowKey, Key: packet.KeySrcIP}},
+		{Attribute: controlplane.AttrDistinct,
+			Param: controlplane.ParamSpec{Kind: controlplane.ParamFlowKey, Key: packet.KeyFiveTuple}},
+		{Attribute: controlplane.AttrMax, Param: controlplane.ParamSpec{Kind: controlplane.ParamQueueLength}},
+	}
+	for _, s := range specs {
+		fmt.Println(s.ChooseAlgorithm())
+	}
+	// Output:
+	// FlyMon-CMS
+	// FlyMon-BeauCoup
+	// FlyMon-HLL
+	// FlyMon-SuMax(Max)
+}

@@ -1,0 +1,255 @@
+package controlplane
+
+import (
+	"fmt"
+
+	"flymon/internal/packet"
+)
+
+// Attribute is the flow attribute of a measurement task (§2.1): what
+// statistic is computed over each flow's packets.
+type Attribute uint8
+
+// Supported attributes (Table 1).
+const (
+	// AttrFrequency accumulates a parameter per key (per-flow size, heavy
+	// hitters, heavy changers).
+	AttrFrequency Attribute = iota
+	// AttrDistinct counts distinct parameter values per key (DDoS victims,
+	// super-spreaders, port scans, cardinality).
+	AttrDistinct
+	// AttrExistence checks set membership of the parameter (blacklists).
+	AttrExistence
+	// AttrMax tracks the maximum parameter per key (congestion, HoL
+	// blocking, packet inter-arrival).
+	AttrMax
+)
+
+// String implements fmt.Stringer.
+func (a Attribute) String() string {
+	switch a {
+	case AttrFrequency:
+		return "Frequency"
+	case AttrDistinct:
+		return "Distinct"
+	case AttrExistence:
+		return "Existence"
+	case AttrMax:
+		return "Max"
+	default:
+		return fmt.Sprintf("Attribute(%d)", uint8(a))
+	}
+}
+
+// ParamKind is the attribute-parameter source of a task.
+type ParamKind uint8
+
+// Parameter kinds.
+const (
+	// ParamPacketCount is the constant 1 (per-flow packet counts).
+	ParamPacketCount ParamKind = iota
+	// ParamPacketBytes is the packet's wire size (per-flow byte counts).
+	ParamPacketBytes
+	// ParamQueueLength is the switch queue depth metadata.
+	ParamQueueLength
+	// ParamQueueDelay is the queueing-delay metadata.
+	ParamQueueDelay
+	// ParamPacketInterval is the packet inter-arrival time (combinatorial,
+	// needs three CMUs, §4).
+	ParamPacketInterval
+	// ParamFlowKey is a flow-key parameter (the distinct/existence
+	// attribute's "what to count": e.g. Distinct(SrcIP) per DstIP).
+	ParamFlowKey
+)
+
+// String implements fmt.Stringer.
+func (p ParamKind) String() string {
+	switch p {
+	case ParamPacketCount:
+		return "Const(1)"
+	case ParamPacketBytes:
+		return "PktBytes"
+	case ParamQueueLength:
+		return "QueueLength"
+	case ParamQueueDelay:
+		return "QueueDelay"
+	case ParamPacketInterval:
+		return "PktInterval"
+	case ParamFlowKey:
+		return "FlowKey"
+	default:
+		return fmt.Sprintf("ParamKind(%d)", uint8(p))
+	}
+}
+
+// ParamSpec is the attribute parameter with its optional flow-key spec.
+type ParamSpec struct {
+	Kind ParamKind
+	Key  packet.KeySpec // for ParamFlowKey
+}
+
+// Algorithm identifies a built-in measurement algorithm (Table 3).
+type Algorithm uint8
+
+// Built-in algorithms; AlgAuto lets the compiler choose by attribute.
+const (
+	AlgAuto Algorithm = iota
+	AlgCMS
+	AlgSuMaxSum
+	AlgMRAC
+	AlgTower
+	AlgCounterBraids
+	AlgBeauCoup
+	AlgHLL
+	AlgLinearCounting
+	AlgBloom
+	AlgSuMaxMax
+	AlgMaxInterval
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgCMS:
+		return "FlyMon-CMS"
+	case AlgSuMaxSum:
+		return "FlyMon-SuMax(Sum)"
+	case AlgMRAC:
+		return "FlyMon-MRAC"
+	case AlgTower:
+		return "FlyMon-TowerSketch"
+	case AlgCounterBraids:
+		return "FlyMon-CounterBraids"
+	case AlgBeauCoup:
+		return "FlyMon-BeauCoup"
+	case AlgHLL:
+		return "FlyMon-HLL"
+	case AlgLinearCounting:
+		return "FlyMon-LinearCounting"
+	case AlgBloom:
+		return "FlyMon-BloomFilter"
+	case AlgSuMaxMax:
+		return "FlyMon-SuMax(Max)"
+	case AlgMaxInterval:
+		return "FlyMon-MaxInterval"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// GroupsNeeded returns how many CMU Groups the algorithm spans for depth d
+// (Table 3's "CMUG Usage").
+func (a Algorithm) GroupsNeeded(d int) int {
+	switch a {
+	case AlgSuMaxSum:
+		return d
+	case AlgMaxInterval:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// TaskSpec is a measurement-task definition as issued by an operator: a
+// filter, a key, an attribute with parameters, and a memory size — the
+// task abstraction of §2.1/§3.4.
+type TaskSpec struct {
+	Name      string
+	Filter    packet.Filter
+	Key       packet.KeySpec
+	Attribute Attribute
+	Param     ParamSpec
+
+	// Threshold parameterizes detection tasks (heavy hitters, DDoS
+	// victims) and BeauCoup's coupon configuration.
+	Threshold int
+
+	// MemBuckets is the requested buckets per row.
+	MemBuckets int
+
+	// D is the row count (CMUs per algorithm instance); 0 takes the
+	// algorithm default.
+	D int
+
+	// Algorithm optionally pins the implementation; AlgAuto compiles by
+	// attribute.
+	Algorithm Algorithm
+
+	// Prob enables probabilistic execution (§6); 0 or 1 = always.
+	Prob float64
+}
+
+// Validate checks the spec's structural invariants.
+func (s *TaskSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("controlplane: task needs a name")
+	}
+	if s.MemBuckets <= 0 {
+		return fmt.Errorf("controlplane: task %q needs a positive memory size", s.Name)
+	}
+	if s.D < 0 || s.D > 3 {
+		return fmt.Errorf("controlplane: task %q depth %d out of range [0,3]", s.Name, s.D)
+	}
+	if s.Prob < 0 || s.Prob > 1 {
+		return fmt.Errorf("controlplane: task %q probability %v out of range [0,1]", s.Name, s.Prob)
+	}
+	switch s.Attribute {
+	case AttrDistinct:
+		if len(s.Key.Parts) > 0 && s.Param.Kind != ParamFlowKey {
+			return fmt.Errorf("controlplane: task %q: Distinct needs a flow-key parameter", s.Name)
+		}
+	case AttrExistence:
+		if s.Param.Kind != ParamFlowKey {
+			return fmt.Errorf("controlplane: task %q: Existence needs a flow-key parameter", s.Name)
+		}
+	case AttrFrequency, AttrMax:
+		if s.Param.Kind == ParamFlowKey {
+			return fmt.Errorf("controlplane: task %q: %s cannot take a flow-key parameter", s.Name, s.Attribute)
+		}
+	default:
+		return fmt.Errorf("controlplane: task %q: unknown attribute %d", s.Name, s.Attribute)
+	}
+	return nil
+}
+
+// ChooseAlgorithm resolves AlgAuto: the compiler's per-attribute default
+// (Table 3), honoring an explicit pin.
+func (s *TaskSpec) ChooseAlgorithm() Algorithm {
+	if s.Algorithm != AlgAuto {
+		return s.Algorithm
+	}
+	switch s.Attribute {
+	case AttrFrequency:
+		return AlgCMS
+	case AttrDistinct:
+		if len(s.Key.Parts) == 0 {
+			return AlgHLL // single-key distinct: flow cardinality
+		}
+		return AlgBeauCoup
+	case AttrExistence:
+		return AlgBloom
+	case AttrMax:
+		if s.Param.Kind == ParamPacketInterval {
+			return AlgMaxInterval
+		}
+		return AlgSuMaxMax
+	default:
+		return AlgCMS
+	}
+}
+
+// DefaultD returns the algorithm's default row count.
+func DefaultD(a Algorithm) int {
+	switch a {
+	case AlgMRAC, AlgHLL, AlgLinearCounting:
+		return 1
+	case AlgCounterBraids:
+		return 2
+	case AlgMaxInterval:
+		return 3
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,108 @@
+package controlplane
+
+import (
+	"testing"
+
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+// TestTable1Catalog deploys every measurement task of the paper's Table 1
+// through the controller and verifies each produces sane answers on a
+// shared workload — the task-abstraction conformance suite.
+func TestTable1Catalog(t *testing.T) {
+	keyDstPort := packet.NewKeySpec(packet.FieldDstPort)
+
+	catalog := []struct {
+		name string
+		spec TaskSpec
+	}{
+		// DDoS victim: DstIP × Distinct(SrcIP).
+		{"ddos-victim", TaskSpec{Key: packet.KeyDstIP, Attribute: AttrDistinct,
+			Param:     ParamSpec{Kind: ParamFlowKey, Key: packet.KeySrcIP},
+			Threshold: 100, MemBuckets: 8192, D: 3}},
+		// Worm / super-spreader: SrcIP × Distinct(DstIP).
+		{"worm", TaskSpec{Key: packet.KeySrcIP, Attribute: AttrDistinct,
+			Param:     ParamSpec{Kind: ParamFlowKey, Key: packet.KeyDstIP},
+			Threshold: 50, MemBuckets: 8192, D: 3}},
+		// Port scan: IP pair × Distinct(DstPort).
+		{"port-scan", TaskSpec{Key: packet.KeyIPPair, Attribute: AttrDistinct,
+			Param:     ParamSpec{Kind: ParamFlowKey, Key: keyDstPort},
+			Threshold: 50, MemBuckets: 8192, D: 3}},
+		// Cardinality: no key × Distinct(FlowID).
+		{"cardinality", TaskSpec{Attribute: AttrDistinct,
+			Param:      ParamSpec{Kind: ParamFlowKey, Key: packet.KeyFiveTuple},
+			MemBuckets: 4096}},
+		// Per-flow size in packets: FlowID × Frequency(1).
+		{"flow-size-pkts", TaskSpec{Key: packet.KeyFiveTuple, Attribute: AttrFrequency,
+			MemBuckets: 8192, D: 3}},
+		// Per-flow size in bytes: FlowID × Frequency(bytes).
+		{"flow-size-bytes", TaskSpec{Key: packet.KeyFiveTuple, Attribute: AttrFrequency,
+			Param: ParamSpec{Kind: ParamPacketBytes}, MemBuckets: 8192, D: 3}},
+		// Black list: Existence(FlowID).
+		{"black-list", TaskSpec{Attribute: AttrExistence,
+			Param:      ParamSpec{Kind: ParamFlowKey, Key: packet.KeyFiveTuple},
+			MemBuckets: 8192, D: 3}},
+		// Congestion: FlowID × Max(queue length).
+		{"congestion", TaskSpec{Key: packet.KeyFiveTuple, Attribute: AttrMax,
+			Param: ParamSpec{Kind: ParamQueueLength}, MemBuckets: 8192, D: 3}},
+		// Head-of-line blocking: FlowID × Max(queue delay).
+		{"hol", TaskSpec{Key: packet.KeyFiveTuple, Attribute: AttrMax,
+			Param: ParamSpec{Kind: ParamQueueDelay}, MemBuckets: 8192, D: 3}},
+		// Max packet interval: FlowID × Max(interval) — 3 CMUs, 3 groups.
+		{"interval", TaskSpec{Key: packet.KeyFiveTuple, Attribute: AttrMax,
+			Param: ParamSpec{Kind: ParamPacketInterval}, MemBuckets: 8192}},
+	}
+	// Heavy hitters and heavy changers reuse the frequency task's counters
+	// (threshold query / epoch diff) and are covered by the experiments
+	// and epoch tests.
+
+	tr := trace.Generate(trace.Config{Flows: 1500, Packets: 40_000, Seed: 99})
+
+	for _, entry := range catalog {
+		t.Run(entry.name, func(t *testing.T) {
+			// A fresh full pipeline per task: Table 1 is about coverage,
+			// not co-residency (that's the multitasking experiment).
+			c := NewController(Config{Groups: 3, Buckets: 65536, BitWidth: 32})
+			spec := entry.spec
+			spec.Name = entry.name
+			task, err := c.AddTask(spec)
+			if err != nil {
+				t.Fatalf("deploy: %v", err)
+			}
+			for i := range tr.Packets {
+				c.Process(&tr.Packets[i])
+			}
+			probe := &tr.Packets[0]
+			switch entry.name {
+			case "cardinality":
+				v, err := c.Cardinality(task.ID)
+				if err != nil || v < 100 {
+					t.Fatalf("cardinality = %v, %v", v, err)
+				}
+			case "black-list":
+				ok, err := c.Contains(task.ID, packet.KeyFiveTuple.Extract(probe))
+				if err != nil || !ok {
+					t.Fatalf("membership of an observed flow = %v, %v", ok, err)
+				}
+			default:
+				key := spec.Key
+				if len(key.Parts) == 0 {
+					key = spec.Param.Key
+				}
+				v, err := c.EstimateKey(task.ID, key.Extract(probe))
+				if err != nil {
+					t.Fatalf("estimate: %v", err)
+				}
+				if entry.name == "flow-size-pkts" || entry.name == "flow-size-bytes" {
+					if v <= 0 {
+						t.Fatalf("frequency estimate %v for an observed flow", v)
+					}
+				}
+			}
+			if err := c.RemoveTask(task.ID); err != nil {
+				t.Fatalf("remove: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"flymon/internal/core"
+	"flymon/internal/dataplane"
+	"flymon/internal/packet"
+)
+
+// TowerTask is FlyMon-TowerSketch (Appendix D): each CMU level implements a
+// flexible-width counter in the most-significant bits of the uniform-width
+// buckets. Level i adds p1 = 1 << (B − wᵢ) under the overflow guard
+// p2 = (2^wᵢ − 1) << (B − wᵢ), so narrow counters saturate instead of
+// corrupting neighbours; different level lengths come from address
+// translation. The query is the minimum over non-saturated levels.
+type TowerTask struct {
+	Group  *core.Group
+	TaskID int
+	Unit   int
+	Base   int   // first CMU index
+	Widths []int // counter bit width per level (CMU)
+	Rows   []core.MemRange
+	Method core.TranslationMethod
+}
+
+// InstallTower installs a FlyMon-TowerSketch with one level per width on
+// group g. rows may be nil (whole registers — equal level lengths) or give
+// per-level partitions (canonically: narrower counters get longer arrays).
+func InstallTower(g *core.Group, taskID int, filter packet.Filter, key packet.KeySpec,
+	widths []int, rows []core.MemRange, at ...int) (*TowerTask, error) {
+	base := baseCMU(at)
+	d := len(widths)
+	if d < 1 || d > g.CMUs() {
+		return nil, fmt.Errorf("algorithms: tower with %d levels exceeds group's %d CMUs", d, g.CMUs())
+	}
+	rows, err := checkRows(g, rows, base, d)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := EnsureUnit(g, key)
+	if err != nil {
+		return nil, err
+	}
+	t := &TowerTask{Group: g, TaskID: taskID, Unit: unit, Base: base, Widths: widths,
+		Rows: rows, Method: core.TCAMBased}
+	for i := 0; i < d; i++ {
+		B := g.CMU(base + i).Register().BitWidth()
+		w := widths[i]
+		if w <= 0 || w > B {
+			t.Uninstall()
+			return nil, fmt.Errorf("algorithms: tower level %d width %d exceeds bucket width %d", i, w, B)
+		}
+		shift := uint(B - w)
+		rule := &core.Rule{
+			TaskID:      taskID,
+			Filter:      filter,
+			Key:         rowSelector(unit, base+i),
+			P1:          core.Const(1 << shift),
+			P2:          core.Const(((1 << uint(w)) - 1) << shift),
+			Mem:         rows[i],
+			Translation: t.Method,
+			Op:          dataplane.OpCondAdd,
+		}
+		if err := g.CMU(base + i).InstallRule(rule); err != nil {
+			t.Uninstall()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// EstimateKey returns the tower estimate for canonical key k: the minimum
+// over non-saturated level counters (the widest level's saturation value
+// when all levels are saturated).
+func (t *TowerTask) EstimateKey(k packet.CanonicalKey) uint32 {
+	best := ^uint32(0)
+	live := false
+	var widestSat uint32
+	for i, w := range t.Widths {
+		B := t.Group.CMU(t.Base + i).Register().BitWidth()
+		idx := rowIndex(t.Group, t.Unit, t.Base+i, k, t.Rows[i], t.Method)
+		bucket := t.Group.CMU(t.Base + i).Register().Read(idx)
+		cnt := bucket >> uint(B-w)
+		sat := uint32(1<<uint(w)) - 1
+		if sat > widestSat {
+			widestSat = sat
+		}
+		if cnt >= sat {
+			continue
+		}
+		live = true
+		if cnt < best {
+			best = cnt
+		}
+	}
+	if !live {
+		return widestSat
+	}
+	return best
+}
+
+// MemoryBytes returns the task's register memory footprint (full uniform
+// buckets; unused low bits remain available to co-located tasks).
+func (t *TowerTask) MemoryBytes() int {
+	total := 0
+	for i, r := range t.Rows {
+		total += r.Buckets * t.Group.CMU(t.Base+i).Register().BitWidth() / 8
+	}
+	return total
+}
+
+// Uninstall removes the task's rules.
+func (t *TowerTask) Uninstall() {
+	for i := 0; i < t.Group.CMUs(); i++ {
+		t.Group.CMU(i).RemoveRule(t.TaskID)
+	}
+}
+
+// CounterBraidsTask is FlyMon-CounterBraids (L=2, Appendix D): CMU 1 runs a
+// narrow counter in its buckets' top bits; once it saturates, its Cond-ADD
+// returns 0 and CMU 2's preparation-stage zero-gate converts that into an
+// increment of the wide layer-2 counter. The recovered count is
+// layer1 + layer2 (exact absent collisions).
+type CounterBraidsTask struct {
+	Group  *core.Group
+	TaskID int
+	Unit   int
+	Base   int // first CMU index
+	W1, W2 int
+	Rows   []core.MemRange
+	Method core.TranslationMethod
+}
+
+// InstallCounterBraids installs a FlyMon-CounterBraids task on group g with
+// layer widths w1 (narrow) and w2 (wide).
+func InstallCounterBraids(g *core.Group, taskID int, filter packet.Filter,
+	key packet.KeySpec, w1, w2 int, rows []core.MemRange, at ...int) (*CounterBraidsTask, error) {
+	base := baseCMU(at)
+	if g.CMUs() < 2 {
+		return nil, fmt.Errorf("algorithms: counter braids needs 2 CMUs, group has %d", g.CMUs())
+	}
+	rows, err := checkRows(g, rows, base, 2)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := EnsureUnit(g, key)
+	if err != nil {
+		return nil, err
+	}
+	B1 := g.CMU(base).Register().BitWidth()
+	B2 := g.CMU(base + 1).Register().BitWidth()
+	if w1 <= 0 || w1 > B1 || w2 <= 0 || w2 > B2 {
+		return nil, fmt.Errorf("algorithms: counter braids widths (%d,%d) exceed buckets (%d,%d)", w1, w2, B1, B2)
+	}
+	t := &CounterBraidsTask{Group: g, TaskID: taskID, Unit: unit, Base: base, W1: w1, W2: w2,
+		Rows: rows, Method: core.TCAMBased}
+
+	s1 := uint(B1 - w1)
+	layer1 := &core.Rule{
+		TaskID:      taskID,
+		Filter:      filter,
+		Key:         rowSelector(unit, base),
+		P1:          core.Const(1 << s1),
+		P2:          core.Const(((1 << uint(w1)) - 1) << s1),
+		Mem:         rows[0],
+		Translation: t.Method,
+		Op:          dataplane.OpCondAdd,
+	}
+	if err := g.CMU(base).InstallRule(layer1); err != nil {
+		return nil, err
+	}
+	s2 := uint(B2 - w2)
+	layer2 := &core.Rule{
+		TaskID: taskID,
+		Filter: filter,
+		Key:    rowSelector(unit, base+1),
+		P1:     core.PrevResult(),
+		P2:     core.Const(((1 << uint(w2)) - 1) << s2),
+		Prep: core.Transform{
+			Kind:   core.TransformZeroGate,
+			IfZero: 1 << s2, // layer 1 saturated: count here
+			Else:   0,       // layer 1 took the packet: add nothing
+		},
+		Mem:         rows[1],
+		Translation: t.Method,
+		Op:          dataplane.OpCondAdd,
+	}
+	if err := g.CMU(base + 1).InstallRule(layer2); err != nil {
+		t.Uninstall()
+		return nil, err
+	}
+	return t, nil
+}
+
+// EstimateKey returns layer1 + layer2 for canonical key k.
+func (t *CounterBraidsTask) EstimateKey(k packet.CanonicalKey) uint64 {
+	B1 := t.Group.CMU(t.Base).Register().BitWidth()
+	B2 := t.Group.CMU(t.Base + 1).Register().BitWidth()
+	i1 := rowIndex(t.Group, t.Unit, t.Base, k, t.Rows[0], t.Method)
+	i2 := rowIndex(t.Group, t.Unit, t.Base+1, k, t.Rows[1], t.Method)
+	v1 := uint64(t.Group.CMU(t.Base).Register().Read(i1) >> uint(B1-t.W1))
+	v2 := uint64(t.Group.CMU(t.Base+1).Register().Read(i2) >> uint(B2-t.W2))
+	return v1 + v2
+}
+
+// MemoryBytes returns the task's register memory footprint.
+func (t *CounterBraidsTask) MemoryBytes() int {
+	total := 0
+	for i, r := range t.Rows {
+		total += r.Buckets * t.Group.CMU(t.Base+i).Register().BitWidth() / 8
+	}
+	return total
+}
+
+// Uninstall removes the task's rules.
+func (t *CounterBraidsTask) Uninstall() {
+	for i := 0; i < t.Group.CMUs(); i++ {
+		t.Group.CMU(i).RemoveRule(t.TaskID)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "flymon/internal/dataplane"
+
+// This file implements the pipeline layout planner: cross-stacking CMU
+// Groups across MAU stages (§3.2, Fig. 8) and the PHV-driven scalability
+// model (Fig. 13c).
+
+// Layout describes a cross-stacked placement of CMU Groups.
+type Layout struct {
+	Stages int
+	Groups int
+	// Mirrored counts additional groups spliced from the triangle areas at
+	// the pipeline's ends via mirror+recirculate (Appendix E); zero unless
+	// planned with recirculation.
+	Mirrored int
+}
+
+// PlanCrossStacked returns the maximal cross-stacked layout for a pipeline
+// of `stages` MAU stages. Each group spans StagesPerGroup consecutive
+// stages; consecutive groups are shifted by one stage; a stage hosts at
+// most one stage-slice of each kind because each slice saturates its
+// dominant resource (compression takes the hash budget share, operation
+// the SALUs, ...). With S stages the planner fits S − StagesPerGroup + 1
+// groups, capped by the per-stage resource shares (hash: 2 slices/stage,
+// SALU: 1 operation slice/stage) — for Tofino's 12 stages that is 9 groups
+// (27 CMUs), the paper's headline.
+func PlanCrossStacked(stages int) Layout {
+	if stages < StagesPerGroup {
+		return Layout{Stages: stages}
+	}
+	return Layout{Stages: stages, Groups: stages - StagesPerGroup + 1}
+}
+
+// PlanWithRecirculation extends the plan with the Appendix-E optimization:
+// the unused triangle areas at the pipeline's head and tail can be spliced
+// into ⌊(StagesPerGroup−1)·2/StagesPerGroup⌋... in the paper's 12-stage
+// case, 3 extra groups, at the cost of mirroring and recirculating the
+// packets that use them.
+func PlanWithRecirculation(stages int) Layout {
+	l := PlanCrossStacked(stages)
+	if l.Groups > 0 {
+		// Head and tail triangles together hold (StagesPerGroup−1) stage
+		// slices of each kind, i.e. StagesPerGroup−1 spliced groups.
+		l.Mirrored = StagesPerGroup - 1
+	}
+	return l
+}
+
+// Utilization returns the fraction of the allocated stages' hash and SALU
+// budgets the layout consumes (Fig. 13b). Each group uses
+// CompressionUnits + CMUsPerGroup hash units (compression + SALU
+// addressing) and CMUsPerGroup SALUs.
+func (l Layout) Utilization() dataplane.Utilization {
+	if l.Stages == 0 {
+		return dataplane.Utilization{}
+	}
+	cap_ := dataplane.StageCapacity().Scale(l.Stages)
+	used := GroupStageResources().Scale(l.Groups)
+	return dataplane.UtilizationOf(used, cap_)
+}
+
+// GroupStageResources returns the stage-local resources one cross-stacked
+// group consumes (PHV excluded; see GroupPHVBits).
+func GroupStageResources() dataplane.Resources {
+	return dataplane.Resources{
+		HashUnits:     CompressionUnits + CMUsPerGroup,
+		SALUs:         CMUsPerGroup,
+		SRAMBlocks:    CMUsPerGroup * dataplane.SRAMBlocksFor(DefaultBuckets, DefaultBitWidth),
+		TCAMBlocks:    dataplane.TCAMBlocksPerStage/8 + dataplane.TCAMBlocksPerStage/2,
+		VLIWSlots:     vliwPerGroup(),
+		LogicalTables: 2 + 2*CMUsPerGroup,
+	}
+}
+
+// PHVBudgetForMeasurement is the PHV share available to measurement after
+// the baseline switch program's own headers and metadata (Fig. 13c model).
+var PHVBudgetForMeasurement = dataplane.PHVBits - dataplane.BaselineSwitchProfile().PHVBits
+
+// MaxCMUsByPHV returns how many CMUs fit the measurement PHV budget for a
+// candidate key set of keyBits, with and without the less-copy compression
+// strategy (Fig. 13c). The cross-stacking SALU cap (27 CMUs in 12 stages)
+// bounds both.
+func MaxCMUsByPHV(keyBits int, compressed bool) int {
+	budget := PHVBudgetForMeasurement
+	saluCap := PlanCrossStacked(dataplane.NumStages).Groups * CMUsPerGroup
+	var n int
+	if compressed {
+		// Groups share compressed keys: count whole groups, then fit any
+		// partial group the remainder allows.
+		perGroup := GroupPHVBits(CompressionUnits, CMUsPerGroup)
+		n = budget / perGroup * CMUsPerGroup
+		rem := budget%perGroup - 32*CompressionUnits
+		if rem >= 64 {
+			n += rem / 64
+		}
+	} else {
+		n = budget / UncompressedPHVBits(keyBits)
+	}
+	if n > saluCap {
+		n = saluCap
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"flymon/internal/packet"
+)
+
+// Pipeline is an ordered set of CMU Groups sharing one RMT pipeline.
+// Packets traverse groups in order; the per-packet Context threads the CMU
+// result bus between them, which is what lets SuMax(Sum), Counter Braids,
+// and the max-interval task span CMUs in different groups (§4).
+//
+// Spliced groups model the Appendix-E optimization: the triangle areas at
+// the pipeline's ends form up to three additional CMU Groups reachable
+// only by mirroring and recirculating a packet — measurement capacity
+// bought with bandwidth. A packet is recirculated only when some spliced
+// group has a task matching it.
+type Pipeline struct {
+	groups  []*Group
+	spliced []*Group
+
+	packets      uint64
+	recirculated uint64
+	ctx          Context
+}
+
+// NewPipeline builds a pipeline of n default-geometry CMU Groups.
+func NewPipeline(n int) *Pipeline {
+	p := &Pipeline{ctx: Context{rng: 0x9E3779B97F4A7C15}}
+	for i := 0; i < n; i++ {
+		p.groups = append(p.groups, NewGroup(GroupConfig{ID: i}))
+	}
+	return p
+}
+
+// NewPipelineWith builds a pipeline from explicit groups.
+func NewPipelineWith(groups ...*Group) *Pipeline {
+	return &Pipeline{groups: groups, ctx: Context{rng: 0x9E3779B97F4A7C15}}
+}
+
+// Groups returns the number of groups.
+func (pl *Pipeline) Groups() int { return len(pl.groups) }
+
+// Group returns group i.
+func (pl *Pipeline) Group(i int) *Group { return pl.groups[i] }
+
+// AddSpliced registers a spliced (mirror+recirculate) group. The number of
+// spliced groups is bounded by the pipeline's triangle areas
+// (PlanWithRecirculation's Mirrored count).
+func (pl *Pipeline) AddSpliced(g *Group) error {
+	if len(pl.spliced) >= StagesPerGroup-1 {
+		return fmt.Errorf("core: pipeline already has %d spliced groups (Appendix E bound)", len(pl.spliced))
+	}
+	pl.spliced = append(pl.spliced, g)
+	return nil
+}
+
+// SplicedGroups returns the number of spliced groups.
+func (pl *Pipeline) SplicedGroups() int { return len(pl.spliced) }
+
+// Process pushes one packet through every group in pipeline order, and —
+// when a spliced group has a task for it — mirrors and recirculates it
+// through the spliced groups.
+func (pl *Pipeline) Process(p *packet.Packet) {
+	pl.packets++
+	pl.resetCtx(p)
+	for _, g := range pl.groups {
+		g.Process(&pl.ctx)
+	}
+	if len(pl.spliced) == 0 || !pl.splicedWants(p) {
+		return
+	}
+	// The mirrored copy re-enters the pipeline: a fresh PHV.
+	pl.recirculated++
+	pl.resetCtx(p)
+	for _, g := range pl.spliced {
+		g.Process(&pl.ctx)
+	}
+}
+
+func (pl *Pipeline) resetCtx(p *packet.Packet) {
+	pl.ctx.Pkt = p
+	pl.ctx.PrevResult = 0
+	pl.ctx.PrevOld = 0
+	pl.ctx.PrevNewFlow = false
+	pl.ctx.RunningMin = ^uint32(0)
+}
+
+// splicedWants reports whether any spliced-group task matches p — the
+// mirror decision the first pass takes.
+func (pl *Pipeline) splicedWants(p *packet.Packet) bool {
+	for _, g := range pl.spliced {
+		for i := 0; i < g.CMUs(); i++ {
+			for _, r := range g.CMU(i).Rules() {
+				if r.Filter.Matches(p) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Packets returns the number of packets processed.
+func (pl *Pipeline) Packets() uint64 { return pl.packets }
+
+// Recirculated returns the number of packets mirrored through the spliced
+// groups; Recirculated/Packets is the Appendix-E bandwidth overhead.
+func (pl *Pipeline) Recirculated() uint64 { return pl.recirculated }
+
+// FindTask locates a task's rule: it returns the group, CMU index and rule
+// for every CMU carrying taskID.
+type TaskLocation struct {
+	Group *Group
+	CMU   int
+	Rule  *Rule
+}
+
+// Locate returns every CMU location where taskID is installed, in pipeline
+// order (spliced groups last).
+func (pl *Pipeline) Locate(taskID int) []TaskLocation {
+	var out []TaskLocation
+	for _, g := range pl.allGroups() {
+		for i := 0; i < g.CMUs(); i++ {
+			if r := g.CMU(i).RuleFor(taskID); r != nil {
+				out = append(out, TaskLocation{Group: g, CMU: i, Rule: r})
+			}
+		}
+	}
+	return out
+}
+
+func (pl *Pipeline) allGroups() []*Group {
+	if len(pl.spliced) == 0 {
+		return pl.groups
+	}
+	all := make([]*Group, 0, len(pl.groups)+len(pl.spliced))
+	all = append(all, pl.groups...)
+	return append(all, pl.spliced...)
+}
+
+// ReadTask reads the register partitions of every CMU carrying taskID, in
+// pipeline order (the control plane's register readout).
+func (pl *Pipeline) ReadTask(taskID int) ([][]uint32, error) {
+	locs := pl.Locate(taskID)
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("core: task %d not installed", taskID)
+	}
+	out := make([][]uint32, 0, len(locs))
+	for _, l := range locs {
+		data, err := l.Group.CMU(l.CMU).ReadTask(taskID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// RemoveTask uninstalls taskID from every CMU (spliced groups included).
+// It reports how many rules were removed.
+func (pl *Pipeline) RemoveTask(taskID int) int {
+	n := 0
+	for _, g := range pl.allGroups() {
+		for i := 0; i < g.CMUs(); i++ {
+			if g.CMU(i).RemoveRule(taskID) {
+				n++
+			}
+		}
+	}
+	return n
+}

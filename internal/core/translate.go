@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MemRange is one task's register partition: Buckets is a power of two and
+// Base is aligned to it, so the partition is exactly the address sub-range
+// [Base, Base+Buckets) the paper's address translation produces (§3.3).
+type MemRange struct {
+	Base    int
+	Buckets int
+}
+
+// Overlaps reports whether two partitions share any bucket.
+func (m MemRange) Overlaps(o MemRange) bool {
+	return m.Base < o.Base+o.Buckets && o.Base < m.Base+m.Buckets
+}
+
+// String implements fmt.Stringer.
+func (m MemRange) String() string {
+	return fmt.Sprintf("[%d,%d)", m.Base, m.Base+m.Buckets)
+}
+
+// TranslationMethod selects how the preparation stage narrows a full-range
+// address into a task's partition.
+type TranslationMethod uint8
+
+const (
+	// ShiftBased right-shifts the address to the partition's size and adds
+	// the base — costs an extra stage or pre-computed PHV fields but no
+	// TCAM (§3.3, Fig. 9 top).
+	ShiftBased TranslationMethod = iota
+	// TCAMBased uses TCAM range matches to remap the address into the
+	// partition within one stage — costs TCAM entries (§3.3, Fig. 9
+	// bottom).
+	TCAMBased
+)
+
+// String implements fmt.Stringer.
+func (t TranslationMethod) String() string {
+	if t == ShiftBased {
+		return "shift"
+	}
+	return "tcam"
+}
+
+// Translate maps a 32-bit selected key (an address uniform over the
+// register's full range) into the task's partition.
+//
+// Shift-based translation uses the address's high bits (right shift, then
+// base add); TCAM-based translation uses its low bits (range remap by
+// adding/subtracting partition-aligned offsets, which preserves the low
+// bits). Both produce indices uniform over [Base, Base+Buckets).
+func Translate(addr uint32, mem MemRange, method TranslationMethod) uint32 {
+	n := uint32(mem.Buckets)
+	if n == 0 {
+		return uint32(mem.Base)
+	}
+	switch method {
+	case ShiftBased:
+		// Offset = addr >> (32 − log2(n)): the top log2(n) bits.
+		shift := 32 - bits.TrailingZeros32(n)
+		var off uint32
+		if shift < 32 {
+			off = addr >> uint(shift)
+		}
+		return uint32(mem.Base) + off
+	default: // TCAMBased
+		return uint32(mem.Base) + addr&(n-1)
+	}
+}
+
+// ShiftTranslationStages returns the MAU stages shift-based translation
+// costs: 2 normally (shift, then base add), or 1 when offsets are
+// pre-computed into PHV (§3.3).
+func ShiftTranslationStages(precomputed bool) int {
+	if precomputed {
+		return 1
+	}
+	return 2
+}
+
+// TCAMTranslationEntries returns the TCAM entries one task's translation
+// needs: remapping the full range into one of `partitions` equal
+// sub-ranges takes (partitions − 1) range entries plus a shared default
+// (§3.3: three entries and a default for four partitions).
+func TCAMTranslationEntries(partitions int) int {
+	if partitions <= 1 {
+		return 0
+	}
+	return partitions - 1
+}
+
+// PartitionsOf returns the number of equal partitions a register of
+// `registerBuckets` splits into at this partition size.
+func PartitionsOf(registerBuckets, partitionBuckets int) int {
+	if partitionBuckets <= 0 {
+		return 0
+	}
+	return registerBuckets / partitionBuckets
+}

@@ -1,0 +1,119 @@
+package dataplane
+
+import "fmt"
+
+// SketchKind identifies a statically deployed sketch for footprint
+// accounting (Fig. 2: the conventional one-task-one-implementation way).
+type SketchKind uint8
+
+// Static sketch kinds evaluated in Fig. 2.
+const (
+	KindBloomFilter SketchKind = iota
+	KindCMS
+	KindHLL
+	KindMRAC
+)
+
+// String implements fmt.Stringer.
+func (k SketchKind) String() string {
+	switch k {
+	case KindBloomFilter:
+		return "BloomFilter"
+	case KindCMS:
+		return "CMS"
+	case KindHLL:
+		return "HLL"
+	case KindMRAC:
+		return "MRAC"
+	default:
+		return fmt.Sprintf("SketchKind(%d)", uint8(k))
+	}
+}
+
+// StaticFootprint returns the hardware resources a conventional static
+// deployment of the sketch consumes: one hash unit, one SALU, and one
+// logical table per row, SRAM blocks for its counters, a PHV key copy, and
+// the VLIW slots of its apply block. This models the O(m·n) cost FlyMon
+// eliminates (§1, §2.2).
+func StaticFootprint(kind SketchKind, d, buckets, keyBits int) Resources {
+	var bitWidth int
+	switch kind {
+	case KindBloomFilter:
+		bitWidth = 1
+	case KindCMS, KindMRAC:
+		bitWidth = 32
+		if kind == KindMRAC {
+			d = 1 // MRAC is a single array
+		}
+	case KindHLL:
+		bitWidth = 8
+		d = 1
+	}
+	sram := 0
+	for i := 0; i < d; i++ {
+		sram += SRAMBlocksFor(buckets, bitWidth)
+	}
+	return Resources{
+		HashUnits:     d * 2, // one for index computation + the SALU addressing tax
+		SALUs:         d,
+		SRAMBlocks:    sram,
+		VLIWSlots:     d + 2,
+		LogicalTables: d + 1,
+		PHVBits:       keyBits + 32, // static key copy + result field
+	}
+}
+
+// BaselineSwitchProfile returns the resource usage of Tofino's baseline
+// switch project (switch.p4: L2/L3 forwarding, ACLs, multicast, QoS, ...),
+// the substrate Fig. 13a integrates CMU Groups into. Fractions are
+// calibrated to the paper's reported bars.
+func BaselineSwitchProfile() Resources {
+	cap_ := PipelineCapacity(NumStages)
+	frac := func(c int, f float64) int { return int(float64(c) * f) }
+	return Resources{
+		HashUnits:     frac(cap_.HashUnits, 0.38),
+		SALUs:         frac(cap_.SALUs, 0.17),
+		SRAMBlocks:    frac(cap_.SRAMBlocks, 0.34),
+		TCAMBlocks:    frac(cap_.TCAMBlocks, 0.31),
+		VLIWSlots:     frac(cap_.VLIWSlots, 0.36),
+		LogicalTables: frac(cap_.LogicalTables, 0.47),
+		PHVBits:       frac(cap_.PHVBits, 0.42),
+	}
+}
+
+// TranslationTCAMEntries returns the worst-case TCAM entry count the
+// TCAM-based address translation needs in one CMU's preparation stage to
+// support `partitions` memory partitions with a full complement of
+// concurrent tasks: each of the `partitions` tasks needs (partitions − 1)
+// range-remap entries plus one shared default (§3.3).
+func TranslationTCAMEntries(partitions int) int {
+	if partitions <= 1 {
+		return 0
+	}
+	return partitions*(partitions-1) + 1
+}
+
+// TranslationTCAMUsage returns the fraction of one MAU stage's TCAM
+// entries that TCAM-based address translation consumes for `cmus` CMUs
+// supporting the given partition count (Fig. 11a): the paper reports 12.5%
+// for 32 partitions on one CMU, which matches the P·(P−1)+1 worst-case
+// entry count against the stage's 24 × 512 entries.
+func TranslationTCAMUsage(partitions, cmus int) float64 {
+	stageEntries := TCAMBlocksPerStage * TCAMBlockEntries
+	return float64(cmus*TranslationTCAMEntries(partitions)) / float64(stageEntries)
+}
+
+// TranslationPHVBits returns the extra PHV bits the single-stage variant of
+// shift-based address translation costs for the given partition count
+// (Fig. 11b): one pre-shifted 32-bit address per possible shift amount
+// (0..log2(partitions)), computed in the initialization stage.
+func TranslationPHVBits(partitions int) int {
+	if partitions < 1 {
+		return 0
+	}
+	levels := 0
+	for p := 1; p < partitions; p <<= 1 {
+		levels++
+	}
+	return (levels + 1) * 32
+}

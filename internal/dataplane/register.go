@@ -1,0 +1,172 @@
+package dataplane
+
+import "fmt"
+
+// StatefulOp identifies one of the register actions a SALU can preload.
+// FlyMon's reduced operation set (§3.1.2, Appendix A) needs only three,
+// leaving one of the four hardware slots free for extensions (e.g. an XOR
+// op for Odd Sketch, §6).
+type StatefulOp uint8
+
+const (
+	// OpNone performs no update and returns 0.
+	OpNone StatefulOp = iota
+	// OpCondAdd adds p1 to the bucket if bucket < p2, returning the updated
+	// value, else returns 0 (Appendix A, Operation 1). With p2 = MaxUint32
+	// it degenerates to the unconditional ADD that CMS/MRAC need.
+	OpCondAdd
+	// OpMax sets the bucket to p1 if bucket < p1, returning the updated
+	// value, else returns 0 (Appendix A, Operation 2).
+	OpMax
+	// OpAndOr performs bucket &= p1 when p2 == 0, else bucket |= p1,
+	// returning the updated bucket (Appendix A, Operation 3).
+	OpAndOr
+	// OpXor toggles bucket bits: bucket ^= p1, returning the updated
+	// bucket. This is the paper's reserved-slot extension (§6): with the
+	// fourth SALU action slot, FlyMon can host Odd Sketch for traffic-set
+	// similarity.
+	OpXor
+)
+
+// String implements fmt.Stringer.
+func (op StatefulOp) String() string {
+	switch op {
+	case OpNone:
+		return "None"
+	case OpCondAdd:
+		return "Cond-ADD"
+	case OpMax:
+		return "MAX"
+	case OpAndOr:
+		return "AND-OR"
+	case OpXor:
+		return "XOR"
+	default:
+		return fmt.Sprintf("StatefulOp(%d)", uint8(op))
+	}
+}
+
+// ReducedOperationSet is the set of stateful operations FlyMon preloads on
+// every CMU register (§3.1.2); the fourth SALU slot stays free.
+var ReducedOperationSet = []StatefulOp{OpCondAdd, OpMax, OpAndOr}
+
+// ExtendedOperationSet adds the reserved-slot XOR extension (§6),
+// exhausting the SALU's four action slots.
+var ExtendedOperationSet = []StatefulOp{OpCondAdd, OpMax, OpAndOr, OpXor}
+
+// Register models a SALU bound to a fixed-size stateful memory. The bucket
+// count and bit width are fixed at compile time (they cannot change at
+// runtime — the constraint that motivates FlyMon's address translation);
+// the executed action is selected per packet.
+//
+// The register enforces the single-access-per-packet constraint indirectly:
+// Execute touches exactly one bucket, and the CMU layer never issues two
+// Executes for one packet.
+type Register struct {
+	buckets  []uint32
+	bitWidth int
+	mask     uint32
+	accesses uint64
+}
+
+// NewRegister allocates a register with the given bucket count (rounded up
+// to a power of two, as hardware memories are) and bucket bit width (at
+// most 32).
+func NewRegister(buckets, bitWidth int) *Register {
+	if bitWidth <= 0 || bitWidth > 32 {
+		panic(fmt.Sprintf("dataplane: register bit width %d out of range (0,32]", bitWidth))
+	}
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	var mask uint32 = ^uint32(0)
+	if bitWidth < 32 {
+		mask = 1<<uint(bitWidth) - 1
+	}
+	return &Register{buckets: make([]uint32, n), bitWidth: bitWidth, mask: mask}
+}
+
+// Size returns the bucket count.
+func (r *Register) Size() int { return len(r.buckets) }
+
+// BitWidth returns the configured bucket width in bits.
+func (r *Register) BitWidth() int { return r.bitWidth }
+
+// MemoryBytes returns the stateful memory footprint (bit-packed).
+func (r *Register) MemoryBytes() int { return len(r.buckets) * r.bitWidth / 8 }
+
+// SRAMBlocks returns the SRAM blocks this register occupies.
+func (r *Register) SRAMBlocks() int { return SRAMBlocksFor(len(r.buckets), r.bitWidth) }
+
+// Accesses returns the number of Execute calls served (test/diagnostic).
+func (r *Register) Accesses() uint64 { return r.accesses }
+
+// Execute performs one stateful operation on bucket index with parameters
+// p1, p2, returning the operation's result. The index is wrapped into the
+// bucket range; values saturate at the bucket width.
+func (r *Register) Execute(op StatefulOp, index uint32, p1, p2 uint32) uint32 {
+	r.accesses++
+	i := index & uint32(len(r.buckets)-1)
+	cur := r.buckets[i]
+	switch op {
+	case OpCondAdd:
+		if cur < (p2 & r.mask) {
+			next := cur + (p1 & r.mask)
+			if next > r.mask || next < cur {
+				next = r.mask
+			}
+			r.buckets[i] = next
+			return next
+		}
+		return 0
+	case OpMax:
+		v := p1 & r.mask
+		if cur < v {
+			r.buckets[i] = v
+			return v
+		}
+		return 0
+	case OpAndOr:
+		if p2 == 0 {
+			cur &= p1 & r.mask
+		} else {
+			cur |= p1 & r.mask
+		}
+		r.buckets[i] = cur
+		return cur
+	case OpXor:
+		cur ^= p1 & r.mask
+		r.buckets[i] = cur
+		return cur
+	case OpNone:
+		return 0
+	default:
+		panic(fmt.Sprintf("dataplane: unknown stateful op %d", op))
+	}
+}
+
+// Read returns bucket i without counting a data-plane access (control-plane
+// register readout).
+func (r *Register) Read(i uint32) uint32 {
+	return r.buckets[i&uint32(len(r.buckets)-1)]
+}
+
+// ReadRange copies buckets [lo, lo+n) into a fresh slice (control-plane
+// readout of one task's partition).
+func (r *Register) ReadRange(lo, n int) []uint32 {
+	out := make([]uint32, n)
+	copy(out, r.buckets[lo:lo+n])
+	return out
+}
+
+// ClearRange zeroes buckets [lo, lo+n) — used when a partition is recycled
+// for a new task.
+func (r *Register) ClearRange(lo, n int) {
+	for i := lo; i < lo+n; i++ {
+		r.buckets[i] = 0
+	}
+}
+
+// Reset zeroes the whole register.
+func (r *Register) Reset() { clear(r.buckets) }

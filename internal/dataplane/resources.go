@@ -1,0 +1,194 @@
+// Package dataplane simulates the RMT (Tofino-class) switch data plane that
+// FlyMon targets: a pipeline of match-action (MAU) stages with per-stage
+// budgets of hash distribution units, stateful ALUs, SRAM and TCAM blocks,
+// VLIW instruction slots and logical table IDs, a pipeline-wide PHV bit
+// budget, and registers limited to four preloaded stateful actions and one
+// memory access per packet.
+//
+// The simulator enforces the constraints the paper designs around; the
+// resource constants below are calibrated to Tofino 1 and drive the
+// resource-usage experiments (Figs. 2, 11, 13).
+package dataplane
+
+import "fmt"
+
+// Per-stage and pipeline-wide hardware capacities (Tofino 1 calibration).
+const (
+	// NumStages is the number of MAU stages in one pipeline.
+	NumStages = 12
+
+	// HashUnitsPerStage is the number of hash distribution units per stage.
+	// Note that on current RMT hardware a SALU consumes one of these for
+	// SRAM addressing even when the address is already computed (§5
+	// Setting, footnote 4).
+	HashUnitsPerStage = 6
+
+	// SALUsPerStage is the number of stateful ALUs per stage.
+	SALUsPerStage = 4
+
+	// SRAMBlocksPerStage is the number of SRAM blocks per stage.
+	SRAMBlocksPerStage = 80
+	// SRAMBlockBytes is the size of one SRAM block.
+	SRAMBlockBytes = 16 * 1024
+
+	// TCAMBlocksPerStage is the number of TCAM blocks per stage.
+	TCAMBlocksPerStage = 24
+	// TCAMBlockEntries is the number of 44-bit entries per TCAM block.
+	TCAMBlockEntries = 512
+
+	// VLIWSlotsPerStage is the number of VLIW instruction slots per stage.
+	VLIWSlotsPerStage = 32
+
+	// LogicalTablesPerStage is the number of logical table IDs per stage.
+	LogicalTablesPerStage = 16
+
+	// PHVBits is the pipeline-wide packet header vector budget.
+	PHVBits = 4096
+
+	// RegisterActionsPerSALU is the number of stateful operations a SALU
+	// can preload ("each SALU in Tofino can only pre-load four different
+	// operations", §3.1.2).
+	RegisterActionsPerSALU = 4
+)
+
+// Resources is a vector of hardware resource quantities. Units: hash units,
+// SALUs, SRAM blocks, TCAM blocks, VLIW slots, logical table IDs, PHV bits.
+type Resources struct {
+	HashUnits     int
+	SALUs         int
+	SRAMBlocks    int
+	TCAMBlocks    int
+	VLIWSlots     int
+	LogicalTables int
+	PHVBits       int
+}
+
+// Add returns r + o component-wise.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		HashUnits:     r.HashUnits + o.HashUnits,
+		SALUs:         r.SALUs + o.SALUs,
+		SRAMBlocks:    r.SRAMBlocks + o.SRAMBlocks,
+		TCAMBlocks:    r.TCAMBlocks + o.TCAMBlocks,
+		VLIWSlots:     r.VLIWSlots + o.VLIWSlots,
+		LogicalTables: r.LogicalTables + o.LogicalTables,
+		PHVBits:       r.PHVBits + o.PHVBits,
+	}
+}
+
+// Scale returns r × n component-wise.
+func (r Resources) Scale(n int) Resources {
+	return Resources{
+		HashUnits:     r.HashUnits * n,
+		SALUs:         r.SALUs * n,
+		SRAMBlocks:    r.SRAMBlocks * n,
+		TCAMBlocks:    r.TCAMBlocks * n,
+		VLIWSlots:     r.VLIWSlots * n,
+		LogicalTables: r.LogicalTables * n,
+		PHVBits:       r.PHVBits * n,
+	}
+}
+
+// FitsWithin reports whether r fits inside capacity c.
+func (r Resources) FitsWithin(c Resources) bool {
+	return r.HashUnits <= c.HashUnits &&
+		r.SALUs <= c.SALUs &&
+		r.SRAMBlocks <= c.SRAMBlocks &&
+		r.TCAMBlocks <= c.TCAMBlocks &&
+		r.VLIWSlots <= c.VLIWSlots &&
+		r.LogicalTables <= c.LogicalTables &&
+		r.PHVBits <= c.PHVBits
+}
+
+// StageCapacity returns the resource capacity of one MAU stage (PHV is a
+// pipeline-wide resource and is reported as zero here).
+func StageCapacity() Resources {
+	return Resources{
+		HashUnits:     HashUnitsPerStage,
+		SALUs:         SALUsPerStage,
+		SRAMBlocks:    SRAMBlocksPerStage,
+		TCAMBlocks:    TCAMBlocksPerStage,
+		VLIWSlots:     VLIWSlotsPerStage,
+		LogicalTables: LogicalTablesPerStage,
+	}
+}
+
+// PipelineCapacity returns the capacity of a whole pipeline of n stages.
+func PipelineCapacity(n int) Resources {
+	c := StageCapacity().Scale(n)
+	c.PHVBits = PHVBits
+	return c
+}
+
+// Utilization is the fractional usage of each resource type.
+type Utilization struct {
+	HashUnits     float64
+	SALUs         float64
+	SRAMBlocks    float64
+	TCAMBlocks    float64
+	VLIWSlots     float64
+	LogicalTables float64
+	PHVBits       float64
+}
+
+// UtilizationOf divides used by cap component-wise (0 for zero capacity).
+func UtilizationOf(used, cap_ Resources) Utilization {
+	frac := func(u, c int) float64 {
+		if c == 0 {
+			return 0
+		}
+		return float64(u) / float64(c)
+	}
+	return Utilization{
+		HashUnits:     frac(used.HashUnits, cap_.HashUnits),
+		SALUs:         frac(used.SALUs, cap_.SALUs),
+		SRAMBlocks:    frac(used.SRAMBlocks, cap_.SRAMBlocks),
+		TCAMBlocks:    frac(used.TCAMBlocks, cap_.TCAMBlocks),
+		VLIWSlots:     frac(used.VLIWSlots, cap_.VLIWSlots),
+		LogicalTables: frac(used.LogicalTables, cap_.LogicalTables),
+		PHVBits:       frac(used.PHVBits, cap_.PHVBits),
+	}
+}
+
+// Max returns the largest component of u.
+func (u Utilization) Max() float64 {
+	m := u.HashUnits
+	for _, v := range []float64{u.SALUs, u.SRAMBlocks, u.TCAMBlocks, u.VLIWSlots, u.LogicalTables, u.PHVBits} {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average across the six stage-local resource types (PHV
+// excluded, matching the paper's "average resource overhead" phrasing).
+func (u Utilization) Mean() float64 {
+	return (u.HashUnits + u.SALUs + u.SRAMBlocks + u.TCAMBlocks + u.VLIWSlots + u.LogicalTables) / 6
+}
+
+// String implements fmt.Stringer.
+func (u Utilization) String() string {
+	return fmt.Sprintf("hash=%.1f%% salu=%.1f%% sram=%.1f%% tcam=%.1f%% vliw=%.1f%% ltid=%.1f%% phv=%.1f%%",
+		u.HashUnits*100, u.SALUs*100, u.SRAMBlocks*100, u.TCAMBlocks*100,
+		u.VLIWSlots*100, u.LogicalTables*100, u.PHVBits*100)
+}
+
+// SRAMBlocksFor returns the number of SRAM blocks needed for n buckets of
+// the given bit width (rounded up to whole blocks).
+func SRAMBlocksFor(buckets, bitWidth int) int {
+	bytes := (buckets*bitWidth + 7) / 8
+	blocks := (bytes + SRAMBlockBytes - 1) / SRAMBlockBytes
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+// TCAMBlocksFor returns the number of TCAM blocks needed for n entries.
+func TCAMBlocksFor(entries int) int {
+	if entries <= 0 {
+		return 0
+	}
+	return (entries + TCAMBlockEntries - 1) / TCAMBlockEntries
+}

@@ -1,0 +1,114 @@
+// Package epoch implements measurement-epoch rotation with the paper's
+// freeze-and-divert strategy (§6, Memory reallocation strategy): "allocate
+// a new task and freeze the original task. We divert the original traffic
+// to the new task and reclaim the old task's resources."
+//
+// A Rotator keeps two deployments of one task spec alive: the ACTIVE copy
+// receives traffic while the FROZEN copy — last epoch's counters — stays
+// readable for control-plane analysis. Rotate() atomically (from the
+// traffic's perspective: one rule update) diverts traffic to the frozen
+// copy's recycled partitions and freezes the active one. No packet is ever
+// unmeasured and no epoch's data is lost to an in-place reset.
+package epoch
+
+import (
+	"fmt"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+)
+
+// Rotator manages double-buffered deployments of one task spec.
+type Rotator struct {
+	ctrl *controlplane.Controller
+	spec controlplane.TaskSpec
+
+	active int // task ID currently receiving traffic
+	frozen int // task ID holding last epoch's counters (0 before first rotate)
+	epoch  int
+}
+
+// NewRotator deploys the first (active) copy of spec. The spec's name is
+// suffixed per copy; both copies use the spec's memory size, so the
+// rotator permanently holds 2× the task's memory — the cost of lossless
+// epoch rotation.
+func NewRotator(ctrl *controlplane.Controller, spec controlplane.TaskSpec) (*Rotator, error) {
+	r := &Rotator{ctrl: ctrl, spec: spec}
+	s := spec
+	s.Name = fmt.Sprintf("%s#0", spec.Name)
+	t, err := ctrl.AddTask(s)
+	if err != nil {
+		return nil, fmt.Errorf("epoch: deploying first copy: %w", err)
+	}
+	r.active = t.ID
+	return r, nil
+}
+
+// ActiveID returns the task ID currently receiving traffic.
+func (r *Rotator) ActiveID() int { return r.active }
+
+// FrozenID returns the task ID holding the last completed epoch's counters
+// (0 before the first rotation).
+func (r *Rotator) FrozenID() int { return r.frozen }
+
+// Epoch returns the number of completed rotations.
+func (r *Rotator) Epoch() int { return r.epoch }
+
+// Rotate ends the current epoch: the active copy freezes (its task-filter
+// rules are withdrawn; registers stay readable), and traffic is diverted
+// to a fresh deployment reusing the previous frozen copy's reclaimed
+// memory. The newly frozen copy's ID is returned; read it with the
+// controller's query methods before the next rotation.
+func (r *Rotator) Rotate() (frozenID int, err error) {
+	// Reclaim the copy frozen two epochs ago.
+	if r.frozen != 0 {
+		if err := r.ctrl.RemoveTask(r.frozen); err != nil {
+			return 0, fmt.Errorf("epoch: reclaiming frozen copy: %w", err)
+		}
+	}
+	// Freeze the active copy, then divert its traffic to a fresh one. On
+	// hardware both steps are one task-filter entry swap; here a failed
+	// redeploy thaws the old copy so measurement never stops.
+	if err := r.ctrl.FreezeTask(r.active); err != nil {
+		return 0, fmt.Errorf("epoch: freezing active copy: %w", err)
+	}
+	r.epoch++
+	s := r.spec
+	s.Name = fmt.Sprintf("%s#%d", r.spec.Name, r.epoch)
+	t, err := r.ctrl.AddTask(s)
+	if err != nil {
+		if terr := r.ctrl.ThawTask(r.active); terr != nil {
+			return 0, fmt.Errorf("epoch: deploying epoch-%d copy failed (%v) and thaw failed: %w", r.epoch, err, terr)
+		}
+		r.epoch--
+		return 0, fmt.Errorf("epoch: deploying epoch-%d copy: %w", r.epoch+1, err)
+	}
+	r.frozen, r.active = r.active, t.ID
+	return r.frozen, nil
+}
+
+// ReadFrozen reads the frozen copy's per-key estimate.
+func (r *Rotator) ReadFrozen(k packet.CanonicalKey) (float64, error) {
+	if r.frozen == 0 {
+		return 0, fmt.Errorf("epoch: no completed epoch yet")
+	}
+	return r.ctrl.EstimateKey(r.frozen, k)
+}
+
+// Close removes both copies.
+func (r *Rotator) Close() error {
+	var firstErr error
+	if r.frozen != 0 {
+		if err := r.ctrl.RemoveTask(r.frozen); err != nil {
+			firstErr = err
+		}
+		r.frozen = 0
+	}
+	if r.active != 0 {
+		if err := r.ctrl.RemoveTask(r.active); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		r.active = 0
+	}
+	return firstErr
+}

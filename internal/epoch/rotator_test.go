@@ -1,0 +1,202 @@
+package epoch
+
+import (
+	"strings"
+	"testing"
+
+	"flymon/internal/analysis"
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+)
+
+func newCtrl() *controlplane.Controller {
+	return controlplane.NewController(controlplane.Config{Groups: 2, Buckets: 65536, BitWidth: 32})
+}
+
+func spec() controlplane.TaskSpec {
+	return controlplane.TaskSpec{
+		Name: "freq", Key: packet.KeyFiveTuple,
+		Attribute: controlplane.AttrFrequency, MemBuckets: 4096, D: 3,
+	}
+}
+
+func TestRotatorEpochIsolation(t *testing.T) {
+	ctrl := newCtrl()
+	r, err := NewRotator(ctrl, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	p := packet.Packet{SrcIP: 1, DstIP: 2, Proto: 6}
+	k := packet.KeyFiveTuple.Extract(&p)
+
+	// Epoch 0: 10 packets.
+	for i := 0; i < 10; i++ {
+		ctrl.Process(&p)
+	}
+	if _, err := r.ReadFrozen(k); err == nil {
+		t.Fatal("reading before any rotation must fail")
+	}
+	if _, err := r.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1: 3 packets — they must land ONLY in the new active copy.
+	for i := 0; i < 3; i++ {
+		ctrl.Process(&p)
+	}
+	frozen, err := r.ReadFrozen(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen != 10 {
+		t.Fatalf("frozen epoch-0 count = %v, want 10 (frozen copy must stop counting)", frozen)
+	}
+	active, err := ctrl.EstimateKey(r.ActiveID(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active != 3 {
+		t.Fatalf("active epoch-1 count = %v, want 3", active)
+	}
+
+	// Second rotation reclaims epoch 0 and freezes epoch 1.
+	if _, err := r.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	frozen, _ = r.ReadFrozen(k)
+	if frozen != 3 {
+		t.Fatalf("frozen epoch-1 count = %v, want 3", frozen)
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch = %d", r.Epoch())
+	}
+	// Exactly two copies live at any time.
+	if n := len(ctrl.Tasks()); n != 2 {
+		t.Fatalf("live copies = %d, want 2", n)
+	}
+}
+
+func TestRotatorClose(t *testing.T) {
+	ctrl := newCtrl()
+	r, err := NewRotator(ctrl, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ctrl.Tasks()); n != 0 {
+		t.Fatalf("close left %d tasks", n)
+	}
+}
+
+func TestFreezeThawDirect(t *testing.T) {
+	ctrl := newCtrl()
+	task, err := ctrl.AddTask(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := packet.Packet{SrcIP: 7, Proto: 6}
+	k := packet.KeyFiveTuple.Extract(&p)
+	ctrl.Process(&p)
+	if err := ctrl.FreezeTask(task.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Process(&p) // not counted
+	if v, _ := ctrl.EstimateKey(task.ID, k); v != 1 {
+		t.Fatalf("frozen task counted: %v", v)
+	}
+	if err := ctrl.ThawTask(task.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Process(&p)
+	if v, _ := ctrl.EstimateKey(task.ID, k); v != 2 {
+		t.Fatalf("thawed task not counting: %v", v)
+	}
+	if err := ctrl.FreezeTask(999); err == nil || ctrl.ThawTask(999) == nil {
+		t.Fatal("freeze/thaw of unknown task must fail")
+	}
+}
+
+func TestThawRefusesWhenTrafficTaken(t *testing.T) {
+	// Freeze a task, deploy a successor over the same traffic on the same
+	// CMUs, then thawing must refuse (one access per packet).
+	ctrl := controlplane.NewController(controlplane.Config{Groups: 1, Buckets: 65536, BitWidth: 32})
+	old, err := ctrl.AddTask(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.FreezeTask(old.ID); err != nil {
+		t.Fatal(err)
+	}
+	s := spec()
+	s.Name = "successor"
+	if _, err := ctrl.AddTask(s); err != nil {
+		t.Fatalf("deploying into a frozen task's slice must work: %v", err)
+	}
+	err = ctrl.ThawTask(old.ID)
+	if err == nil || !strings.Contains(err.Error(), "cannot thaw") {
+		t.Fatalf("thaw must refuse, got %v", err)
+	}
+}
+
+func TestHeavyChangerDetectionAcrossEpochs(t *testing.T) {
+	// The Table-1 heavy-changer task end to end: two rotated epochs of a
+	// frequency task, diffed in the control plane.
+	ctrl := newCtrl()
+	r, err := NewRotator(ctrl, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	flowA := packet.Packet{SrcIP: 1, Proto: 6} // steady
+	flowB := packet.Packet{SrcIP: 2, Proto: 6} // surges in epoch 1
+	flowC := packet.Packet{SrcIP: 3, Proto: 6} // disappears in epoch 1
+
+	// Epoch 0.
+	for i := 0; i < 100; i++ {
+		ctrl.Process(&flowA)
+		ctrl.Process(&flowC)
+	}
+	ctrl.Process(&flowB)
+	e0, err := r.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1.
+	for i := 0; i < 100; i++ {
+		ctrl.Process(&flowA)
+		ctrl.Process(&flowB)
+	}
+	e1, err := r.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e0 // e0's copy was reclaimed by the second rotation
+
+	// Read epoch 1 (now frozen) and compare with recorded epoch-0 counts.
+	read := func(id int, p *packet.Packet) uint64 {
+		v, err := ctrl.EstimateKey(id, packet.KeyFiveTuple.Extract(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(v)
+	}
+	epoch0 := map[string]uint64{"A": 100, "B": 1, "C": 100}
+	epoch1 := map[string]uint64{
+		"A": read(e1, &flowA), "B": read(e1, &flowB), "C": read(e1, &flowC),
+	}
+	changers := analysis.HeavyChangers(epoch0, epoch1, 50)
+	if changers["A"] {
+		t.Fatal("steady flow flagged as changer")
+	}
+	if !changers["B"] || !changers["C"] {
+		t.Fatalf("surge/disappearance not flagged: %v", changers)
+	}
+}

@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse pulls a numeric cell out of a rendered table row.
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tbl.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "A", "1", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tbl := Fig2()
+	if len(tbl.Rows) != 5 { // four sketches + Sum
+		t.Fatalf("Fig2 rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[4][0] != "Sum" {
+		t.Fatal("last row must be the coexistence Sum")
+	}
+	// Sum must exceed each individual sketch on every resource.
+	for col := 1; col <= 4; col++ {
+		sum := cell(t, tbl, 4, col)
+		for row := 0; row < 4; row++ {
+			if cell(t, tbl, row, col) > sum {
+				t.Fatalf("row %d column %d exceeds the Sum", row, col)
+			}
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl := Table3()
+	if len(tbl.Rows) != 11 {
+		t.Fatalf("Table3 rows = %d, want 11 algorithms", len(tbl.Rows))
+	}
+	var beaucoup, maxOther float64
+	for _, row := range tbl.Rows {
+		d, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("row %v delay not numeric", row)
+		}
+		if strings.HasPrefix(row[0], "BeauCoup") {
+			beaucoup = d
+		} else if d > maxOther {
+			maxOther = d
+		}
+	}
+	// The paper's qualitative finding: BeauCoup deploys slowest (coupon
+	// entries).
+	if beaucoup <= maxOther {
+		t.Fatalf("BeauCoup delay %.1f must exceed all others (max %.1f)", beaucoup, maxOther)
+	}
+	// SuMax(Sum) and MaxInterval must report multi-group usage.
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[0], "SuMax(Sum)") && row[2] != "3" {
+			t.Fatal("SuMax(Sum) CMUG usage must be 3")
+		}
+	}
+}
+
+func TestFig11Monotone(t *testing.T) {
+	tbl := Fig11()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Fig11 rows = %d", len(tbl.Rows))
+	}
+	for i := 1; i < len(tbl.Rows); i++ {
+		if cell(t, tbl, i, 1) <= cell(t, tbl, i-1, 1) {
+			t.Fatal("TCAM usage must grow with partitions")
+		}
+		if cell(t, tbl, i, 2) <= cell(t, tbl, i-1, 2) {
+			t.Fatal("PHV bits must grow with partitions")
+		}
+	}
+}
+
+func TestFig12aShape(t *testing.T) {
+	res := Fig12a(42)
+	tbl := res.Table
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("Fig12a rows = %d", len(tbl.Rows))
+	}
+	bareOutage := cell(t, tbl, 0, 2)
+	flymonOutage := cell(t, tbl, 1, 2)
+	staticOutage := cell(t, tbl, 2, 2)
+	if bareOutage != 0 || flymonOutage != 0 {
+		t.Fatal("Bare and FlyMon must have zero outage")
+	}
+	if staticOutage < 20 {
+		t.Fatalf("Static outage %.1f s too small for 6 critical events", staticOutage)
+	}
+	if len(res.Series["FlyMon"]) == 0 {
+		t.Fatal("series must be exported for plotting")
+	}
+}
+
+func TestFig12bStaticDegradesDuringSpike(t *testing.T) {
+	tbl := Fig12b(Small, 42)
+	if len(tbl.Rows) != 20 {
+		t.Fatalf("Fig12b rows = %d, want 20 epochs", len(tbl.Rows))
+	}
+	// During the spike (epochs 7..14 to be safe), static ARE must be an
+	// order of magnitude above FlyMon's.
+	var flySpike, staticSpike float64
+	n := 0
+	for e := 7; e <= 14; e++ {
+		flySpike += cell(t, tbl, e, 2)
+		staticSpike += cell(t, tbl, e, 3)
+		n++
+	}
+	flySpike /= float64(n)
+	staticSpike /= float64(n)
+	if staticSpike < 10*flySpike {
+		t.Fatalf("spike AREs: static %.3f vs FlyMon %.3f — want ≥10x separation (paper: 15x)",
+			staticSpike, flySpike)
+	}
+}
+
+func TestFig13aGroupOverheadBounded(t *testing.T) {
+	tbl := Fig13a()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("Fig13a rows = %d", len(tbl.Rows))
+	}
+	// +1 CMUG over baseline must cost ≤ 9% on every resource (paper:
+	// <8.3% average, hash-bound).
+	for col := 1; col <= 6; col++ {
+		delta := cell(t, tbl, 1, col) - cell(t, tbl, 0, col)
+		if delta > 9 {
+			t.Fatalf("column %d: one group costs %.1f%%", col, delta)
+		}
+	}
+	// 3 groups must still fit the pipeline.
+	for col := 1; col <= 6; col++ {
+		if cell(t, tbl, 2, col) > 100 {
+			t.Fatalf("3 CMUGs overflow resource column %d", col)
+		}
+	}
+}
+
+func TestFig13bHeadline(t *testing.T) {
+	tbl := Fig13b()
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "12" || last[1] != "9" || last[2] != "27" {
+		t.Fatalf("12-stage row = %v, want 9 groups / 27 CMUs", last)
+	}
+	if last[3] != "75.0%" || last[4] != "56.2%" {
+		t.Fatalf("12-stage utilization = %v/%v, want 75%%/56.25%%", last[3], last[4])
+	}
+}
+
+func TestFig13cCompressionFlat(t *testing.T) {
+	tbl := Fig13c()
+	first := cell(t, tbl, 0, 2)
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 2) != first {
+			t.Fatal("compressed CMU count must not vary with key size")
+		}
+	}
+	// ≥3x advantage at 360 bits.
+	if cell(t, tbl, 3, 2) < 3*cell(t, tbl, 3, 1) {
+		t.Fatalf("compression advantage too small: %v vs %v", tbl.Rows[3][2], tbl.Rows[3][1])
+	}
+}
+
+func TestFig14aShape(t *testing.T) {
+	tbl := Fig14a(Small, 42)
+	last := len(tbl.Rows) - 1
+	// Counter-based FlyMon variants reach high F1 at the top of the sweep.
+	if cell(t, tbl, last, 2) < 0.95 || cell(t, tbl, last, 3) < 0.95 {
+		t.Fatalf("FlyMon-CMS/SuMax final F1 = %v/%v, want ≥0.95",
+			tbl.Rows[last][2], tbl.Rows[last][3])
+	}
+	// SuMax must dominate CMS at the smallest memory (memory efficiency).
+	if cell(t, tbl, 0, 3) < cell(t, tbl, 0, 2) {
+		t.Fatalf("SuMax F1 %v below CMS %v at smallest memory", tbl.Rows[0][3], tbl.Rows[0][2])
+	}
+	// F1 must be non-degrading (within noise) as memory grows for CMS.
+	if cell(t, tbl, last, 2) < cell(t, tbl, 0, 2) {
+		t.Fatal("CMS F1 must improve with memory")
+	}
+}
+
+func TestFig14bProbabilisticTolerable(t *testing.T) {
+	tbl := Fig14b(Small, 42)
+	last := len(tbl.Rows) - 1
+	full := cell(t, tbl, last, 1)
+	eighth := cell(t, tbl, last, 4)
+	if full-eighth > 0.15 {
+		t.Fatalf("p=0.125 costs %.3f F1; paper reports little effect", full-eighth)
+	}
+}
+
+func TestFig14cFlyMonWinsAtHighMemory(t *testing.T) {
+	tbl := Fig14c(Small, 42)
+	last := len(tbl.Rows) - 1
+	fly3 := cell(t, tbl, last, 2)
+	orig3 := cell(t, tbl, last, 4)
+	if fly3 < orig3-0.05 {
+		t.Fatalf("FlyMon-BeauCoup(d=3) %.3f below original %.3f at top memory", fly3, orig3)
+	}
+	if fly3 < 0.9 {
+		t.Fatalf("FlyMon-BeauCoup(d=3) final F1 = %.3f, want ≥0.9", fly3)
+	}
+}
+
+func TestFig14dCrossover(t *testing.T) {
+	tbl := Fig14d(Small, 42)
+	// BeauCoup must already be decent at 16 bytes.
+	if cell(t, tbl, 0, 1) > 0.3 {
+		t.Fatalf("BeauCoup RE at 16 B = %v, want ≤ 0.3", tbl.Rows[0][1])
+	}
+	// HLL must win at the largest memory.
+	last := len(tbl.Rows) - 1
+	if cell(t, tbl, last, 2) > 0.1 {
+		t.Fatalf("HLL RE at 8 KB = %v, want ≤ 0.1", tbl.Rows[last][2])
+	}
+}
+
+func TestFig14eMRACBeatsUnivMon(t *testing.T) {
+	tbl := Fig14e(Small, 42)
+	// At every memory point MRAC's RE must not exceed UnivMon's by more
+	// than noise, and at the top both are small.
+	last := len(tbl.Rows) - 1
+	if cell(t, tbl, last, 2) > 0.1 {
+		t.Fatalf("MRAC final RE = %v", tbl.Rows[last][2])
+	}
+	if cell(t, tbl, last, 2) > cell(t, tbl, last, 1)+0.02 {
+		t.Fatalf("MRAC %v worse than UnivMon %v at top memory", tbl.Rows[last][2], tbl.Rows[last][1])
+	}
+}
+
+func TestFig14fMemoryHelps(t *testing.T) {
+	tbl := Fig14f(Small, 42)
+	first2 := cell(t, tbl, 0, 1)
+	last2 := cell(t, tbl, len(tbl.Rows)-1, 1)
+	if last2 >= first2 {
+		t.Fatalf("d=2 ARE must fall with memory: %.3f → %.3f", first2, last2)
+	}
+}
+
+func TestFig14gPackingWins(t *testing.T) {
+	tbl := Fig14g(Small, 42)
+	for i := range tbl.Rows {
+		unpacked := cell(t, tbl, i, 1)
+		packed := cell(t, tbl, i, 2)
+		if packed > unpacked {
+			t.Fatalf("row %d: packed FP %.4f above unpacked %.4f", i, packed, unpacked)
+		}
+	}
+	// Final packed FP must be tiny (paper: <0.1% at 40 KB).
+	if cell(t, tbl, len(tbl.Rows)-1, 2) > 0.001 {
+		t.Fatalf("packed FP at 40 KB = %v", tbl.Rows[len(tbl.Rows)-1][2])
+	}
+}
+
+func TestAblationSubPartsNearParity(t *testing.T) {
+	tbl := AblationSubParts(Small, 42)
+	for i := range tbl.Rows {
+		fly := cell(t, tbl, i, 1)
+		ind := cell(t, tbl, i, 2)
+		// The paper claims negligible impact: allow 2x either way plus an
+		// absolute floor for tiny AREs.
+		if fly > 2*ind+0.05 {
+			t.Fatalf("row %d: sub-part ARE %.3f far above independent %.3f", i, fly, ind)
+		}
+	}
+}
+
+func TestAblationTranslationParity(t *testing.T) {
+	tbl := AblationTranslation(Small, 42)
+	for i := range tbl.Rows {
+		shift := cell(t, tbl, i, 1)
+		tcam := cell(t, tbl, i, 2)
+		diff := shift - tcam
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.15*(shift+tcam)/2+0.02 {
+			t.Fatalf("row %d: translation methods diverge: %.3f vs %.3f", i, shift, tcam)
+		}
+	}
+}
+
+func TestAblationMemoryModes(t *testing.T) {
+	tbl := AblationMemoryModes()
+	for i := range tbl.Rows {
+		req := cell(t, tbl, i, 0)
+		acc := cell(t, tbl, i, 1)
+		if acc < req {
+			t.Fatalf("accurate mode under-allocated: %v < %v", acc, req)
+		}
+	}
+}
+
+func TestAblationXORKeysParity(t *testing.T) {
+	tbl := AblationXORKeys(Small, 42)
+	direct := cell(t, tbl, 0, 1)
+	xor := cell(t, tbl, 1, 1)
+	if xor > 2*direct+0.05 {
+		t.Fatalf("XOR-key ARE %.3f far above direct %.3f", xor, direct)
+	}
+}
+
+func TestAppendixEOverheadTracksShare(t *testing.T) {
+	tbl := AppendixE(Small, 42)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Overhead must increase with the spliced task's traffic share and
+	// reach ~100% for a match-all task.
+	prev := -1.0
+	for i := range tbl.Rows {
+		o := cell(t, tbl, i, 3)
+		if o <= prev {
+			t.Fatalf("overhead not increasing at row %d", i)
+		}
+		prev = o
+	}
+	if prev < 99.9 {
+		t.Fatalf("match-all spliced task overhead = %.1f%%, want 100%%", prev)
+	}
+	// The 1/2 row must be near 50%.
+	if half := cell(t, tbl, 2, 3); half < 40 || half > 60 {
+		t.Fatalf("1/2-share overhead = %.1f%%", half)
+	}
+}
+
+func TestMultitaskingIsolationPerfect(t *testing.T) {
+	tbl := Multitasking(Small, 42)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "96" {
+		t.Fatalf("top load = %s tasks, want 96", last[0])
+	}
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 4) != 0 {
+			t.Fatalf("row %d reports isolation errors", i)
+		}
+		// Deployment stays millisecond-scale per task.
+		if mean := cell(t, tbl, i, 3); mean > 100 {
+			t.Fatalf("mean deploy delay %.1f ms implausible", mean)
+		}
+	}
+}
+
+func TestFig12aWriteSeries(t *testing.T) {
+	res := Fig12a(42)
+	dir := t.TempDir()
+	if err := res.WriteSeries(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"bare", "flymon", "static"} {
+		data, err := os.ReadFile(filepath.Join(dir, "fig12a_"+kind+".dat"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "# seconds gbps\n") || len(data) < 1000 {
+			t.Fatalf("%s series malformed (%d bytes)", kind, len(data))
+		}
+	}
+}

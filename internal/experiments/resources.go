@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"flymon/internal/core"
+	"flymon/internal/dataplane"
+)
+
+// Fig2 reproduces Figure 2: the critical-resource footprint of four
+// single-key sketches statically deployed the conventional way, and their
+// coexistence (Sum) — the O(m·n) scaling argument motivating FlyMon.
+func Fig2() *Table {
+	cap_ := dataplane.PipelineCapacity(dataplane.NumStages)
+	keyBits := 64 // SrcIP-DstIP pair, the paper's running example
+
+	footprints := []struct {
+		name string
+		res  dataplane.Resources
+	}{
+		{"BloomFilter", dataplane.StaticFootprint(dataplane.KindBloomFilter, 3, 1<<16, keyBits)},
+		{"CMS", dataplane.StaticFootprint(dataplane.KindCMS, 3, 1<<16, keyBits)},
+		{"HLL", dataplane.StaticFootprint(dataplane.KindHLL, 1, 1<<12, keyBits)},
+		{"MRAC", dataplane.StaticFootprint(dataplane.KindMRAC, 1, 1<<16, keyBits)},
+	}
+	var sum dataplane.Resources
+	t := &Table{
+		Title:  "Fig. 2 — Resource footprint of statically deployed sketches (fraction of pipeline)",
+		Header: []string{"Sketch", "HashUnit", "LogicalTableID", "SALU", "StatefulMem"},
+	}
+	for _, f := range footprints {
+		u := dataplane.UtilizationOf(f.res, cap_)
+		t.Rows = append(t.Rows, []string{f.name, pct(u.HashUnits), pct(u.LogicalTables), pct(u.SALUs), pct(u.SRAMBlocks)})
+		sum = sum.Add(f.res)
+	}
+	us := dataplane.UtilizationOf(sum, cap_)
+	t.Rows = append(t.Rows, []string{"Sum", pct(us.HashUnits), pct(us.LogicalTables), pct(us.SALUs), pct(us.SRAMBlocks)})
+	t.Notes = append(t.Notes,
+		"static deployment hardwires one implementation per task; four coexisting keys already strain hash/SALU budgets (paper: cannot support more than four)")
+	return t
+}
+
+// Fig11 reproduces Figure 11: the resource overhead of the two address
+// translation mechanisms as the partition count grows.
+func Fig11() *Table {
+	t := &Table{
+		Title:  "Fig. 11 — Address-translation overhead vs memory partitions",
+		Header: []string{"Partitions", "TCAM usage (one CMU, one stage)", "PHV bits (shift-based)"},
+	}
+	for _, p := range []int{8, 16, 32, 64} {
+		t.Rows = append(t.Rows, []string{
+			itoa(p),
+			pct(dataplane.TranslationTCAMUsage(p, 1)),
+			itoa(dataplane.TranslationPHVBits(p)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"TCAM method: P·(P−1)+1 worst-case range entries per CMU against the stage's 12288 entries",
+		"shift method: one pre-shifted 32-bit address per shift level in PHV (single-stage variant)")
+	return t
+}
+
+// Fig13a reproduces Figure 13a: six resource types for Tofino's baseline
+// switch project alone and with 1 or 3 CMU Groups integrated.
+func Fig13a() *Table {
+	cap_ := dataplane.PipelineCapacity(dataplane.NumStages)
+	base := dataplane.BaselineSwitchProfile()
+	group := core.NewGroup(core.GroupConfig{}).Footprint()
+
+	row := func(name string, used dataplane.Resources) []string {
+		u := dataplane.UtilizationOf(used, cap_)
+		return []string{name, pct(u.HashUnits), pct(u.SALUs), pct(u.SRAMBlocks),
+			pct(u.TCAMBlocks), pct(u.VLIWSlots), pct(u.LogicalTables)}
+	}
+	t := &Table{
+		Title:  "Fig. 13a — Resource utilization: switch.p4 baseline + CMU Groups",
+		Header: []string{"Config", "HashUnit", "SALU", "SRAM", "TCAM", "VLIW", "LogicalTable"},
+	}
+	t.Rows = append(t.Rows, row("switch.p4", base))
+	t.Rows = append(t.Rows, row("switch.p4 +1 CMUG", base.Add(group)))
+	t.Rows = append(t.Rows, row("switch.p4 +3 CMUG", base.Add(group.Scale(3))))
+
+	u1 := dataplane.UtilizationOf(group, cap_)
+	t.Notes = append(t.Notes,
+		"per-group overhead: mean "+pct(u1.Mean())+", max "+pct(u1.Max())+" (paper: <8.3%, hash-bound)")
+	return t
+}
+
+// Fig13b reproduces Figure 13b: hash and SALU utilization of the
+// cross-stacked layout as the allocated stage count grows.
+func Fig13b() *Table {
+	t := &Table{
+		Title:  "Fig. 13b — Cross-stacking resource utilization vs MAU stages",
+		Header: []string{"Stages", "Groups", "CMUs", "Hash util", "SALU util"},
+	}
+	for _, stages := range []int{4, 6, 8, 10, 12} {
+		l := core.PlanCrossStacked(stages)
+		u := l.Utilization()
+		t.Rows = append(t.Rows, []string{
+			itoa(stages), itoa(l.Groups), itoa(l.Groups * core.CMUsPerGroup),
+			pct(u.HashUnits), pct(u.SALUs),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"12 stages → 9 groups (27 CMUs): hash 75%, SALU 56.25% — SALU under-use is the hash-distribution-unit addressing tax (§5.2)")
+	return t
+}
+
+// Fig13c reproduces Figure 13c: deployable CMUs vs candidate key size,
+// with and without the less-copy compression strategy.
+func Fig13c() *Table {
+	t := &Table{
+		Title:  "Fig. 13c — Scalability to candidate key size (CMUs deployable)",
+		Header: []string{"Key bits", "w/o compression", "w/ compression"},
+	}
+	for _, bits := range []int{32, 64, 104, 360} {
+		t.Rows = append(t.Rows, []string{
+			itoa(bits),
+			itoa(core.MaxCMUsByPHV(bits, false)),
+			itoa(core.MaxCMUsByPHV(bits, true)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"104 bits = 5-tuple; 360 bits adds IPv6 addresses — compression keeps the CMU count flat")
+	return t
+}

@@ -1,0 +1,217 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flymon/internal/packet"
+)
+
+func TestUnitsAreIndependent(t *testing.T) {
+	// Distinct polynomials must produce distinct digests for almost all
+	// inputs: count agreement across many keys.
+	u0, u1 := NewUnit(0), NewUnit(1)
+	u0.Configure(packet.KeyFiveTuple)
+	u1.Configure(packet.KeyFiveTuple)
+	same := 0
+	for i := 0; i < 10_000; i++ {
+		p := packet.Packet{SrcIP: uint32(i), DstIP: uint32(i * 7), SrcPort: uint16(i), Proto: 6}
+		if u0.Hash(&p) == u1.Hash(&p) {
+			same++
+		}
+	}
+	if same > 3 {
+		t.Fatalf("units 0 and 1 agreed on %d/10000 keys; polynomials not independent", same)
+	}
+}
+
+func TestUnitMaskSensitivity(t *testing.T) {
+	u := NewUnit(0)
+	u.Configure(packet.KeySrcIP)
+	a := packet.Packet{SrcIP: 1, DstIP: 100}
+	b := packet.Packet{SrcIP: 1, DstIP: 999} // differs only outside the mask
+	if u.Hash(&a) != u.Hash(&b) {
+		t.Error("digest must ignore fields outside the installed mask")
+	}
+	c := packet.Packet{SrcIP: 2, DstIP: 100}
+	if u.Hash(&a) == u.Hash(&c) {
+		t.Error("digest must depend on masked-in fields")
+	}
+}
+
+func TestUnitReconfiguration(t *testing.T) {
+	u := NewUnit(2)
+	p := packet.Packet{SrcIP: 10, DstIP: 20}
+	if u.Live() {
+		t.Error("fresh unit must be idle")
+	}
+	if u.Hash(&p) != 0 {
+		t.Error("idle unit must digest to zero")
+	}
+	u.Configure(packet.KeySrcIP)
+	h1 := u.Hash(&p)
+	u.Configure(packet.KeyDstIP) // runtime re-mask
+	h2 := u.Hash(&p)
+	if h1 == h2 {
+		t.Error("re-masking must change the digest for differing fields")
+	}
+	u.ConfigureMask([packet.NumFields]uint32{})
+	if u.Live() {
+		t.Error("empty mask must make the unit idle")
+	}
+}
+
+func TestUnitPrefixMasking(t *testing.T) {
+	u := NewUnit(0)
+	u.Configure(packet.KeySpec{Parts: []packet.KeyPart{{Field: packet.FieldSrcIP, PrefixBits: 24}}})
+	a := packet.Packet{SrcIP: packet.IPv4(10, 1, 2, 3)}
+	b := packet.Packet{SrcIP: packet.IPv4(10, 1, 2, 200)}
+	c := packet.Packet{SrcIP: packet.IPv4(10, 1, 3, 3)}
+	if u.Hash(&a) != u.Hash(&b) {
+		t.Error("same /24 must digest identically under a /24 mask")
+	}
+	if u.Hash(&a) == u.Hash(&c) {
+		t.Error("different /24 must digest differently")
+	}
+}
+
+func TestUnitIndexBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range unit index must panic")
+		}
+	}()
+	NewUnit(MaxUnits())
+}
+
+func TestSubKeyFullWidthIdentity(t *testing.T) {
+	if got := SubKey(0xDEADBEEF, 0, 32); got != 0xDEADBEEF {
+		t.Errorf("identity subkey = %#x", got)
+	}
+}
+
+func TestSubKeyRotation(t *testing.T) {
+	k := uint32(0x80000001)
+	if got := SubKey(k, 1, 32); got != 0xC0000000 {
+		t.Errorf("rotate by 1 = %#x, want 0xC0000000", got)
+	}
+	if got := SubKey(k, 0, 4); got != 0x1 {
+		t.Errorf("low nibble = %#x, want 1", got)
+	}
+	if got := SubKey(k, 31, 4); got != 0x3 {
+		t.Errorf("wrap-around nibble = %#x, want 3", got)
+	}
+}
+
+func TestSubKeyWidthBoundProperty(t *testing.T) {
+	f := func(key uint32, lo, width uint8) bool {
+		w := int(width%32) + 1
+		v := SubKey(key, int(lo), w)
+		if w == 32 {
+			return true
+		}
+		return v < 1<<uint(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubKeyDisjointWindowsCoverAllBits(t *testing.T) {
+	// Reassembling a key from four disjoint byte windows must reproduce it
+	// — SubKey loses no information.
+	f := func(key uint32) bool {
+		var re uint32
+		for i := 0; i < 4; i++ {
+			re |= SubKey(key, 8*i, 8) << uint(8*i)
+		}
+		return re == key
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubKeyInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width 0 must panic")
+		}
+	}()
+	SubKey(1, 0, 0)
+}
+
+func TestCombineIsXor(t *testing.T) {
+	if Combine(0xF0F0, 0x0FF0) != 0xFF00 {
+		t.Error("Combine must be XOR")
+	}
+	f := func(a, b uint32) bool {
+		return Combine(a, b) == Combine(b, a) && Combine(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFamily(t *testing.T) {
+	fam := NewFamily(4, packet.KeyFiveTuple)
+	if fam.Size() != 4 {
+		t.Fatalf("family size = %d", fam.Size())
+	}
+	p := packet.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	seen := map[uint32]bool{}
+	for i := 0; i < 4; i++ {
+		seen[fam.Hash(i, &p)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("family digests collide: %d distinct of 4", len(seen))
+	}
+	k := packet.KeyFiveTuple.Extract(&p)
+	for i := 0; i < 4; i++ {
+		if fam.Hash(i, &p) != fam.HashBytes(i, k[:]) {
+			t.Errorf("unit %d: packet and canonical-key digests disagree", i)
+		}
+	}
+}
+
+func TestFamilyTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized family must panic")
+		}
+	}()
+	NewFamily(MaxUnits()+1, packet.KeyFiveTuple)
+}
+
+func TestHashMatchesCanonicalExtraction(t *testing.T) {
+	// The control plane recomputes bucket indices from canonical keys:
+	// Unit.Hash(p) must equal Unit.HashBytes(spec.Extract(p)).
+	for _, spec := range []packet.KeySpec{packet.KeySrcIP, packet.KeyIPPair, packet.KeyFiveTuple} {
+		u := NewUnit(1)
+		u.Configure(spec)
+		p := packet.Packet{SrcIP: 0xABCD, DstIP: 0x1234, SrcPort: 80, DstPort: 443, Proto: 17}
+		k := spec.Extract(&p)
+		if u.Hash(&p) != u.HashBytes(k[:]) {
+			t.Errorf("spec %s: hash mismatch between packet and canonical key", spec)
+		}
+	}
+}
+
+func TestHashUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: digests into 64 buckets should be roughly
+	// uniform over 64K sequential keys.
+	u := NewUnit(0)
+	u.Configure(packet.KeySrcIP)
+	var buckets [64]int
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		p := packet.Packet{SrcIP: uint32(i)}
+		buckets[u.Hash(&p)%64]++
+	}
+	want := n / 64
+	for i, c := range buckets {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("bucket %d has %d of expected %d (±20%%); digest not uniform", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package metrics implements the accuracy metrics used throughout the
+// paper's evaluation (Appendix C): average relative error (ARE), relative
+// error (RE), F1 score with precision/recall, and false-positive rate, plus
+// the entropy helper needed for the flow-entropy experiment.
+package metrics
+
+import "math"
+
+// RE returns the relative error |est - truth| / truth. A truth of zero with
+// a nonzero estimate yields +Inf; zero/zero yields 0.
+func RE(truth, est float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// ARE returns the average relative error across per-flow (truth, estimate)
+// pairs: (1/n) Σ |fᵢ - f̂ᵢ| / fᵢ. Flows present in truth but absent from
+// est count with an estimate of zero. Flows only in est are ignored, as in
+// the paper's per-flow size evaluation (truth defines the flow set).
+func ARE[K comparable](truth, est map[K]uint64) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	var sum float64
+	for k, t := range truth {
+		sum += RE(float64(t), float64(est[k]))
+	}
+	return sum / float64(len(truth))
+}
+
+// Classification summarizes a detection experiment (heavy hitters, DDoS
+// victims, blacklist membership) against ground truth.
+type Classification struct {
+	TP, FP, FN, TN int
+}
+
+// Classify compares a reported set against a truth set drawn from a shared
+// universe. Universe members absent from both sets are true negatives.
+func Classify[K comparable](universe, truth, reported map[K]bool) Classification {
+	var c Classification
+	for k := range universe {
+		t := truth[k]
+		r := reported[k]
+		switch {
+		case t && r:
+			c.TP++
+		case !t && r:
+			c.FP++
+		case t && !r:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP / (TP + FP); 1 when nothing was reported.
+func (c Classification) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN); 1 when the truth set is empty.
+func (c Classification) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Classification) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FalsePositiveRate returns FP / (FP + TN); 0 when there are no negatives.
+func (c Classification) FalsePositiveRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Entropy returns the Shannon entropy (base 2) of a flow-size multiset
+// described by counts: H = -Σ (fᵢ/N) log2(fᵢ/N). Zero counts are skipped.
+func Entropy(counts []uint64) float64 {
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// EntropyFromDistribution returns the entropy of a flow-size distribution
+// given dist[s] = number of flows with size s (the MRAC/UnivMon output
+// form): H = -Σ_s n_s · (s/N) log2(s/N), N = Σ_s n_s · s.
+func EntropyFromDistribution(dist map[uint64]float64) float64 {
+	var total float64
+	for size, n := range dist {
+		total += n * float64(size)
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for size, n := range dist {
+		if n <= 0 || size == 0 {
+			continue
+		}
+		p := float64(size) / total
+		h -= n * p * math.Log2(p)
+	}
+	return h
+}
+
+// MeanFloat returns the arithmetic mean of xs (0 for empty input).
+func MeanFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

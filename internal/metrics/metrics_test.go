@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRE(t *testing.T) {
+	if got := RE(100, 110); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RE(100,110) = %v, want 0.1", got)
+	}
+	if got := RE(100, 90); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RE(100,90) = %v, want 0.1", got)
+	}
+	if RE(0, 0) != 0 {
+		t.Error("RE(0,0) must be 0")
+	}
+	if !math.IsInf(RE(0, 5), 1) {
+		t.Error("RE(0,5) must be +Inf")
+	}
+	if RE(50, 50) != 0 {
+		t.Error("exact estimate must have zero RE")
+	}
+}
+
+func TestARE(t *testing.T) {
+	truth := map[string]uint64{"a": 100, "b": 200}
+	est := map[string]uint64{"a": 110, "b": 180}
+	want := (0.1 + 0.1) / 2
+	if got := ARE(truth, est); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARE = %v, want %v", got, want)
+	}
+	// Missing estimates count as zero.
+	if got := ARE(map[string]uint64{"a": 10}, map[string]uint64{}); got != 1 {
+		t.Errorf("missing estimate ARE = %v, want 1", got)
+	}
+	// Extra estimates are ignored (truth defines the flow set).
+	if got := ARE(map[string]uint64{"a": 10}, map[string]uint64{"a": 10, "zzz": 5}); got != 0 {
+		t.Errorf("extra-flow ARE = %v, want 0", got)
+	}
+	if ARE(map[string]uint64{}, nil) != 0 {
+		t.Error("empty truth ARE must be 0")
+	}
+}
+
+func classification() Classification {
+	return Classification{TP: 8, FP: 2, FN: 4, TN: 86}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := classification()
+	if p := c.Precision(); math.Abs(p-0.8) > 1e-12 {
+		t.Errorf("precision = %v, want 0.8", p)
+	}
+	if r := c.Recall(); math.Abs(r-8.0/12) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 12) / (0.8 + 8.0/12)
+	if f := c.F1(); math.Abs(f-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", f, wantF1)
+	}
+}
+
+func TestClassificationEdgeCases(t *testing.T) {
+	empty := Classification{}
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("no reports and no truth: precision and recall are vacuously 1")
+	}
+	if empty.FalsePositiveRate() != 0 {
+		t.Error("no negatives: FP rate 0")
+	}
+	allWrong := Classification{FP: 5, FN: 5}
+	if allWrong.F1() != 0 {
+		t.Error("all-wrong F1 must be 0")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	universe := map[int]bool{1: true, 2: true, 3: true, 4: true}
+	truth := map[int]bool{1: true, 2: true}
+	reported := map[int]bool{2: true, 3: true}
+	c := Classify(universe, truth, reported)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Errorf("Classify = %+v, want 1/1/1/1", c)
+	}
+}
+
+func TestF1BoundsProperty(t *testing.T) {
+	f := func(tp, fp, fn, tn uint8) bool {
+		c := Classification{TP: int(tp), FP: int(fp), FN: int(fn), TN: int(tn)}
+		f1 := c.F1()
+		return f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	c := Classification{FP: 1, TN: 99}
+	if got := c.FalsePositiveRate(); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("FP rate = %v, want 0.01", got)
+	}
+}
+
+func TestEntropyKnownValues(t *testing.T) {
+	// Uniform over 4 symbols → 2 bits.
+	if h := Entropy([]uint64{5, 5, 5, 5}); math.Abs(h-2) > 1e-12 {
+		t.Errorf("uniform-4 entropy = %v, want 2", h)
+	}
+	// Single symbol → 0 bits.
+	if h := Entropy([]uint64{42}); h != 0 {
+		t.Errorf("degenerate entropy = %v, want 0", h)
+	}
+	if h := Entropy(nil); h != 0 {
+		t.Errorf("empty entropy = %v, want 0", h)
+	}
+	// Zeros are skipped.
+	if h := Entropy([]uint64{5, 0, 5, 0}); math.Abs(h-1) > 1e-12 {
+		t.Errorf("entropy with zeros = %v, want 1", h)
+	}
+}
+
+func TestEntropyFromDistributionMatchesEntropy(t *testing.T) {
+	// counts = {1,1,2,4} ⇒ dist = {1:2, 2:1, 4:1}.
+	counts := []uint64{1, 1, 2, 4}
+	dist := map[uint64]float64{1: 2, 2: 1, 4: 1}
+	if d := math.Abs(Entropy(counts) - EntropyFromDistribution(dist)); d > 1e-9 {
+		t.Errorf("entropy forms disagree by %v", d)
+	}
+}
+
+func TestEntropyNonNegativeProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		counts := make([]uint64, len(xs))
+		for i, x := range xs {
+			counts[i] = uint64(x)
+		}
+		return Entropy(counts) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanFloat(t *testing.T) {
+	if m := MeanFloat([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Errorf("mean = %v", m)
+	}
+	if MeanFloat(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+}

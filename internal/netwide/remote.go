@@ -1,0 +1,178 @@
+package netwide
+
+import (
+	"fmt"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/core/algorithms"
+	"flymon/internal/packet"
+	"flymon/internal/rpc"
+	"flymon/internal/sketch"
+)
+
+// RemoteFleet is the deployed form of Fleet: the switches are flymond
+// daemons reached over the control channel. The central controller keeps a
+// local MIRROR controller built from the same configuration and fed the
+// same task sequence — controller construction and placement are
+// deterministic, so the mirror computes the exact hash mappings and
+// register indices the remote switches use, while the remote daemons
+// provide the actual register contents.
+type RemoteFleet struct {
+	clients []*rpc.Client
+	mirror  *controlplane.Controller
+	taskIDs map[string]int // mirror task ID (== remote IDs by construction)
+}
+
+// NewRemoteFleet wraps daemon connections. cfg MUST equal the configuration
+// every daemon was started with (flymond's -groups/-buckets/-bitwidth
+// flags); a mismatch silently corrupts index computation, so deployments
+// should verify with a known-key probe (see VerifyAlignment).
+func NewRemoteFleet(clients []*rpc.Client, cfg controlplane.Config) *RemoteFleet {
+	return &RemoteFleet{
+		clients: clients,
+		mirror:  controlplane.NewController(cfg),
+		taskIDs: make(map[string]int),
+	}
+}
+
+// Size returns the number of remote switches.
+func (f *RemoteFleet) Size() int { return len(f.clients) }
+
+// Deploy installs the spec on every daemon and on the local mirror.
+func (f *RemoteFleet) Deploy(spec controlplane.TaskSpec) error {
+	if _, ok := f.taskIDs[spec.Name]; ok {
+		return fmt.Errorf("netwide: task %q already deployed", spec.Name)
+	}
+	mt, err := f.mirror.AddTask(spec)
+	if err != nil {
+		return fmt.Errorf("netwide: mirror deploy of %q: %w", spec.Name, err)
+	}
+	deployed := make([]int, 0, len(f.clients))
+	for i, c := range f.clients {
+		rt, err := c.AddTask(spec)
+		if err != nil {
+			for j, id := range deployed {
+				_ = f.clients[j].RemoveTask(id)
+			}
+			_ = f.mirror.RemoveTask(mt.ID)
+			return fmt.Errorf("netwide: deploying %q on daemon %d: %w", spec.Name, i, err)
+		}
+		if rt.ID != mt.ID {
+			// The daemon has diverged from the mirror (other tasks were
+			// deployed out of band): refuse rather than mis-index.
+			for j, id := range deployed {
+				_ = f.clients[j].RemoveTask(id)
+			}
+			_ = c.RemoveTask(rt.ID)
+			_ = f.mirror.RemoveTask(mt.ID)
+			return fmt.Errorf("netwide: daemon %d assigned task ID %d, mirror expected %d — configurations diverged",
+				i, rt.ID, mt.ID)
+		}
+		deployed = append(deployed, rt.ID)
+	}
+	f.taskIDs[spec.Name] = mt.ID
+	return nil
+}
+
+// Remove uninstalls the named task everywhere.
+func (f *RemoteFleet) Remove(name string) error {
+	id, ok := f.taskIDs[name]
+	if !ok {
+		return fmt.Errorf("netwide: no task %q", name)
+	}
+	var firstErr error
+	for _, c := range f.clients {
+		if err := c.RemoveTask(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := f.mirror.RemoveTask(id); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	delete(f.taskIDs, name)
+	return firstErr
+}
+
+// mergedRemoteRows reads the named task's registers from every daemon and
+// merges them with the combiner.
+func (f *RemoteFleet) mergedRemoteRows(name string, combine func(dst, src []uint32) error) ([][]uint32, int, error) {
+	id, ok := f.taskIDs[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("netwide: no task %q", name)
+	}
+	var merged [][]uint32
+	for i, c := range f.clients {
+		rows, err := c.ReadRegisters(id)
+		if err != nil {
+			return nil, 0, fmt.Errorf("netwide: reading %q on daemon %d: %w", name, i, err)
+		}
+		if merged == nil {
+			merged = rows // the RPC client already returns fresh slices
+			continue
+		}
+		if len(rows) != len(merged) {
+			return nil, 0, fmt.Errorf("netwide: daemon %d row count %d, expected %d", i, len(rows), len(merged))
+		}
+		for r := range rows {
+			if err := combine(merged[r], rows[r]); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return merged, id, nil
+}
+
+// EstimateKey returns the fleet-wide frequency estimate for key k (counter
+// tasks; packets must be measured at exactly one daemon).
+func (f *RemoteFleet) EstimateKey(name string, k packet.CanonicalKey) (uint64, error) {
+	merged, id, err := f.mergedRemoteRows(name, sketch.MergeAddRegisters)
+	if err != nil {
+		return 0, err
+	}
+	h, err := f.mirror.TaskHandle(id)
+	if err != nil {
+		return 0, err
+	}
+	cms, ok := h.(*algorithms.CMSTask)
+	if !ok {
+		return 0, fmt.Errorf("netwide: task %q is not a counter task", name)
+	}
+	min := ^uint32(0)
+	for i := 0; i < cms.D; i++ {
+		idx := cms.RowIndexFor(i, k) - uint32(cms.Rows[i].Base)
+		if v := merged[i][idx]; v < min {
+			min = v
+		}
+	}
+	return uint64(min), nil
+}
+
+// VerifyAlignment checks that a daemon computes the same register indices
+// as the mirror by comparing the two deployments' placements for a named
+// task (a cheap structural probe; a full check would replay a known key).
+func (f *RemoteFleet) VerifyAlignment(name string) error {
+	id, ok := f.taskIDs[name]
+	if !ok {
+		return fmt.Errorf("netwide: no task %q", name)
+	}
+	mrows, err := f.mirror.ReadRegisters(id)
+	if err != nil {
+		return err
+	}
+	for i, c := range f.clients {
+		rrows, err := c.ReadRegisters(id)
+		if err != nil {
+			return err
+		}
+		if len(rrows) != len(mrows) {
+			return fmt.Errorf("netwide: daemon %d has %d rows, mirror %d", i, len(rrows), len(mrows))
+		}
+		for r := range rrows {
+			if len(rrows[r]) != len(mrows[r]) {
+				return fmt.Errorf("netwide: daemon %d row %d has %d buckets, mirror %d",
+					i, r, len(rrows[r]), len(mrows[r]))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package netwide
+
+import (
+	"strings"
+	"testing"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+	"flymon/internal/rpc"
+	"flymon/internal/sketch"
+	"flymon/internal/trace"
+)
+
+// startDaemons boots n flymond-equivalent servers and returns their
+// controllers (the test's ingress handles) and connected clients.
+func startDaemons(t *testing.T, n int, cfg controlplane.Config) ([]*controlplane.Controller, []*rpc.Client) {
+	t.Helper()
+	ctrls := make([]*controlplane.Controller, n)
+	clients := make([]*rpc.Client, n)
+	for i := 0; i < n; i++ {
+		ctrls[i] = controlplane.NewController(cfg)
+		srv := rpc.NewServer(ctrls[i], nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		c, err := rpc.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[i] = c
+	}
+	return ctrls, clients
+}
+
+func TestRemoteFleetMergedEstimates(t *testing.T) {
+	cfg := fleetConfig()
+	ctrls, clients := startDaemons(t, 3, cfg)
+	fleet := NewRemoteFleet(clients, cfg)
+	if err := fleet.Deploy(cmsSpec("freq")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.VerifyAlignment("freq"); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := trace.Generate(trace.Config{Flows: 1500, Packets: 45_000, Seed: 66})
+	exact := sketch.NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		ctrls[i%3].Process(&tr.Packets[i]) // each packet at one ingress
+		exact.AddPacket(&tr.Packets[i])
+	}
+
+	checked := 0
+	for k, truth := range exact.Counts() {
+		got, err := fleet.EstimateKey("freq", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < truth {
+			t.Fatalf("remote merged estimate %d underestimates truth %d", got, truth)
+		}
+		checked++
+		if checked >= 40 {
+			break
+		}
+	}
+	if err := fleet.Remove("freq"); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ctrls {
+		if len(c.Tasks()) != 0 {
+			t.Fatalf("daemon %d kept tasks after fleet removal", i)
+		}
+	}
+	_ = clients
+}
+
+func TestRemoteFleetRefusesDivergedDaemon(t *testing.T) {
+	cfg := fleetConfig()
+	ctrls, clients := startDaemons(t, 2, cfg)
+	// Daemon 1 has an out-of-band task: its next ID diverges from the
+	// mirror's, which the fleet must detect instead of mis-indexing.
+	if _, err := ctrls[1].AddTask(cmsSpec("rogue")); err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewRemoteFleet(clients, cfg)
+	spec := cmsSpec("freq")
+	spec.Filter = packet.Filter{DstPort: 53}
+	err := fleet.Deploy(spec)
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("deploy onto a diverged daemon must fail, got %v", err)
+	}
+	// The rollback must leave daemon 0 clean.
+	if len(ctrls[0].Tasks()) != 0 {
+		t.Fatal("daemon 0 kept tasks after failed fleet deploy")
+	}
+}
+
+func TestRemoteFleetLifecycleErrors(t *testing.T) {
+	cfg := fleetConfig()
+	_, clients := startDaemons(t, 1, cfg)
+	fleet := NewRemoteFleet(clients, cfg)
+	if _, err := fleet.EstimateKey("none", packet.CanonicalKey{}); err == nil {
+		t.Fatal("unknown task must fail")
+	}
+	if err := fleet.Remove("none"); err == nil {
+		t.Fatal("removing unknown task must fail")
+	}
+	if err := fleet.Deploy(cmsSpec("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Deploy(cmsSpec("x")); err == nil {
+		t.Fatal("duplicate deploy must fail")
+	}
+}

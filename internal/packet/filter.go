@@ -1,0 +1,150 @@
+package packet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prefix is a CIDR-style prefix match on one 32-bit (or narrower) field.
+// A zero Prefix (Bits == 0) matches everything.
+type Prefix struct {
+	Value uint32
+	Bits  int
+}
+
+// Matches reports whether v falls inside the prefix.
+func (pr Prefix) Matches(v uint32) bool {
+	if pr.Bits <= 0 {
+		return true
+	}
+	shift := 32 - pr.Bits
+	return v>>shift == pr.Value>>shift
+}
+
+// Contains reports whether other is a sub-prefix of pr (every value matched
+// by other is also matched by pr).
+func (pr Prefix) Contains(other Prefix) bool {
+	if pr.Bits <= 0 {
+		return true
+	}
+	if other.Bits < pr.Bits {
+		return false
+	}
+	return pr.Matches(other.Value)
+}
+
+// Overlaps reports whether the two prefixes share any value.
+func (pr Prefix) Overlaps(other Prefix) bool {
+	return pr.Contains(other) || other.Contains(pr)
+}
+
+// String implements fmt.Stringer.
+func (pr Prefix) String() string {
+	if pr.Bits <= 0 {
+		return "*"
+	}
+	return fmt.Sprintf("%s/%d", FormatIPv4(pr.Value), pr.Bits)
+}
+
+// Filter is a task filter: the traffic slice a measurement task applies to.
+// It matches on source/destination IP prefixes and optional exact ports and
+// protocol. The zero Filter matches all traffic.
+//
+// Filters are the unit FlyMon's control plane uses both to direct packets to
+// tasks (the first-match "task id" assignment, §6 Other optimizations) and
+// to detect traffic intersection — two tasks with overlapping filters cannot
+// share a CMU because a SALU performs only one memory access per packet.
+type Filter struct {
+	SrcPrefix Prefix
+	DstPrefix Prefix
+	SrcPort   uint16 // 0 = wildcard
+	DstPort   uint16 // 0 = wildcard
+	Proto     uint8  // 0 = wildcard
+}
+
+// MatchAll is the filter that matches every packet.
+var MatchAll = Filter{}
+
+// Matches reports whether p belongs to the filter's traffic slice.
+func (f Filter) Matches(p *Packet) bool {
+	if !f.SrcPrefix.Matches(p.SrcIP) || !f.DstPrefix.Matches(p.DstIP) {
+		return false
+	}
+	if f.SrcPort != 0 && f.SrcPort != p.SrcPort {
+		return false
+	}
+	if f.DstPort != 0 && f.DstPort != p.DstPort {
+		return false
+	}
+	if f.Proto != 0 && f.Proto != p.Proto {
+		return false
+	}
+	return true
+}
+
+// Intersects conservatively reports whether the two filters can match a
+// common packet. Used by the control plane to forbid co-locating
+// intersecting tasks on one CMU (§3.3, Limitation of Address Translation).
+func (f Filter) Intersects(g Filter) bool {
+	if !f.SrcPrefix.Overlaps(g.SrcPrefix) || !f.DstPrefix.Overlaps(g.DstPrefix) {
+		return false
+	}
+	if f.SrcPort != 0 && g.SrcPort != 0 && f.SrcPort != g.SrcPort {
+		return false
+	}
+	if f.DstPort != 0 && g.DstPort != 0 && f.DstPort != g.DstPort {
+		return false
+	}
+	if f.Proto != 0 && g.Proto != 0 && f.Proto != g.Proto {
+		return false
+	}
+	return true
+}
+
+// IsMatchAll reports whether the filter matches every packet.
+func (f Filter) IsMatchAll() bool { return f == Filter{} }
+
+// String implements fmt.Stringer.
+func (f Filter) String() string {
+	if f.IsMatchAll() {
+		return "*"
+	}
+	var parts []string
+	if f.SrcPrefix.Bits > 0 {
+		parts = append(parts, "src="+f.SrcPrefix.String())
+	}
+	if f.DstPrefix.Bits > 0 {
+		parts = append(parts, "dst="+f.DstPrefix.String())
+	}
+	if f.SrcPort != 0 {
+		parts = append(parts, fmt.Sprintf("sport=%d", f.SrcPort))
+	}
+	if f.DstPort != 0 {
+		parts = append(parts, fmt.Sprintf("dport=%d", f.DstPort))
+	}
+	if f.Proto != 0 {
+		parts = append(parts, fmt.Sprintf("proto=%d", f.Proto))
+	}
+	return strings.Join(parts, ",")
+}
+
+// SplitSrc splits the filter into two disjoint halves by extending the
+// source prefix one bit (the paper's task-splitting example: 10.0.0.0/8 →
+// 10.0.0.0/9 and 10.128.0.0/9). It returns ok=false when the source prefix
+// is already host-width.
+func (f Filter) SplitSrc() (lo, hi Filter, ok bool) {
+	if f.SrcPrefix.Bits >= 32 {
+		return f, f, false
+	}
+	bits := f.SrcPrefix.Bits + 1
+	base := f.SrcPrefix.Value
+	if f.SrcPrefix.Bits > 0 {
+		base &= ^uint32(0) << (32 - f.SrcPrefix.Bits)
+	} else {
+		base = 0
+	}
+	lo, hi = f, f
+	lo.SrcPrefix = Prefix{Value: base, Bits: bits}
+	hi.SrcPrefix = Prefix{Value: base | 1<<(32-bits), Bits: bits}
+	return lo, hi, true
+}

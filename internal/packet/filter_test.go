@@ -1,0 +1,162 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixMatches(t *testing.T) {
+	pr := Prefix{Value: IPv4(10, 0, 0, 0), Bits: 8}
+	if !pr.Matches(IPv4(10, 200, 3, 4)) {
+		t.Error("10.200.3.4 should match 10/8")
+	}
+	if pr.Matches(IPv4(11, 0, 0, 1)) {
+		t.Error("11.0.0.1 should not match 10/8")
+	}
+	if !(Prefix{}).Matches(12345) {
+		t.Error("zero prefix must match everything")
+	}
+	host := Prefix{Value: IPv4(1, 2, 3, 4), Bits: 32}
+	if !host.Matches(IPv4(1, 2, 3, 4)) || host.Matches(IPv4(1, 2, 3, 5)) {
+		t.Error("/32 must match exactly one address")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p8 := Prefix{Value: IPv4(10, 0, 0, 0), Bits: 8}
+	p9a := Prefix{Value: IPv4(10, 0, 0, 0), Bits: 9}
+	p9b := Prefix{Value: IPv4(10, 128, 0, 0), Bits: 9}
+	other := Prefix{Value: IPv4(20, 0, 0, 0), Bits: 8}
+	if !p8.Contains(p9a) || !p8.Contains(p9b) {
+		t.Error("/8 must contain both /9 halves")
+	}
+	if p9a.Contains(p8) {
+		t.Error("/9 cannot contain its /8 parent")
+	}
+	if p8.Contains(other) || !p8.Overlaps(p9a) || p8.Overlaps(other) {
+		t.Error("containment/overlap with disjoint prefix wrong")
+	}
+}
+
+func TestPrefixOverlapSymmetryProperty(t *testing.T) {
+	f := func(a, b uint32, ab, bb uint8) bool {
+		pa := Prefix{Value: a, Bits: int(ab % 33)}
+		pb := Prefix{Value: b, Bits: int(bb % 33)}
+		return pa.Overlaps(pb) == pb.Overlaps(pa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterMatches(t *testing.T) {
+	f := Filter{
+		SrcPrefix: Prefix{Value: IPv4(10, 0, 0, 0), Bits: 8},
+		DstPort:   80,
+	}
+	in := Packet{SrcIP: IPv4(10, 1, 1, 1), DstPort: 80}
+	if !f.Matches(&in) {
+		t.Error("matching packet rejected")
+	}
+	badPort := in
+	badPort.DstPort = 443
+	if f.Matches(&badPort) {
+		t.Error("wrong port accepted")
+	}
+	badSrc := in
+	badSrc.SrcIP = IPv4(11, 1, 1, 1)
+	if f.Matches(&badSrc) {
+		t.Error("wrong source accepted")
+	}
+	if !MatchAll.Matches(&badSrc) {
+		t.Error("MatchAll rejected a packet")
+	}
+}
+
+func TestFilterIntersects(t *testing.T) {
+	ten := Filter{SrcPrefix: Prefix{Value: IPv4(10, 0, 0, 0), Bits: 8}}
+	tenNarrow := Filter{SrcPrefix: Prefix{Value: IPv4(10, 0, 0, 0), Bits: 16}}
+	twenty := Filter{SrcPrefix: Prefix{Value: IPv4(20, 0, 0, 0), Bits: 8}}
+	if !ten.Intersects(tenNarrow) {
+		t.Error("10/8 and 10.0/16 intersect (the paper's co-location example)")
+	}
+	if ten.Intersects(twenty) {
+		t.Error("10/8 and 20/8 are disjoint")
+	}
+	if !ten.Intersects(MatchAll) || !MatchAll.Intersects(ten) {
+		t.Error("everything intersects the match-all filter")
+	}
+	p80 := Filter{DstPort: 80}
+	p443 := Filter{DstPort: 443}
+	if p80.Intersects(p443) {
+		t.Error("distinct exact ports are disjoint")
+	}
+}
+
+func TestFilterIntersectsIsSymmetricProperty(t *testing.T) {
+	f := func(a, b uint32, ab, bb uint8, pa, pb uint16) bool {
+		fa := Filter{SrcPrefix: Prefix{Value: a, Bits: int(ab % 33)}, DstPort: pa}
+		fb := Filter{SrcPrefix: Prefix{Value: b, Bits: int(bb % 33)}, DstPort: pb}
+		return fa.Intersects(fb) == fb.Intersects(fa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterMatchImpliesIntersect(t *testing.T) {
+	// If two filters match a common packet they must be reported as
+	// intersecting — the safety property the one-access-per-packet check
+	// relies on.
+	f := func(src, dst uint32, bitsA, bitsB uint8) bool {
+		fa := Filter{SrcPrefix: Prefix{Value: src, Bits: int(bitsA % 33)}}
+		fb := Filter{SrcPrefix: Prefix{Value: src, Bits: int(bitsB % 33)}}
+		p := Packet{SrcIP: src, DstIP: dst}
+		if fa.Matches(&p) && fb.Matches(&p) {
+			return fa.Intersects(fb)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterSplitSrc(t *testing.T) {
+	f := Filter{SrcPrefix: Prefix{Value: IPv4(10, 0, 0, 0), Bits: 8}}
+	lo, hi, ok := f.SplitSrc()
+	if !ok {
+		t.Fatal("split of /8 must succeed")
+	}
+	if lo.SrcPrefix.Bits != 9 || hi.SrcPrefix.Bits != 9 {
+		t.Fatalf("split bits = %d/%d, want 9/9", lo.SrcPrefix.Bits, hi.SrcPrefix.Bits)
+	}
+	if hi.SrcPrefix.Value != IPv4(10, 128, 0, 0) {
+		t.Fatalf("upper half = %s, want 10.128.0.0/9", hi.SrcPrefix)
+	}
+	if lo.Intersects(hi) {
+		t.Error("split halves must be disjoint")
+	}
+	// Every packet matching the parent matches exactly one half.
+	for _, ip := range []uint32{IPv4(10, 0, 0, 1), IPv4(10, 127, 255, 255), IPv4(10, 128, 0, 0), IPv4(10, 255, 1, 2)} {
+		p := Packet{SrcIP: ip}
+		a, b := lo.Matches(&p), hi.Matches(&p)
+		if a == b {
+			t.Errorf("%s matched lo=%v hi=%v; want exactly one", FormatIPv4(ip), a, b)
+		}
+	}
+	host := Filter{SrcPrefix: Prefix{Value: 1, Bits: 32}}
+	if _, _, ok := host.SplitSrc(); ok {
+		t.Error("host prefix cannot split")
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	if MatchAll.String() != "*" {
+		t.Errorf("MatchAll string = %q", MatchAll.String())
+	}
+	f := Filter{SrcPrefix: Prefix{Value: IPv4(10, 0, 0, 0), Bits: 8}, DstPort: 80}
+	if f.String() != "src=10.0.0.0/8,dport=80" {
+		t.Errorf("filter string = %q", f.String())
+	}
+}

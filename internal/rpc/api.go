@@ -1,0 +1,152 @@
+package rpc
+
+import (
+	"time"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+)
+
+// Method names of the control channel.
+const (
+	MethodAddTask       = "add_task"
+	MethodRemoveTask    = "remove_task"
+	MethodResizeTask    = "resize_task"
+	MethodListTasks     = "list_tasks"
+	MethodEstimate      = "estimate"
+	MethodCardinality   = "cardinality"
+	MethodContains      = "contains"
+	MethodReported      = "reported"
+	MethodDistribution  = "distribution"
+	MethodReadRegisters = "read_registers"
+	MethodResources     = "resources"
+	MethodReport        = "resource_report"
+	MethodSplitTask     = "split_task"
+	MethodGenTrace      = "gen_trace"
+	MethodLoadTrace     = "load_trace"
+	MethodReplay        = "replay"
+	MethodStats         = "stats"
+	MethodPing          = "ping"
+)
+
+// AddTaskParams carries a task spec.
+type AddTaskParams struct {
+	Spec controlplane.TaskSpec `json:"spec"`
+}
+
+// TaskResult describes a deployed task.
+type TaskResult struct {
+	ID          int           `json:"id"`
+	Name        string        `json:"name"`
+	Algorithm   string        `json:"algorithm"`
+	D           int           `json:"d"`
+	Groups      []int         `json:"groups"`
+	Buckets     int           `json:"buckets"`
+	MemoryBytes int           `json:"memory_bytes"`
+	Delay       time.Duration `json:"deploy_delay_ns"`
+}
+
+// TaskIDParams addresses an existing task.
+type TaskIDParams struct {
+	ID int `json:"id"`
+}
+
+// ResizeParams changes a task's memory.
+type ResizeParams struct {
+	ID         int `json:"id"`
+	NewBuckets int `json:"new_buckets"`
+}
+
+// KeyParams addresses a task and a canonical flow key.
+type KeyParams struct {
+	ID  int    `json:"id"`
+	Key []byte `json:"key"` // packet.CanonicalKey bytes
+}
+
+// CandidatesParams addresses a task and candidate keys for detection.
+type CandidatesParams struct {
+	ID         int      `json:"id"`
+	Candidates [][]byte `json:"candidates"`
+}
+
+// EstimateResult is a scalar estimate.
+type EstimateResult struct {
+	Value float64 `json:"value"`
+}
+
+// BoolResult is a boolean answer.
+type BoolResult struct {
+	Value bool `json:"value"`
+}
+
+// ReportedResult lists the detected keys.
+type ReportedResult struct {
+	Keys [][]byte `json:"keys"`
+}
+
+// DistributionResult is an estimated flow-size distribution plus entropy.
+type DistributionResult struct {
+	Sizes   []uint64  `json:"sizes"`
+	Counts  []float64 `json:"counts"`
+	Entropy float64   `json:"entropy"`
+}
+
+// RegistersResult is a raw register readout (one slice per CMU row).
+type RegistersResult struct {
+	Rows [][]uint32 `json:"rows"`
+}
+
+// ResourcesResult reports free memory per CMU and deployed task count.
+type ResourcesResult struct {
+	FreeBuckets [][]int `json:"free_buckets"`
+	Tasks       int     `json:"tasks"`
+}
+
+// SplitResult reports the two subtasks a split produced.
+type SplitResult struct {
+	Lo TaskResult `json:"lo"`
+	Hi TaskResult `json:"hi"`
+}
+
+// LoadTraceParams points the daemon at a binary trace file on its local
+// filesystem (the trafficgen output format).
+type LoadTraceParams struct {
+	Path string `json:"path"`
+}
+
+// ReportResult carries the per-group occupancy report.
+type ReportResult struct {
+	Groups []controlplane.GroupReport `json:"groups"`
+}
+
+// GenTraceParams synthesizes a workload inside the daemon.
+type GenTraceParams struct {
+	Flows   int     `json:"flows"`
+	Packets int     `json:"packets"`
+	ZipfS   float64 `json:"zipf_s"`
+	Seed    int64   `json:"seed"`
+}
+
+// ReplayParams pushes packets from the loaded trace through the pipeline.
+type ReplayParams struct {
+	Packets int `json:"packets"` // 0 = whole trace
+}
+
+// ReplayResult reports how many packets were processed.
+type ReplayResult struct {
+	Processed int `json:"processed"`
+}
+
+// StatsResult reports daemon counters.
+type StatsResult struct {
+	PacketsProcessed uint64 `json:"packets_processed"`
+	TracePackets     int    `json:"trace_packets"`
+	Tasks            int    `json:"tasks"`
+}
+
+// keyFromBytes converts wire bytes into a canonical key.
+func keyFromBytes(b []byte) packet.CanonicalKey {
+	var k packet.CanonicalKey
+	copy(k[:], b)
+	return k
+}

@@ -1,0 +1,202 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+)
+
+// Client is a synchronous control-channel client.
+type Client struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	codec *codec
+	next  uint64
+}
+
+// Dial connects to a FlyMon daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, codec: newCodec(conn)}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one synchronous request.
+func (c *Client) call(method string, params, result any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req := Request{ID: c.next, Method: method}
+	if params != nil {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("rpc: encoding params: %w", err)
+		}
+		req.Params = raw
+	}
+	if err := c.codec.write(&req); err != nil {
+		return fmt.Errorf("rpc: sending %s: %w", method, err)
+	}
+	var resp Response
+	if err := c.codec.read(&resp); err != nil {
+		return fmt.Errorf("rpc: receiving %s: %w", method, err)
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("rpc: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("rpc: %s: %s", method, resp.Error)
+	}
+	if result != nil {
+		if err := json.Unmarshal(resp.Result, result); err != nil {
+			return fmt.Errorf("rpc: decoding %s result: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	var r BoolResult
+	return c.call(MethodPing, nil, &r)
+}
+
+// AddTask deploys a measurement task.
+func (c *Client) AddTask(spec controlplane.TaskSpec) (TaskResult, error) {
+	var r TaskResult
+	err := c.call(MethodAddTask, AddTaskParams{Spec: spec}, &r)
+	return r, err
+}
+
+// RemoveTask removes a task.
+func (c *Client) RemoveTask(id int) error {
+	var r BoolResult
+	return c.call(MethodRemoveTask, TaskIDParams{ID: id}, &r)
+}
+
+// ResizeTask reallocates a task's memory.
+func (c *Client) ResizeTask(id, newBuckets int) (TaskResult, error) {
+	var r TaskResult
+	err := c.call(MethodResizeTask, ResizeParams{ID: id, NewBuckets: newBuckets}, &r)
+	return r, err
+}
+
+// ListTasks lists deployed tasks.
+func (c *Client) ListTasks() ([]TaskResult, error) {
+	var r []TaskResult
+	err := c.call(MethodListTasks, nil, &r)
+	return r, err
+}
+
+// Estimate returns a per-key estimate.
+func (c *Client) Estimate(id int, key packet.CanonicalKey) (float64, error) {
+	var r EstimateResult
+	err := c.call(MethodEstimate, KeyParams{ID: id, Key: key[:]}, &r)
+	return r.Value, err
+}
+
+// Cardinality returns a cardinality task's estimate.
+func (c *Client) Cardinality(id int) (float64, error) {
+	var r EstimateResult
+	err := c.call(MethodCardinality, TaskIDParams{ID: id}, &r)
+	return r.Value, err
+}
+
+// Contains reports Bloom-filter membership.
+func (c *Client) Contains(id int, key packet.CanonicalKey) (bool, error) {
+	var r BoolResult
+	err := c.call(MethodContains, KeyParams{ID: id, Key: key[:]}, &r)
+	return r.Value, err
+}
+
+// Reported returns detected keys among candidates.
+func (c *Client) Reported(id int, candidates []packet.CanonicalKey) ([]packet.CanonicalKey, error) {
+	p := CandidatesParams{ID: id}
+	for _, k := range candidates {
+		kk := k
+		p.Candidates = append(p.Candidates, kk[:])
+	}
+	var r ReportedResult
+	if err := c.call(MethodReported, p, &r); err != nil {
+		return nil, err
+	}
+	out := make([]packet.CanonicalKey, len(r.Keys))
+	for i, b := range r.Keys {
+		out[i] = keyFromBytes(b)
+	}
+	return out, nil
+}
+
+// Distribution returns an MRAC task's flow-size distribution and entropy.
+func (c *Client) Distribution(id int) (DistributionResult, error) {
+	var r DistributionResult
+	err := c.call(MethodDistribution, TaskIDParams{ID: id}, &r)
+	return r, err
+}
+
+// ReadRegisters reads a task's raw register partitions.
+func (c *Client) ReadRegisters(id int) ([][]uint32, error) {
+	var r RegistersResult
+	err := c.call(MethodReadRegisters, TaskIDParams{ID: id}, &r)
+	return r.Rows, err
+}
+
+// Resources reports free memory and task counts.
+func (c *Client) Resources() (ResourcesResult, error) {
+	var r ResourcesResult
+	err := c.call(MethodResources, nil, &r)
+	return r, err
+}
+
+// ResourceReport returns the per-group occupancy report.
+func (c *Client) ResourceReport() ([]controlplane.GroupReport, error) {
+	var r ReportResult
+	err := c.call(MethodReport, nil, &r)
+	return r.Groups, err
+}
+
+// SplitTask splits a task into two filter-disjoint subtasks (§3.1.1).
+func (c *Client) SplitTask(id int) (lo, hi TaskResult, err error) {
+	var r SplitResult
+	err = c.call(MethodSplitTask, TaskIDParams{ID: id}, &r)
+	return r.Lo, r.Hi, err
+}
+
+// LoadTrace loads a binary trace file from the daemon's filesystem.
+func (c *Client) LoadTrace(path string) (int, error) {
+	var r ReplayResult
+	err := c.call(MethodLoadTrace, LoadTraceParams{Path: path}, &r)
+	return r.Processed, err
+}
+
+// GenTrace synthesizes a workload inside the daemon.
+func (c *Client) GenTrace(flows, packets int, zipfS float64, seed int64) (int, error) {
+	var r ReplayResult
+	err := c.call(MethodGenTrace, GenTraceParams{Flows: flows, Packets: packets, ZipfS: zipfS, Seed: seed}, &r)
+	return r.Processed, err
+}
+
+// Replay pushes n packets (0 = all) of the loaded trace through the
+// pipeline.
+func (c *Client) Replay(n int) (int, error) {
+	var r ReplayResult
+	err := c.call(MethodReplay, ReplayParams{Packets: n}, &r)
+	return r.Processed, err
+}
+
+// Stats returns daemon counters.
+func (c *Client) Stats() (StatsResult, error) {
+	var r StatsResult
+	err := c.call(MethodStats, nil, &r)
+	return r, err
+}

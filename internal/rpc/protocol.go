@@ -1,0 +1,86 @@
+// Package rpc implements FlyMon's southbound control channel: a
+// line-delimited JSON request/response protocol over TCP, standing in for
+// P4Runtime between the controller CLI (flymonctl) and the switch daemon
+// (flymond). The server wraps a controlplane.Controller; every mutation is
+// a runtime-rule installation on the simulated data plane.
+package rpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Request is one control-channel call.
+type Request struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Response answers a Request with the same ID.
+type Response struct {
+	ID     uint64          `json:"id"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// maxLine bounds a single protocol line (a register readout of a large
+// partition is the biggest payload).
+const maxLine = 64 << 20
+
+// codec frames newline-delimited JSON messages over a stream.
+type codec struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newCodec(rw io.ReadWriter) *codec {
+	return &codec{
+		r: bufio.NewReaderSize(rw, 1<<16),
+		w: bufio.NewWriterSize(rw, 1<<16),
+	}
+}
+
+func (c *codec) write(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("rpc: encoding message: %w", err)
+	}
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *codec) read(v any) error {
+	line, err := readLongLine(c.r)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(line, v); err != nil {
+		return fmt.Errorf("rpc: decoding message: %w", err)
+	}
+	return nil
+}
+
+func readLongLine(r *bufio.Reader) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, isPrefix, err := r.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, chunk...)
+		if len(buf) > maxLine {
+			return nil, fmt.Errorf("rpc: message exceeds %d bytes", maxLine)
+		}
+		if !isPrefix {
+			return buf, nil
+		}
+	}
+}

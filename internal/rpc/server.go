@@ -1,0 +1,372 @@
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"sync"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+// Server exposes a controlplane.Controller over the control channel and
+// owns the daemon-side workload state (a loaded trace to replay).
+type Server struct {
+	ctrl *controlplane.Controller
+
+	mu      sync.Mutex
+	tr      *trace.Trace
+	replays int
+
+	ln     net.Listener
+	closed chan struct{}
+	wg     sync.WaitGroup
+	logf   func(format string, args ...any)
+}
+
+// NewServer wraps a controller. logf may be nil (silent).
+func NewServer(ctrl *controlplane.Controller, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{ctrl: ctrl, closed: make(chan struct{}), logf: logf}
+}
+
+// Listen binds addr ("host:port"; ":0" for an ephemeral port) and starts
+// serving. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for connection handlers to drain.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			s.logf("rpc: accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	c := newCodec(conn)
+	for {
+		var req Request
+		if err := c.read(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("rpc: read: %v", err)
+			}
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := c.write(resp); err != nil {
+			s.logf("rpc: write: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	result, err := s.handle(req.Method, req.Params)
+	resp := &Response{ID: req.ID}
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		resp.Error = fmt.Sprintf("rpc: encoding result: %v", err)
+		return resp
+	}
+	resp.Result = raw
+	return resp
+}
+
+func decode[T any](params json.RawMessage) (T, error) {
+	var v T
+	if len(params) == 0 {
+		return v, nil
+	}
+	err := json.Unmarshal(params, &v)
+	if err != nil {
+		err = fmt.Errorf("rpc: decoding params: %w", err)
+	}
+	return v, err
+}
+
+func (s *Server) handle(method string, params json.RawMessage) (any, error) {
+	switch method {
+	case MethodPing:
+		return BoolResult{Value: true}, nil
+
+	case MethodAddTask:
+		p, err := decode[AddTaskParams](params)
+		if err != nil {
+			return nil, err
+		}
+		t, err := s.ctrl.AddTask(p.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return taskResult(t), nil
+
+	case MethodRemoveTask:
+		p, err := decode[TaskIDParams](params)
+		if err != nil {
+			return nil, err
+		}
+		return BoolResult{Value: true}, s.ctrl.RemoveTask(p.ID)
+
+	case MethodResizeTask:
+		p, err := decode[ResizeParams](params)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.ctrl.ResizeTask(p.ID, p.NewBuckets); err != nil {
+			return nil, err
+		}
+		t, err := s.ctrl.Task(p.ID)
+		if err != nil {
+			return nil, err
+		}
+		return taskResult(t), nil
+
+	case MethodListTasks:
+		tasks := s.ctrl.Tasks()
+		out := make([]TaskResult, 0, len(tasks))
+		for _, t := range tasks {
+			out = append(out, taskResult(t))
+		}
+		return out, nil
+
+	case MethodEstimate:
+		p, err := decode[KeyParams](params)
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.ctrl.EstimateKey(p.ID, keyFromBytes(p.Key))
+		if err != nil {
+			return nil, err
+		}
+		return EstimateResult{Value: v}, nil
+
+	case MethodCardinality:
+		p, err := decode[TaskIDParams](params)
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.ctrl.Cardinality(p.ID)
+		if err != nil {
+			return nil, err
+		}
+		return EstimateResult{Value: v}, nil
+
+	case MethodContains:
+		p, err := decode[KeyParams](params)
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.ctrl.Contains(p.ID, keyFromBytes(p.Key))
+		if err != nil {
+			return nil, err
+		}
+		return BoolResult{Value: v}, nil
+
+	case MethodReported:
+		p, err := decode[CandidatesParams](params)
+		if err != nil {
+			return nil, err
+		}
+		cands := make([]packet.CanonicalKey, len(p.Candidates))
+		for i, b := range p.Candidates {
+			cands[i] = keyFromBytes(b)
+		}
+		rep, err := s.ctrl.Reported(p.ID, cands)
+		if err != nil {
+			return nil, err
+		}
+		var out ReportedResult
+		for k := range rep {
+			kk := k
+			out.Keys = append(out.Keys, kk[:])
+		}
+		sort.Slice(out.Keys, func(i, j int) bool {
+			return string(out.Keys[i]) < string(out.Keys[j])
+		})
+		return out, nil
+
+	case MethodDistribution:
+		p, err := decode[TaskIDParams](params)
+		if err != nil {
+			return nil, err
+		}
+		dist, entropy, err := s.ctrl.Distribution(p.ID)
+		if err != nil {
+			return nil, err
+		}
+		out := DistributionResult{Entropy: entropy}
+		sizes := make([]uint64, 0, len(dist))
+		for sz := range dist {
+			sizes = append(sizes, sz)
+		}
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		for _, sz := range sizes {
+			out.Sizes = append(out.Sizes, sz)
+			out.Counts = append(out.Counts, dist[sz])
+		}
+		return out, nil
+
+	case MethodReadRegisters:
+		p, err := decode[TaskIDParams](params)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := s.ctrl.ReadRegisters(p.ID)
+		if err != nil {
+			return nil, err
+		}
+		return RegistersResult{Rows: rows}, nil
+
+	case MethodResources:
+		return ResourcesResult{
+			FreeBuckets: s.ctrl.FreeBuckets(),
+			Tasks:       len(s.ctrl.Tasks()),
+		}, nil
+
+	case MethodReport:
+		return ReportResult{Groups: s.ctrl.ResourceReport()}, nil
+
+	case MethodSplitTask:
+		p, err := decode[TaskIDParams](params)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := s.ctrl.SplitTask(p.ID)
+		if err != nil {
+			return nil, err
+		}
+		return SplitResult{Lo: taskResult(lo), Hi: taskResult(hi)}, nil
+
+	case MethodLoadTrace:
+		p, err := decode[LoadTraceParams](params)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(p.Path)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: opening trace: %w", err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := r.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.tr = tr
+		s.mu.Unlock()
+		return ReplayResult{Processed: tr.Len()}, nil
+
+	case MethodGenTrace:
+		p, err := decode[GenTraceParams](params)
+		if err != nil {
+			return nil, err
+		}
+		tr := trace.Generate(trace.Config{
+			Flows: p.Flows, Packets: p.Packets, ZipfS: p.ZipfS, Seed: p.Seed,
+		})
+		s.mu.Lock()
+		s.tr = tr
+		s.mu.Unlock()
+		return ReplayResult{Processed: tr.Len()}, nil
+
+	case MethodReplay:
+		p, err := decode[ReplayParams](params)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		tr := s.tr
+		s.mu.Unlock()
+		if tr == nil {
+			return nil, fmt.Errorf("rpc: no trace loaded (call %s first)", MethodGenTrace)
+		}
+		n := p.Packets
+		if n <= 0 || n > tr.Len() {
+			n = tr.Len()
+		}
+		s.ctrl.ProcessBatch(tr.Packets[:n])
+		return ReplayResult{Processed: n}, nil
+
+	case MethodStats:
+		s.mu.Lock()
+		tl := 0
+		if s.tr != nil {
+			tl = s.tr.Len()
+		}
+		s.mu.Unlock()
+		return StatsResult{
+			PacketsProcessed: s.ctrl.Pipeline().Packets(),
+			TracePackets:     tl,
+			Tasks:            len(s.ctrl.Tasks()),
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("rpc: unknown method %q", method)
+	}
+}
+
+func taskResult(t *controlplane.Task) TaskResult {
+	return TaskResult{
+		ID:          t.ID,
+		Name:        t.Spec.Name,
+		Algorithm:   t.Algorithm.String(),
+		D:           t.D,
+		Groups:      t.Groups,
+		Buckets:     t.Buckets,
+		MemoryBytes: t.MemoryBytes(),
+		Delay:       t.Delay,
+	}
+}
+
+var _ = log.Printf // keep log imported for handlers that grow logging

@@ -1,0 +1,189 @@
+// Package sdm implements a software-defined-measurement controller in the
+// style of DREAM/SCREAM (Moshref et al.), the control-plane layer the paper
+// positions FlyMon underneath (§3.4): per-epoch accuracy feedback drives
+// on-the-fly memory reallocation across tasks, using exactly the runtime
+// reconfiguration primitives FlyMon exposes (ResizeTask) — no traffic
+// interruption, no P4 reload.
+package sdm
+
+import (
+	"fmt"
+	"sort"
+
+	"flymon/internal/controlplane"
+)
+
+// Policy parameterizes the adaptive allocator.
+type Policy struct {
+	// HighWater and LowWater bound the target register-occupancy band: a
+	// task whose occupancy (fraction of non-zero buckets) exceeds
+	// HighWater is starved (collisions likely) and wants more memory; one
+	// below LowWater is over-provisioned.
+	HighWater float64
+	LowWater  float64
+	// MinBuckets and MaxBuckets clamp per-task grants.
+	MinBuckets int
+	MaxBuckets int
+}
+
+// DefaultPolicy returns the band used by the Fig. 12b-style scenarios.
+func DefaultPolicy() Policy {
+	return Policy{HighWater: 0.5, LowWater: 0.05, MinBuckets: 2048, MaxBuckets: 65536}
+}
+
+// Allocator adapts managed tasks' memory between epochs.
+type Allocator struct {
+	ctrl   *controlplane.Controller
+	policy Policy
+	tasks  map[int]bool
+}
+
+// NewAllocator wraps a controller with an adaptive policy.
+func NewAllocator(ctrl *controlplane.Controller, policy Policy) *Allocator {
+	if policy.HighWater <= policy.LowWater {
+		panic(fmt.Sprintf("sdm: inverted occupancy band [%v, %v]", policy.LowWater, policy.HighWater))
+	}
+	return &Allocator{ctrl: ctrl, policy: policy, tasks: make(map[int]bool)}
+}
+
+// Manage registers a deployed task for adaptation.
+func (a *Allocator) Manage(taskID int) error {
+	if _, err := a.ctrl.Task(taskID); err != nil {
+		return err
+	}
+	a.tasks[taskID] = true
+	return nil
+}
+
+// Unmanage stops adapting a task.
+func (a *Allocator) Unmanage(taskID int) { delete(a.tasks, taskID) }
+
+// Occupancy returns the fraction of non-zero buckets across a task's
+// register partitions — the accuracy proxy (a loaded CMS row's collision
+// probability grows directly with it).
+func (a *Allocator) Occupancy(taskID int) (float64, error) {
+	rows, err := a.ctrl.ReadRegisters(taskID)
+	if err != nil {
+		return 0, err
+	}
+	total, nonzero := 0, 0
+	for _, row := range rows {
+		total += len(row)
+		for _, v := range row {
+			if v != 0 {
+				nonzero++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(nonzero) / float64(total), nil
+}
+
+// Decision records one epoch's action on a task.
+type Decision struct {
+	TaskID    int
+	Occupancy float64
+	// OldBuckets and NewBuckets differ when the allocator resized the task
+	// (NewBuckets == OldBuckets means no action).
+	OldBuckets int
+	NewBuckets int
+	// Err reports a resize that could not be honored (e.g. no memory).
+	Err error
+}
+
+// EpochEnd inspects every managed task and reallocates memory: starved
+// tasks double, over-provisioned tasks halve. When a grow request cannot
+// be satisfied, the allocator first shrinks the most over-provisioned
+// donor — DREAM's "rich give to the poor" step. It returns the decisions
+// taken, sorted by task ID. Counters restart on resized tasks (FlyMon's
+// freeze-and-divert strategy, §6).
+func (a *Allocator) EpochEnd() []Decision {
+	ids := make([]int, 0, len(a.tasks))
+	for id := range a.tasks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	states := make([]taskState, 0, len(ids))
+	for _, id := range ids {
+		occ, err := a.Occupancy(id)
+		if err != nil {
+			continue
+		}
+		t, err := a.ctrl.Task(id)
+		if err != nil {
+			continue
+		}
+		states = append(states, taskState{id: id, occupancy: occ, buckets: t.Buckets})
+	}
+
+	var decisions []Decision
+	for _, s := range states {
+		d := Decision{TaskID: s.id, Occupancy: s.occupancy, OldBuckets: s.buckets, NewBuckets: s.buckets}
+		switch {
+		case s.occupancy > a.policy.HighWater && s.buckets < a.policy.MaxBuckets:
+			want := s.buckets * 2
+			if want > a.policy.MaxBuckets {
+				want = a.policy.MaxBuckets
+			}
+			_, err := a.ctrl.ResizeTask(s.id, want)
+			if err != nil {
+				// Find a donor: the managed task with the lowest
+				// occupancy that can still shrink.
+				if donor, ok := a.pickDonor(states, s.id); ok {
+					if _, derr := a.ctrl.ResizeTask(donor.id, donor.buckets/2); derr == nil {
+						decisions = append(decisions, Decision{
+							TaskID: donor.id, Occupancy: donor.occupancy,
+							OldBuckets: donor.buckets, NewBuckets: donor.buckets / 2,
+						})
+						_, err = a.ctrl.ResizeTask(s.id, want)
+					}
+				}
+			}
+			if err != nil {
+				d.Err = err
+			} else {
+				d.NewBuckets = want
+			}
+		case s.occupancy < a.policy.LowWater && s.buckets > a.policy.MinBuckets:
+			want := s.buckets / 2
+			if want < a.policy.MinBuckets {
+				want = a.policy.MinBuckets
+			}
+			if _, err := a.ctrl.ResizeTask(s.id, want); err != nil {
+				d.Err = err
+			} else {
+				d.NewBuckets = want
+			}
+		}
+		decisions = append(decisions, d)
+	}
+	sort.Slice(decisions, func(i, j int) bool { return decisions[i].TaskID < decisions[j].TaskID })
+	return decisions
+}
+
+// taskState is one managed task's per-epoch snapshot.
+type taskState struct {
+	id        int
+	occupancy float64
+	buckets   int
+}
+
+// pickDonor selects the least-occupied shrinkable task other than exclude.
+func (a *Allocator) pickDonor(states []taskState, exclude int) (taskState, bool) {
+	best := -1
+	for i, s := range states {
+		if s.id == exclude || s.buckets <= a.policy.MinBuckets {
+			continue
+		}
+		if best < 0 || s.occupancy < states[best].occupancy {
+			best = i
+		}
+	}
+	if best < 0 {
+		return taskState{}, false
+	}
+	return states[best], true
+}

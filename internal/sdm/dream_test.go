@@ -1,0 +1,194 @@
+package sdm
+
+import (
+	"testing"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+func newCtrl(groups int) *controlplane.Controller {
+	return controlplane.NewController(controlplane.Config{Groups: groups, Buckets: 65536, BitWidth: 32})
+}
+
+func addFreqTask(t *testing.T, c *controlplane.Controller, name string, buckets int, dport uint16) *controlplane.Task {
+	t.Helper()
+	task, err := c.AddTask(controlplane.TaskSpec{
+		Name: name, Key: packet.KeyFiveTuple,
+		Attribute: controlplane.AttrFrequency, MemBuckets: buckets,
+		D: 1, Filter: packet.Filter{DstPort: dport},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestOccupancyProxy(t *testing.T) {
+	c := newCtrl(1)
+	task := addFreqTask(t, c, "t", 2048, 0)
+	a := NewAllocator(c, DefaultPolicy())
+	if err := a.Manage(task.ID); err != nil {
+		t.Fatal(err)
+	}
+	occ, err := a.Occupancy(task.ID)
+	if err != nil || occ != 0 {
+		t.Fatalf("fresh task occupancy = %v, %v", occ, err)
+	}
+	tr := trace.Generate(trace.Config{Flows: 5000, Packets: 20_000, Seed: 1})
+	for i := range tr.Packets {
+		c.Process(&tr.Packets[i])
+	}
+	occ, err = a.Occupancy(task.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ < 0.5 {
+		t.Fatalf("5000 flows in 2048 buckets should exceed 50%% occupancy, got %.2f", occ)
+	}
+}
+
+func TestAllocatorGrowsStarvedTask(t *testing.T) {
+	c := newCtrl(1)
+	task := addFreqTask(t, c, "starved", 2048, 0)
+	a := NewAllocator(c, DefaultPolicy())
+	_ = a.Manage(task.ID)
+
+	tr := trace.Generate(trace.Config{Flows: 10_000, Packets: 40_000, Seed: 2})
+	for i := range tr.Packets {
+		c.Process(&tr.Packets[i])
+	}
+	decisions := a.EpochEnd()
+	if len(decisions) != 1 {
+		t.Fatalf("decisions = %d", len(decisions))
+	}
+	d := decisions[0]
+	if d.Err != nil {
+		t.Fatal(d.Err)
+	}
+	if d.NewBuckets != 2*d.OldBuckets {
+		t.Fatalf("starved task not doubled: %d → %d", d.OldBuckets, d.NewBuckets)
+	}
+	nt, _ := c.Task(task.ID)
+	if nt.Buckets != 4096 {
+		t.Fatalf("controller shows %d buckets", nt.Buckets)
+	}
+}
+
+func TestAllocatorShrinksIdleTask(t *testing.T) {
+	c := newCtrl(1)
+	task := addFreqTask(t, c, "idle", 32768, 0)
+	a := NewAllocator(c, DefaultPolicy())
+	_ = a.Manage(task.ID)
+	// A handful of flows: occupancy far below the low-water mark.
+	tr := trace.Generate(trace.Config{Flows: 20, Packets: 200, Seed: 3})
+	for i := range tr.Packets {
+		c.Process(&tr.Packets[i])
+	}
+	d := a.EpochEnd()[0]
+	if d.NewBuckets >= d.OldBuckets {
+		t.Fatalf("idle task not shrunk: %d → %d", d.OldBuckets, d.NewBuckets)
+	}
+}
+
+func TestAllocatorStableInBand(t *testing.T) {
+	c := newCtrl(1)
+	task := addFreqTask(t, c, "steady", 8192, 0)
+	a := NewAllocator(c, DefaultPolicy())
+	_ = a.Manage(task.ID)
+	// ~2000 flows in 8192 buckets ≈ 22% occupancy: inside the band.
+	tr := trace.Generate(trace.Config{Flows: 2000, Packets: 10_000, Seed: 4})
+	for i := range tr.Packets {
+		c.Process(&tr.Packets[i])
+	}
+	d := a.EpochEnd()[0]
+	if d.NewBuckets != d.OldBuckets {
+		t.Fatalf("in-band task resized: %d → %d", d.OldBuckets, d.NewBuckets)
+	}
+}
+
+func TestAllocatorStealsFromRich(t *testing.T) {
+	// Fill the whole group so a starved task's growth can ONLY succeed by
+	// shrinking a donor: unmanaged fillers pin every other bucket.
+	// CMU layout (64K each): donor 32K + filler 32K | filler 64K |
+	// poor 8K + fillers 32K/16K/8K.
+	c := newCtrl(1)
+	donor := addFreqTask(t, c, "donor", 32768, 443)
+	addFreqTask(t, c, "fillA", 32768, 1001)
+	addFreqTask(t, c, "fillB", 65536, 1002)
+	poor := addFreqTask(t, c, "poor", 8192, 80)
+	addFreqTask(t, c, "fillC", 32768, 1003)
+	addFreqTask(t, c, "fillD", 16384, 1004)
+	addFreqTask(t, c, "fillE", 8192, 1005)
+	free := c.FreeBuckets()
+	for _, cmu := range free[0] {
+		if cmu != 0 {
+			t.Fatalf("setup must exhaust the group, free = %v", free[0])
+		}
+	}
+
+	a := NewAllocator(c, DefaultPolicy())
+	_ = a.Manage(donor.ID)
+	_ = a.Manage(poor.ID)
+
+	// Poor is starved; the donor carries light, in-band traffic so it does
+	// not shrink on its own.
+	poorTr := trace.Generate(trace.Config{Flows: 30_000, Packets: 90_000, Seed: 5})
+	for i := range poorTr.Packets {
+		poorTr.Packets[i].DstPort = 80
+		c.Process(&poorTr.Packets[i])
+	}
+	donorTr := trace.Generate(trace.Config{Flows: 9_000, Packets: 27_000, Seed: 6})
+	for i := range donorTr.Packets {
+		donorTr.Packets[i].DstPort = 443
+		c.Process(&donorTr.Packets[i])
+	}
+	occD, _ := a.Occupancy(donor.ID)
+	if occD <= 0.05 || occD >= 0.5 {
+		t.Fatalf("donor occupancy %.3f outside the band; test setup broken", occD)
+	}
+
+	decisions := a.EpochEnd()
+	var poorNew, donorNew int
+	for _, d := range decisions {
+		if d.TaskID == poor.ID {
+			if d.Err != nil {
+				t.Fatalf("poor task decision error: %v", d.Err)
+			}
+			poorNew = d.NewBuckets
+		}
+		if d.TaskID == donor.ID && (donorNew == 0 || d.NewBuckets < donorNew) {
+			donorNew = d.NewBuckets
+		}
+	}
+	if poorNew <= 8192 {
+		t.Fatalf("starved task not grown: %d", poorNew)
+	}
+	if donorNew >= 32768 {
+		t.Fatalf("donor not shrunk: %d", donorNew)
+	}
+}
+
+func TestAllocatorManageValidation(t *testing.T) {
+	c := newCtrl(1)
+	a := NewAllocator(c, DefaultPolicy())
+	if err := a.Manage(42); err == nil {
+		t.Fatal("managing an unknown task must fail")
+	}
+	task := addFreqTask(t, c, "x", 2048, 0)
+	_ = a.Manage(task.ID)
+	a.Unmanage(task.ID)
+	if len(a.EpochEnd()) != 0 {
+		t.Fatal("unmanaged tasks must not be touched")
+	}
+}
+
+func TestAllocatorInvertedBandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted band must panic")
+		}
+	}()
+	NewAllocator(newCtrl(1), Policy{HighWater: 0.1, LowWater: 0.5})
+}

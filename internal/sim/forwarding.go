@@ -1,0 +1,181 @@
+// Package sim models the traffic-forwarding behaviour of the Fig. 12a
+// experiment: servers drive ~80–93 Gbps of TCP through the switch while
+// the operator issues reconfiguration events. FlyMon installs runtime
+// rules without touching forwarding; the static-deployment baseline must
+// reload the P4 program, interrupting traffic for several seconds and then
+// ramping back up as TCP recovers.
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DeploymentKind distinguishes the three Fig. 12a lines.
+type DeploymentKind uint8
+
+const (
+	// Bare is the data plane with no measurement functions.
+	Bare DeploymentKind = iota
+	// FlyMon reconfigures via runtime rules (no interruption).
+	FlyMon
+	// Static reconfigures by reloading the P4 program (traffic interrupted).
+	Static
+)
+
+// String implements fmt.Stringer.
+func (k DeploymentKind) String() string {
+	switch k {
+	case Bare:
+		return "Bare"
+	case FlyMon:
+		return "FlyMon"
+	default:
+		return "Static"
+	}
+}
+
+// EventKind classifies reconfiguration events.
+type EventKind uint8
+
+// Reconfiguration event kinds.
+const (
+	EventAddTask EventKind = iota
+	EventRemoveTask
+	EventReallocateMemory
+)
+
+// Event is one reconfiguration at a point in time.
+type Event struct {
+	AtSecond float64
+	Kind     EventKind
+}
+
+// ForwardingConfig parameterizes the throughput simulation.
+type ForwardingConfig struct {
+	DurationSec float64 // total experiment length (100 s in the paper)
+	StepSec     float64 // sampling interval
+	BaseGbps    float64 // nominal offered load (~86 Gbps)
+	JitterGbps  float64 // load noise amplitude
+	Seed        int64
+	Events      []Event
+	// ReloadLowSec/ReloadHighSec bound the static-reload outage (4–8 s).
+	ReloadLowSec  float64
+	ReloadHighSec float64
+	// RampSec is the TCP recovery ramp after an outage.
+	RampSec float64
+}
+
+// Defaults fills zero fields with the paper's setting.
+func (c *ForwardingConfig) Defaults() {
+	if c.DurationSec == 0 {
+		c.DurationSec = 100
+	}
+	if c.StepSec == 0 {
+		c.StepSec = 0.5
+	}
+	if c.BaseGbps == 0 {
+		c.BaseGbps = 86
+	}
+	if c.JitterGbps == 0 {
+		c.JitterGbps = 6
+	}
+	if c.ReloadLowSec == 0 {
+		c.ReloadLowSec = 4
+	}
+	if c.ReloadHighSec == 0 {
+		c.ReloadHighSec = 8
+	}
+	if c.RampSec == 0 {
+		c.RampSec = 1.5
+	}
+	if c.Events == nil {
+		// Nine events, every 10 s (e1..e9), alternating kinds.
+		for i := 1; i <= 9; i++ {
+			c.Events = append(c.Events, Event{
+				AtSecond: float64(i * 10),
+				Kind:     EventKind(i % 3),
+			})
+		}
+	}
+}
+
+// Sample is one point of the throughput time series.
+type Sample struct {
+	AtSecond float64
+	Gbps     float64
+}
+
+// SimulateForwarding produces the throughput time series for one
+// deployment kind under the configured reconfiguration events.
+//
+// The static baseline applies the paper's two optimizations: task-deletion
+// events trigger no reload, and consecutive critical events could be
+// batched (here each critical event reloads once, matching the paper's
+// per-event dips).
+func SimulateForwarding(kind DeploymentKind, cfg ForwardingConfig) []Sample {
+	cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(kind)))
+
+	// Outage windows for the static baseline.
+	type window struct{ start, end float64 }
+	var outages []window
+	if kind == Static {
+		for _, ev := range cfg.Events {
+			if ev.Kind == EventRemoveTask {
+				continue // optimization (i): deletions are not critical
+			}
+			dur := cfg.ReloadLowSec + rng.Float64()*(cfg.ReloadHighSec-cfg.ReloadLowSec)
+			outages = append(outages, window{ev.AtSecond, ev.AtSecond + dur})
+		}
+	}
+
+	var out []Sample
+	for t := 0.0; t <= cfg.DurationSec; t += cfg.StepSec {
+		g := cfg.BaseGbps + cfg.JitterGbps*(rng.Float64()-0.5)
+		// Gentle sinusoidal load swing so lines look like iPerf, not a
+		// constant.
+		g += 2 * math.Sin(t/7)
+		for _, w := range outages {
+			switch {
+			case t >= w.start && t < w.end:
+				g = 0
+			case t >= w.end && t < w.end+cfg.RampSec:
+				// Linear TCP recovery ramp.
+				g *= (t - w.end) / cfg.RampSec
+			}
+		}
+		if g < 0 {
+			g = 0
+		}
+		out = append(out, Sample{AtSecond: t, Gbps: g})
+	}
+	return out
+}
+
+// MeanGbps averages a series.
+func MeanGbps(s []Sample) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s {
+		sum += x.Gbps
+	}
+	return sum / float64(len(s))
+}
+
+// OutageSeconds sums the time the series spends below the threshold.
+func OutageSeconds(s []Sample, thresholdGbps float64) float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	step := s[1].AtSecond - s[0].AtSecond
+	var total float64
+	for _, x := range s {
+		if x.Gbps < thresholdGbps {
+			total += step
+		}
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+func TestBareAndFlyMonNeverDip(t *testing.T) {
+	cfg := ForwardingConfig{Seed: 1}
+	for _, kind := range []DeploymentKind{Bare, FlyMon} {
+		series := SimulateForwarding(kind, cfg)
+		if OutageSeconds(series, 10) != 0 {
+			t.Fatalf("%s must never dip below 10 Gbps", kind)
+		}
+		mean := MeanGbps(series)
+		if mean < 80 || mean > 93 {
+			t.Fatalf("%s mean %.1f Gbps outside the paper's 80–93 band", kind, mean)
+		}
+	}
+}
+
+func TestStaticOutagesMatchCriticalEvents(t *testing.T) {
+	cfg := ForwardingConfig{Seed: 2}
+	cfg.Defaults()
+	critical := 0
+	for _, ev := range cfg.Events {
+		if ev.Kind != EventRemoveTask {
+			critical++
+		}
+	}
+	series := SimulateForwarding(Static, ForwardingConfig{Seed: 2})
+	outage := OutageSeconds(series, 10)
+	// Each critical event interrupts 4–8 s (+ ramp).
+	lo := float64(critical) * 4
+	hi := float64(critical) * 9
+	if outage < lo || outage > hi {
+		t.Fatalf("static outage %.1f s for %d critical events, want [%.0f, %.0f]",
+			outage, critical, lo, hi)
+	}
+}
+
+func TestDeletionEventsAreFree(t *testing.T) {
+	// A schedule of only deletion events must not interrupt Static at all
+	// (the paper's optimization (i)).
+	cfg := ForwardingConfig{
+		Seed:   3,
+		Events: []Event{{AtSecond: 20, Kind: EventRemoveTask}, {AtSecond: 40, Kind: EventRemoveTask}},
+	}
+	series := SimulateForwarding(Static, cfg)
+	if OutageSeconds(series, 10) != 0 {
+		t.Fatal("deletion-only schedule must not interrupt traffic")
+	}
+}
+
+func TestSeriesShape(t *testing.T) {
+	series := SimulateForwarding(Bare, ForwardingConfig{Seed: 4})
+	if len(series) < 100 {
+		t.Fatalf("series too short: %d samples", len(series))
+	}
+	if series[0].AtSecond != 0 {
+		t.Fatal("series must start at t=0")
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].AtSecond <= series[i-1].AtSecond {
+			t.Fatal("sample times must increase")
+		}
+		if series[i].Gbps < 0 {
+			t.Fatal("throughput cannot be negative")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SimulateForwarding(Static, ForwardingConfig{Seed: 5})
+	b := SimulateForwarding(Static, ForwardingConfig{Seed: 5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the series")
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if MeanGbps(nil) != 0 || OutageSeconds(nil, 1) != 0 {
+		t.Fatal("empty-series helpers must return 0")
+	}
+	if Bare.String() != "Bare" || FlyMon.String() != "FlyMon" || Static.String() != "Static" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,142 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"flymon/internal/hashing"
+	"flymon/internal/packet"
+)
+
+// Bloom is a classic Bloom filter over flow keys: m bits, k hash probes.
+// It has no false negatives; the false-positive rate after n insertions is
+// ≈ (1 − e^{−kn/m})^k.
+type Bloom struct {
+	spec  packet.KeySpec
+	mBits int
+	k     int
+	words []uint64
+	hash  *hashing.Family
+}
+
+// NewBloom builds a Bloom filter with mBits bits (rounded up to a power of
+// two) and k probe hashes keyed by spec.
+func NewBloom(spec packet.KeySpec, mBits, k int) *Bloom {
+	if mBits <= 0 || k <= 0 {
+		panic(fmt.Sprintf("sketch: invalid Bloom parameters m=%d k=%d", mBits, k))
+	}
+	mBits = ceilPow2(mBits)
+	return &Bloom{
+		spec:  spec,
+		mBits: mBits,
+		k:     k,
+		words: make([]uint64, mBits/64+1),
+		hash:  hashing.NewFamily(k, spec),
+	}
+}
+
+// OptimalK returns the false-positive-minimizing probe count for m bits and
+// n expected insertions: k = (m/n) ln 2, at least 1.
+func OptimalK(mBits, n int) int {
+	if n <= 0 {
+		return 1
+	}
+	k := int(math.Round(float64(mBits) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > hashing.MaxUnits() {
+		k = hashing.MaxUnits()
+	}
+	return k
+}
+
+// Insert adds p's flow key to the set.
+func (b *Bloom) Insert(p *packet.Packet) {
+	for j := 0; j < b.k; j++ {
+		b.set(b.hash.Hash(j, p))
+	}
+}
+
+// InsertKey adds a canonical key directly.
+func (b *Bloom) InsertKey(k packet.CanonicalKey) {
+	for j := 0; j < b.k; j++ {
+		b.set(b.hash.HashBytes(j, k[:]))
+	}
+}
+
+// Contains reports (possibly falsely) whether p's flow key was inserted.
+func (b *Bloom) Contains(p *packet.Packet) bool {
+	for j := 0; j < b.k; j++ {
+		if !b.get(b.hash.Hash(j, p)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsKey is Contains for a canonical key.
+func (b *Bloom) ContainsKey(k packet.CanonicalKey) bool {
+	for j := 0; j < b.k; j++ {
+		if !b.get(b.hash.HashBytes(j, k[:])) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *Bloom) set(h uint32) {
+	bit := h & uint32(b.mBits-1)
+	b.words[bit/64] |= 1 << (bit % 64)
+}
+
+func (b *Bloom) get(h uint32) bool {
+	bit := h & uint32(b.mBits-1)
+	return b.words[bit/64]&(1<<(bit%64)) != 0
+}
+
+// OnesCount returns the number of set bits (used by Linear Counting and by
+// FP-rate diagnostics).
+func (b *Bloom) OnesCount() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Bits returns the filter size in bits.
+func (b *Bloom) Bits() int { return b.mBits }
+
+// MemoryBytes returns the stateful memory footprint.
+func (b *Bloom) MemoryBytes() int { return b.mBits / 8 }
+
+// Reset clears the filter.
+func (b *Bloom) Reset() { clear(b.words) }
+
+// LinearCounting estimates set cardinality from a 1-probe bit array (Whang
+// et al.): n̂ = −m · ln(V) with V the fraction of zero bits. The data-plane
+// state is identical to a k=1 Bloom filter — in FlyMon they share the same
+// CMU configuration and differ only in control-plane analysis (Appendix D).
+type LinearCounting struct {
+	*Bloom
+}
+
+// NewLinearCounting builds a Linear Counting estimator with mBits bits.
+func NewLinearCounting(spec packet.KeySpec, mBits int) *LinearCounting {
+	return &LinearCounting{Bloom: NewBloom(spec, mBits, 1)}
+}
+
+// Estimate returns the cardinality estimate.
+func (lc *LinearCounting) Estimate() float64 {
+	zeros := lc.mBits - lc.OnesCount()
+	if zeros == 0 {
+		// Saturated: Linear Counting's estimate diverges; report the
+		// coupon-collector upper bound m·H_m ≈ m ln m.
+		m := float64(lc.mBits)
+		return m * math.Log(m)
+	}
+	v := float64(zeros) / float64(lc.mBits)
+	return -float64(lc.mBits) * math.Log(v)
+}

@@ -1,0 +1,150 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flymon/internal/analysis"
+	"flymon/internal/hashing"
+	"flymon/internal/packet"
+)
+
+// CounterBraids (Lu et al.) is a two-layer braided counter architecture for
+// near-zero-error per-flow counting. Layer 1 holds many narrow counters; a
+// layer-1 overflow carries into the (much smaller) wide layer-2 counters
+// hashed from the layer-1 counter index. Per-flow values are recovered
+// offline with iterative message-passing decoding over the known flow set.
+type CounterBraids struct {
+	spec packet.KeySpec
+
+	d1, m1 int
+	bits1  uint
+	layer1 []uint32 // values mod 2^bits1
+
+	d2, m2 int
+	layer2 []uint32 // overflow counts
+
+	hash1 *hashing.Family
+	hash2 []*hashing.Unit
+}
+
+// NewCounterBraids builds a braid with m1 layer-1 counters of bits1 bits
+// (d1 hashes) and m2 layer-2 counters (d2 hashes), keyed by spec.
+func NewCounterBraids(spec packet.KeySpec, d1, m1, bits1, d2, m2 int) *CounterBraids {
+	if bits1 <= 0 || bits1 >= 32 {
+		panic(fmt.Sprintf("sketch: counter braids layer-1 width %d out of range", bits1))
+	}
+	m1, m2 = ceilPow2(m1), ceilPow2(m2)
+	cb := &CounterBraids{
+		spec: spec,
+		d1:   d1, m1: m1, bits1: uint(bits1),
+		layer1: make([]uint32, m1),
+		d2:     d2, m2: m2,
+		layer2: make([]uint32, m2),
+		hash1:  hashing.NewFamily(d1, spec),
+	}
+	for j := 0; j < d2; j++ {
+		// Layer-2 hashes digest the layer-1 counter index; offset the unit
+		// indices so they are independent from layer-1's.
+		cb.hash2 = append(cb.hash2, hashing.NewUnit((d1+j)%hashing.MaxUnits()))
+	}
+	return cb
+}
+
+// NewCounterBraidsForBytes builds the canonical configuration for a memory
+// budget: 8-bit layer-1 counters taking ~2/3 of memory with d1=3, and
+// 32-bit layer-2 counters taking the rest with d2=2.
+func NewCounterBraidsForBytes(spec packet.KeySpec, memBytes int) *CounterBraids {
+	m1 := memBytes * 2 / 3 // 1 byte per layer-1 counter
+	m2 := (memBytes - m1) / 4
+	if m1 < 8 {
+		m1 = 8
+	}
+	if m2 < 4 {
+		m2 = 4
+	}
+	return NewCounterBraids(spec, 3, m1, 8, 2, m2)
+}
+
+// AddPacket increments p's flow in all d1 layer-1 counters, braiding
+// overflows into layer 2.
+func (cb *CounterBraids) AddPacket(p *packet.Packet) {
+	lim := uint32(1) << cb.bits1
+	for j := 0; j < cb.d1; j++ {
+		idx := cb.hash1.Hash(j, p) & uint32(cb.m1-1)
+		cb.layer1[idx]++
+		if cb.layer1[idx] == lim {
+			cb.layer1[idx] = 0
+			cb.carry(idx)
+		}
+	}
+}
+
+func (cb *CounterBraids) carry(idx uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], idx)
+	for j := 0; j < cb.d2; j++ {
+		h := cb.hash2[j].HashBytes(b[:]) & uint32(cb.m2-1)
+		cb.layer2[h] = satAdd32(cb.layer2[h], 1)
+	}
+}
+
+// Decode recovers per-flow counts for the given flow set using two rounds
+// of message passing: first layer 2 is decoded to recover each layer-1
+// counter's overflow count (items = layer-1 indices), then the
+// reconstructed full layer-1 values are decoded against the flow set.
+func (cb *CounterBraids) Decode(flows []packet.CanonicalKey, iters int) map[packet.CanonicalKey]uint64 {
+	if iters <= 0 {
+		iters = 8
+	}
+	// Pass 1: overflow counts per layer-1 index from layer 2.
+	l2 := make([]uint64, cb.m2)
+	for i, v := range cb.layer2 {
+		l2[i] = uint64(v)
+	}
+	edges2 := make([][]uint32, cb.m1)
+	var b [4]byte
+	for i := 0; i < cb.m1; i++ {
+		e := make([]uint32, cb.d2)
+		binary.LittleEndian.PutUint32(b[:], uint32(i))
+		for j := 0; j < cb.d2; j++ {
+			e[j] = cb.hash2[j].HashBytes(b[:]) & uint32(cb.m2-1)
+		}
+		edges2[i] = e
+	}
+	overflow := analysis.CBDecode(l2, edges2, iters)
+
+	// Reconstruct full layer-1 values.
+	full := make([]uint64, cb.m1)
+	for i, v := range cb.layer1 {
+		full[i] = uint64(v) + overflow[i]<<cb.bits1
+	}
+
+	// Pass 2: per-flow counts from full layer-1 values.
+	edges1 := make([][]uint32, len(flows))
+	for i, f := range flows {
+		e := make([]uint32, cb.d1)
+		for j := 0; j < cb.d1; j++ {
+			e[j] = cb.hash1.HashBytes(j, f[:]) & uint32(cb.m1-1)
+		}
+		edges1[i] = e
+	}
+	est := analysis.CBDecode(full, edges1, iters)
+
+	out := make(map[packet.CanonicalKey]uint64, len(flows))
+	for i, f := range flows {
+		out[f] = est[i]
+	}
+	return out
+}
+
+// MemoryBytes returns the bit-packed stateful memory footprint.
+func (cb *CounterBraids) MemoryBytes() int {
+	return (cb.m1*int(cb.bits1)+7)/8 + cb.m2*4
+}
+
+// Reset zeroes both layers.
+func (cb *CounterBraids) Reset() {
+	clear(cb.layer1)
+	clear(cb.layer2)
+}

@@ -1,0 +1,11 @@
+// Package sketch provides from-scratch reference implementations of the
+// sketching algorithms FlyMon composes on CMUs and compares against in its
+// evaluation (Table 1, Fig. 14): Count-Min Sketch, Bloom filter,
+// HyperLogLog, Linear Counting, MRAC, SuMax, TowerSketch, Counter Braids,
+// UnivMon, and BeauCoup — plus exact ground-truth accumulators used to
+// score every accuracy experiment.
+//
+// These are the *native* (static-deployment) forms of the algorithms; the
+// CMU-composed "FlyMon-X" variants live in flymon/internal/core/algorithms
+// and run on the simulated RMT data plane.
+package sketch

@@ -1,0 +1,37 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"flymon/internal/packet"
+	"flymon/internal/sketch"
+)
+
+// Count per-flow packets with a Count-Min Sketch.
+func ExampleCMS() {
+	cms := sketch.NewCMS(packet.KeyFiveTuple, 3, 1024)
+	p := packet.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	for i := 0; i < 5; i++ {
+		cms.AddPacket(&p)
+	}
+	fmt.Println(cms.Estimate(&p))
+	// Output: 5
+}
+
+// Check set membership with a Bloom filter: no false negatives.
+func ExampleBloom() {
+	bf := sketch.NewBloom(packet.KeySrcIP, 1<<12, 3)
+	in := packet.Packet{SrcIP: packet.IPv4(10, 0, 0, 1)}
+	out := packet.Packet{SrcIP: packet.IPv4(192, 168, 0, 9)}
+	bf.Insert(&in)
+	fmt.Println(bf.Contains(&in), bf.Contains(&out))
+	// Output: true false
+}
+
+// Solve a BeauCoup coupon configuration for a distinct-count threshold.
+func ExampleSolveCouponConfig() {
+	cfg := sketch.SolveCouponConfig(512)
+	e := cfg.ExpectedDraws()
+	fmt.Println(e > 256 && e < 1024)
+	// Output: true
+}

@@ -1,0 +1,106 @@
+package sketch
+
+import "fmt"
+
+// Mergeability: sketches built with the SAME key spec and geometry use the
+// same hash functions (the hashing.Unit polynomials are deterministic per
+// index), so their states combine linearly — the property network-wide
+// measurement relies on when a central SDM controller aggregates register
+// readouts from many switches (§3.4). Each merge below mutates the
+// receiver in place.
+
+// Merge adds another CMS's counters into s. Valid when each packet was
+// observed by exactly one of the two sketches (e.g. distinct ingress
+// switches): the merged sketch is exactly the CMS of the union stream.
+func (s *CMS) Merge(other *CMS) error {
+	if s.d != other.d || s.w != other.w || !s.spec.Equal(other.spec) {
+		return fmt.Errorf("sketch: CMS geometries differ (d=%d/%d w=%d/%d)", s.d, other.d, s.w, other.w)
+	}
+	for j := 0; j < s.d; j++ {
+		for i := range s.rows[j] {
+			s.rows[j][i] = satAdd32(s.rows[j][i], other.rows[j][i])
+		}
+	}
+	return nil
+}
+
+// Union ORs another Bloom filter into b: the result answers membership for
+// the union of the two inserted sets.
+func (b *Bloom) Union(other *Bloom) error {
+	if b.mBits != other.mBits || b.k != other.k || !b.spec.Equal(other.spec) {
+		return fmt.Errorf("sketch: Bloom geometries differ (m=%d/%d k=%d/%d)", b.mBits, other.mBits, b.k, other.k)
+	}
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+	return nil
+}
+
+// Merge takes the element-wise register maximum of another HLL into h: the
+// result estimates the cardinality of the union of the two observed sets
+// (duplicate observation across sketches is harmless — HLL merge is
+// idempotent).
+func (h *HLL) Merge(other *HLL) error {
+	if h.b != other.b || !h.spec.Equal(other.spec) {
+		return fmt.Errorf("sketch: HLL precisions differ (b=%d/%d)", h.b, other.b)
+	}
+	for i := range h.regs {
+		if other.regs[i] > h.regs[i] {
+			h.regs[i] = other.regs[i]
+		}
+	}
+	return nil
+}
+
+// Merge XORs another odd sketch into o: the result is the odd sketch of
+// the symmetric difference of the two inserted sets (and, for disjoint
+// sets, of their union).
+func (o *OddSketch) Merge(other *OddSketch) error {
+	if o.mBits != other.mBits || !o.spec.Equal(other.spec) {
+		return fmt.Errorf("sketch: odd-sketch sizes differ (%d vs %d)", o.mBits, other.mBits)
+	}
+	for i := range o.words {
+		o.words[i] ^= other.words[i]
+	}
+	return nil
+}
+
+// MergeMaxRegisters takes the element-wise maximum of two raw register
+// readouts (MAX-operation tasks: per-key maxima, HLL ranks). Both slices
+// must have the same length; the result is written into dst.
+func MergeMaxRegisters(dst, src []uint32) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("sketch: register lengths differ (%d vs %d)", len(dst), len(src))
+	}
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+	return nil
+}
+
+// MergeAddRegisters adds two raw register readouts element-wise with
+// saturation (Cond-ADD/counter tasks whose streams are disjoint). The
+// result is written into dst.
+func MergeAddRegisters(dst, src []uint32) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("sketch: register lengths differ (%d vs %d)", len(dst), len(src))
+	}
+	for i := range dst {
+		dst[i] = satAdd32(dst[i], src[i])
+	}
+	return nil
+}
+
+// MergeOrRegisters ORs two raw register readouts element-wise (bitmap
+// tasks: Bloom filters, coupon tables). The result is written into dst.
+func MergeOrRegisters(dst, src []uint32) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("sketch: register lengths differ (%d vs %d)", len(dst), len(src))
+	}
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+	return nil
+}

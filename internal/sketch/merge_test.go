@@ -1,0 +1,159 @@
+package sketch
+
+import (
+	"testing"
+
+	"flymon/internal/metrics"
+	"flymon/internal/packet"
+)
+
+func TestCMSMergeEqualsUnionStream(t *testing.T) {
+	a := NewCMS(packet.KeyFiveTuple, 3, 1<<12)
+	b := NewCMS(packet.KeyFiveTuple, 3, 1<<12)
+	whole := NewCMS(packet.KeyFiveTuple, 3, 1<<12)
+	tr := genTrace(1000, 40_000, 70)
+	for i := range tr.Packets {
+		if i%2 == 0 {
+			a.AddPacket(&tr.Packets[i])
+		} else {
+			b.AddPacket(&tr.Packets[i])
+		}
+		whole.AddPacket(&tr.Packets[i])
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		k := packet.KeyFiveTuple.Extract(&tr.Packets[i])
+		if a.EstimateKey(k) != whole.EstimateKey(k) {
+			t.Fatalf("merged CMS diverges from union-stream CMS for flow %d", i)
+		}
+	}
+}
+
+func TestCMSMergeGeometryMismatch(t *testing.T) {
+	a := NewCMS(packet.KeyFiveTuple, 3, 1<<12)
+	b := NewCMS(packet.KeyFiveTuple, 2, 1<<12)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("depth mismatch must fail")
+	}
+	c := NewCMS(packet.KeySrcIP, 3, 1<<12)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("key-spec mismatch must fail")
+	}
+}
+
+func TestBloomUnion(t *testing.T) {
+	a := NewBloom(packet.KeyFiveTuple, 1<<14, 3)
+	b := NewBloom(packet.KeyFiveTuple, 1<<14, 3)
+	tr := genTrace(600, 1200, 71)
+	for i := range tr.Packets {
+		if i%2 == 0 {
+			a.Insert(&tr.Packets[i])
+		} else {
+			b.Insert(&tr.Packets[i])
+		}
+	}
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		if !a.Contains(&tr.Packets[i]) {
+			t.Fatalf("union filter lost packet %d's flow", i)
+		}
+	}
+	small := NewBloom(packet.KeyFiveTuple, 1<<10, 3)
+	if err := a.Union(small); err == nil {
+		t.Fatal("size mismatch must fail")
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	a := NewHLL(packet.KeyFiveTuple, 12)
+	b := NewHLL(packet.KeyFiveTuple, 12)
+	whole := NewHLL(packet.KeyFiveTuple, 12)
+	tr := genTrace(20_000, 40_000, 72)
+	for i := range tr.Packets {
+		// Overlapping halves: idempotence matters for HLL merges.
+		if i%3 != 0 {
+			a.AddPacket(&tr.Packets[i])
+		}
+		if i%3 != 1 {
+			b.AddPacket(&tr.Packets[i])
+		}
+		whole.AddPacket(&tr.Packets[i])
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if re := metrics.RE(whole.Estimate(), a.Estimate()); re > 0.02 {
+		t.Fatalf("merged HLL estimate diverges: RE %.4f", re)
+	}
+	other := NewHLL(packet.KeyFiveTuple, 10)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("precision mismatch must fail")
+	}
+}
+
+func TestOddSketchMergeIsSymmetricDifference(t *testing.T) {
+	a := NewOddSketch(packet.KeyFiveTuple, 1<<14)
+	b := NewOddSketch(packet.KeyFiveTuple, 1<<14)
+	tr := genTrace(2000, 2000, 73)
+	seen := map[packet.CanonicalKey]bool{}
+	shared := 0
+	for i := range tr.Packets {
+		k := packet.KeyFiveTuple.Extract(&tr.Packets[i])
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		switch len(seen) % 2 {
+		case 0:
+			a.Insert(&tr.Packets[i])
+			b.Insert(&tr.Packets[i])
+			shared++
+		default:
+			a.Insert(&tr.Packets[i])
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Shared elements cancel: the merged sketch holds only a's exclusive
+	// elements.
+	onlyA := len(seen) - shared
+	est := OddSketchDifferenceFromOnes(a.OnesCount(), a.Bits())
+	if re := metrics.RE(float64(onlyA), est); re > 0.15 {
+		t.Fatalf("merged odd sketch estimate %.0f vs truth %d (RE %.3f)", est, onlyA, re)
+	}
+}
+
+func TestRawRegisterMergeHelpers(t *testing.T) {
+	add1 := []uint32{1, ^uint32(0), 3}
+	add2 := []uint32{4, 5, 6}
+	if err := MergeAddRegisters(add1, add2); err != nil {
+		t.Fatal(err)
+	}
+	if add1[0] != 5 || add1[1] != ^uint32(0) || add1[2] != 9 {
+		t.Fatalf("add merge = %v (must saturate)", add1)
+	}
+	max1 := []uint32{1, 9}
+	if err := MergeMaxRegisters(max1, []uint32{5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if max1[0] != 5 || max1[1] != 9 {
+		t.Fatalf("max merge = %v", max1)
+	}
+	or1 := []uint32{0b0101}
+	if err := MergeOrRegisters(or1, []uint32{0b0011}); err != nil {
+		t.Fatal(err)
+	}
+	if or1[0] != 0b0111 {
+		t.Fatalf("or merge = %v", or1)
+	}
+	if MergeAddRegisters([]uint32{1}, []uint32{1, 2}) == nil ||
+		MergeMaxRegisters([]uint32{1}, nil) == nil ||
+		MergeOrRegisters(nil, []uint32{1}) == nil {
+		t.Fatal("length mismatches must fail")
+	}
+}

@@ -1,0 +1,44 @@
+package sketch
+
+import (
+	"flymon/internal/hashing"
+	"flymon/internal/packet"
+)
+
+// MRAC is the data-plane half of the flow-size-distribution estimator of
+// Kumar et al. (SIGMETRICS '04): a single array of counters, each flow
+// hashed to exactly one counter which accumulates its packets. All the
+// intelligence is in the control-plane Expectation-Maximization step
+// (flymon/internal/analysis.MRACDistribution), which inverts counter-value
+// collisions into a flow-size distribution — exactly the data/control split
+// FlyMon exploits: on the switch, MRAC and a d=1 Count-Min Sketch are the
+// same configuration (Appendix D).
+type MRAC struct {
+	spec     packet.KeySpec
+	counters []uint32
+	hash     *hashing.Unit
+}
+
+// NewMRAC builds an MRAC array with w counters (rounded up to a power of
+// two) keyed by spec.
+func NewMRAC(spec packet.KeySpec, w int) *MRAC {
+	w = ceilPow2(w)
+	h := hashing.NewUnit(0)
+	h.Configure(spec)
+	return &MRAC{spec: spec, counters: make([]uint32, w), hash: h}
+}
+
+// AddPacket counts packet p into its flow's counter.
+func (m *MRAC) AddPacket(p *packet.Packet) {
+	idx := m.hash.Hash(p) & uint32(len(m.counters)-1)
+	m.counters[idx] = satAdd32(m.counters[idx], 1)
+}
+
+// Counters exposes the raw counter array for control-plane analysis.
+func (m *MRAC) Counters() []uint32 { return m.counters }
+
+// MemoryBytes returns the counter memory footprint.
+func (m *MRAC) MemoryBytes() int { return len(m.counters) * 4 }
+
+// Reset zeroes the array.
+func (m *MRAC) Reset() { clear(m.counters) }

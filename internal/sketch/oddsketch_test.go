@@ -1,0 +1,97 @@
+package sketch
+
+import (
+	"testing"
+
+	"flymon/internal/metrics"
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+func TestOddSketchParity(t *testing.T) {
+	o := NewOddSketch(packet.KeyFiveTuple, 1024)
+	p := packet.Packet{SrcIP: 1, Proto: 6}
+	o.Insert(&p)
+	if o.OnesCount() != 1 {
+		t.Fatalf("one insert → %d bits", o.OnesCount())
+	}
+	o.Insert(&p) // second insert cancels
+	if o.OnesCount() != 0 {
+		t.Fatalf("double insert → %d bits, want 0", o.OnesCount())
+	}
+}
+
+func TestOddSketchSymmetricDifference(t *testing.T) {
+	const m = 1 << 14
+	a := NewOddSketch(packet.KeyFiveTuple, m)
+	b := NewOddSketch(packet.KeyFiveTuple, m)
+	tr := trace.Generate(trace.Config{Flows: 3000, Packets: 3000, Seed: 50})
+	seen := map[packet.CanonicalKey]bool{}
+	shared, onlyA, onlyB := 0, 0, 0
+	i := 0
+	for j := range tr.Packets {
+		p := &tr.Packets[j]
+		k := packet.KeyFiveTuple.Extract(p)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		switch i % 3 {
+		case 0: // shared
+			a.Insert(p)
+			b.Insert(p)
+			shared++
+		case 1:
+			a.Insert(p)
+			onlyA++
+		default:
+			b.Insert(p)
+			onlyB++
+		}
+		i++
+	}
+	truth := float64(onlyA + onlyB)
+	got, err := a.SymmetricDifference(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := metrics.RE(truth, got); re > 0.15 {
+		t.Fatalf("symmetric difference RE %.3f (est %.0f, truth %.0f)", re, got, truth)
+	}
+	// Jaccard of the two sets: |A∩B| / |A∪B|.
+	wantJ := float64(shared) / float64(shared+onlyA+onlyB)
+	j, err := a.Jaccard(b, float64(shared+onlyA), float64(shared+onlyB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := j - wantJ; d > 0.1 || d < -0.1 {
+		t.Fatalf("Jaccard = %.3f, want ≈ %.3f", j, wantJ)
+	}
+}
+
+func TestOddSketchSizeMismatch(t *testing.T) {
+	a := NewOddSketch(packet.KeySrcIP, 512)
+	b := NewOddSketch(packet.KeySrcIP, 1024)
+	if _, err := a.SymmetricDifference(b); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}
+
+func TestOddSketchSaturation(t *testing.T) {
+	o := NewOddSketch(packet.KeySrcIP, 64)
+	p := NewOddSketch(packet.KeySrcIP, 64)
+	for i := 0; i < 10_000; i++ {
+		o.Insert(&packet.Packet{SrcIP: uint32(i)})
+	}
+	est, err := o.SymmetricDifference(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 {
+		t.Fatalf("saturated estimate must degrade gracefully, got %v", est)
+	}
+	o.Reset()
+	if o.OnesCount() != 0 {
+		t.Fatal("reset must clear")
+	}
+}

@@ -1,0 +1,621 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flymon/internal/metrics"
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+func genTrace(flows, packets int, seed int64) *trace.Trace {
+	return trace.Generate(trace.Config{Flows: flows, Packets: packets, Seed: seed})
+}
+
+// --- CMS ---
+
+func TestCMSNeverUnderestimatesProperty(t *testing.T) {
+	s := NewCMS(packet.KeyFiveTuple, 3, 256)
+	truth := map[packet.CanonicalKey]uint32{}
+	f := func(src uint32, sp uint16) bool {
+		p := packet.Packet{SrcIP: src, SrcPort: sp, Proto: 6}
+		s.AddPacket(&p)
+		k := packet.KeyFiveTuple.Extract(&p)
+		truth[k]++
+		return s.EstimateKey(k) >= truth[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCMSAccuracy(t *testing.T) {
+	s := NewCMS(packet.KeyFiveTuple, 3, 1<<14)
+	tr := genTrace(2000, 100_000, 1)
+	exact := NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		s.AddPacket(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	est := map[packet.CanonicalKey]uint64{}
+	for k := range exact.Counts() {
+		est[k] = uint64(s.EstimateKey(k))
+	}
+	if are := metrics.ARE(exact.Counts(), est); are > 0.1 {
+		t.Fatalf("CMS ARE %.3f with ample memory", are)
+	}
+}
+
+func TestCMSGeometry(t *testing.T) {
+	s := NewCMS(packet.KeySrcIP, 2, 1000)
+	if s.Width() != 1024 {
+		t.Fatalf("width must round to a power of two, got %d", s.Width())
+	}
+	if s.Depth() != 2 || s.MemoryBytes() != 2*1024*4 {
+		t.Fatalf("geometry wrong: d=%d mem=%d", s.Depth(), s.MemoryBytes())
+	}
+	if len(s.Row(0)) != 1024 {
+		t.Fatal("row accessor wrong")
+	}
+	s.Add(&packet.Packet{SrcIP: 1}, 5)
+	s.Reset()
+	if s.Estimate(&packet.Packet{SrcIP: 1}) != 0 {
+		t.Fatal("reset must clear counters")
+	}
+}
+
+func TestCMSSaturatingAdd(t *testing.T) {
+	if satAdd32(^uint32(0)-1, 5) != ^uint32(0) {
+		t.Fatal("satAdd32 must clamp at max")
+	}
+	if satAdd32(1, 2) != 3 {
+		t.Fatal("satAdd32 must add normally")
+	}
+}
+
+// --- Bloom / Linear Counting ---
+
+func TestBloomNoFalseNegativesProperty(t *testing.T) {
+	b := NewBloom(packet.KeyFiveTuple, 1<<12, 3)
+	f := func(src, dst uint32) bool {
+		p := packet.Packet{SrcIP: src, DstIP: dst, Proto: 6}
+		b.Insert(&p)
+		return b.Contains(&p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n = 1000
+	b := NewBloom(packet.KeyFiveTuple, 1<<14, OptimalK(1<<14, n))
+	ins := genTrace(n, n*2, 2)
+	member := NewExactMembership(packet.KeyFiveTuple)
+	for i := range ins.Packets {
+		b.Insert(&ins.Packets[i])
+		member.Insert(&ins.Packets[i])
+	}
+	probe := genTrace(5000, 5000, 3)
+	fp, neg := 0, 0
+	for i := range probe.Packets {
+		if member.Contains(&probe.Packets[i]) {
+			continue
+		}
+		neg++
+		if b.Contains(&probe.Packets[i]) {
+			fp++
+		}
+	}
+	// Theory: (1 − e^{−kn/m})^k ≈ 0.2% for these parameters; allow slack.
+	if rate := float64(fp) / float64(neg); rate > 0.02 {
+		t.Fatalf("FP rate %.4f too high", rate)
+	}
+}
+
+func TestOptimalK(t *testing.T) {
+	if OptimalK(1<<14, 1000) < 2 {
+		t.Fatal("optimal k for 16:1 bits:keys should exceed 1")
+	}
+	if OptimalK(64, 10_000) != 1 {
+		t.Fatal("overloaded filter should use k=1")
+	}
+	if OptimalK(1024, 0) != 1 {
+		t.Fatal("zero keys defaults to 1")
+	}
+}
+
+func TestLinearCountingAccuracy(t *testing.T) {
+	lc := NewLinearCounting(packet.KeyFiveTuple, 1<<16)
+	const flows = 8000
+	tr := genTrace(flows, flows*2, 4)
+	exact := NewExactCardinality(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		lc.Insert(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	if re := metrics.RE(float64(exact.Cardinality()), lc.Estimate()); re > 0.05 {
+		t.Fatalf("LC RE %.3f", re)
+	}
+}
+
+func TestLinearCountingSaturated(t *testing.T) {
+	lc := NewLinearCounting(packet.KeySrcIP, 64)
+	for i := 0; i < 10_000; i++ {
+		lc.Insert(&packet.Packet{SrcIP: uint32(i)})
+	}
+	est := lc.Estimate()
+	if math.IsInf(est, 1) || math.IsNaN(est) || est <= 0 {
+		t.Fatalf("saturated LC must degrade gracefully, got %v", est)
+	}
+}
+
+// --- HLL ---
+
+func TestHLLAccuracyAcrossScales(t *testing.T) {
+	for _, flows := range []int{1000, 20_000, 100_000} {
+		h := NewHLL(packet.KeyFiveTuple, 12) // 4096 registers
+		exact := NewExactCardinality(packet.KeyFiveTuple)
+		tr := genTrace(flows, flows, int64(flows))
+		for i := range tr.Packets {
+			h.AddPacket(&tr.Packets[i])
+			exact.AddPacket(&tr.Packets[i])
+		}
+		re := metrics.RE(float64(exact.Cardinality()), h.Estimate())
+		// Standard error ≈ 1.04/√4096 ≈ 1.6%; allow 4 sigma.
+		if re > 0.07 {
+			t.Fatalf("HLL RE %.3f at %d flows", re, flows)
+		}
+	}
+}
+
+func TestHLLForBytes(t *testing.T) {
+	h := NewHLLForBytes(packet.KeyFiveTuple, 4096)
+	if h.MemoryBytes() > 4096 {
+		t.Fatalf("HLL exceeded budget: %d", h.MemoryBytes())
+	}
+	if h.Precision() != 12 {
+		t.Fatalf("precision = %d, want 12", h.Precision())
+	}
+}
+
+func TestHLLEstimateFromRanksMatchesNative(t *testing.T) {
+	h := NewHLL(packet.KeyFiveTuple, 10)
+	tr := genTrace(5000, 10_000, 5)
+	for i := range tr.Packets {
+		h.AddPacket(&tr.Packets[i])
+	}
+	native := h.Estimate()
+	fromRanks := HLLEstimateFromRanks(h.Registers(), 32-h.Precision())
+	if math.Abs(native-fromRanks)/native > 0.02 {
+		t.Fatalf("estimates diverge: native %.0f, from-ranks %.0f", native, fromRanks)
+	}
+}
+
+func TestHLLInvalidPrecisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("precision 0 must panic")
+		}
+	}()
+	NewHLL(packet.KeySrcIP, 0)
+}
+
+// --- SuMax ---
+
+func TestSuMaxNeverWorseThanTruth(t *testing.T) {
+	s := NewSuMax(packet.KeyFiveTuple, 3, 1<<12)
+	tr := genTrace(1000, 50_000, 6)
+	exact := NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		s.AddPacket(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	for k, truth := range exact.Counts() {
+		if est := uint64(s.EstimateKey(k)); est < truth {
+			t.Fatalf("SuMax underestimated %d < %d", est, truth)
+		}
+	}
+}
+
+func TestSuMaxTighterThanCMSUnderPressure(t *testing.T) {
+	cms := NewCMS(packet.KeyFiveTuple, 3, 1<<10)
+	sm := NewSuMax(packet.KeyFiveTuple, 3, 1<<10)
+	tr := genTrace(4000, 150_000, 7)
+	exact := NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		cms.AddPacket(&tr.Packets[i])
+		sm.AddPacket(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	var cmsTot, smTot float64
+	for k, truth := range exact.Counts() {
+		cmsTot += float64(cms.EstimateKey(k)-uint32(truth)) / float64(truth)
+		smTot += float64(sm.EstimateKey(k)-uint32(truth)) / float64(truth)
+	}
+	if smTot > cmsTot {
+		t.Fatalf("SuMax total overestimate %.1f exceeds CMS %.1f", smTot, cmsTot)
+	}
+}
+
+func TestSuMaxMaxMode(t *testing.T) {
+	s := NewSuMax(packet.KeyIPPair, 3, 1<<12)
+	tr := genTrace(500, 20_000, 8)
+	exact := NewExactMax(packet.KeyIPPair)
+	for i := range tr.Packets {
+		s.UpdateMax(&tr.Packets[i], tr.Packets[i].QueueLength)
+		exact.Add(&tr.Packets[i], tr.Packets[i].QueueLength)
+	}
+	for k, truth := range exact.Values() {
+		if est := uint64(s.EstimateKey(k)); est < truth {
+			t.Fatalf("SuMax(Max) lost a maximum: %d < %d", est, truth)
+		}
+	}
+}
+
+// --- Tower ---
+
+func TestTowerAccuracyAndSaturation(t *testing.T) {
+	tw := NewTower(packet.KeyFiveTuple, []TowerLevelSpec{
+		{Bits: 4, Counters: 1 << 14}, {Bits: 8, Counters: 1 << 13}, {Bits: 16, Counters: 1 << 12},
+	})
+	tr := genTrace(2000, 100_000, 9)
+	exact := NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		tw.AddPacket(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	est := map[packet.CanonicalKey]uint64{}
+	for k := range exact.Counts() {
+		est[k] = uint64(tw.EstimateKey(k))
+	}
+	if are := metrics.ARE(exact.Counts(), est); are > 0.25 {
+		t.Fatalf("Tower ARE %.3f", are)
+	}
+}
+
+func TestTowerAllSaturatedReturnsWidest(t *testing.T) {
+	tw := NewTower(packet.KeySrcIP, []TowerLevelSpec{{Bits: 2, Counters: 4}, {Bits: 4, Counters: 4}})
+	p := packet.Packet{SrcIP: 1}
+	for i := 0; i < 100; i++ {
+		tw.AddPacket(&p)
+	}
+	if got := tw.Estimate(&p); got != 15 {
+		t.Fatalf("fully saturated estimate = %d, want widest level's max 15", got)
+	}
+}
+
+func TestTowerForBytes(t *testing.T) {
+	tw := NewTowerForBytes(packet.KeyFiveTuple, 64*1024)
+	if tw.MemoryBytes() > 96*1024 {
+		t.Fatalf("tower memory %d far above budget", tw.MemoryBytes())
+	}
+}
+
+func TestTowerInvalidLevelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid level must panic")
+		}
+	}()
+	NewTower(packet.KeySrcIP, []TowerLevelSpec{{Bits: 40, Counters: 8}})
+}
+
+// --- Counter Braids ---
+
+func TestCounterBraidsDecode(t *testing.T) {
+	cb := NewCounterBraids(packet.KeyFiveTuple, 3, 1<<12, 8, 2, 1<<9)
+	tr := genTrace(500, 60_000, 10)
+	exact := NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		cb.AddPacket(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	flows := make([]packet.CanonicalKey, 0, exact.Flows())
+	for k := range exact.Counts() {
+		flows = append(flows, k)
+	}
+	decoded := cb.Decode(flows, 10)
+	exactCount := 0
+	for k, truth := range exact.Counts() {
+		if decoded[k] == truth {
+			exactCount++
+		}
+	}
+	if frac := float64(exactCount) / float64(len(flows)); frac < 0.85 {
+		t.Fatalf("CB decoded only %.1f%% of flows exactly", frac*100)
+	}
+}
+
+func TestCounterBraidsForBytes(t *testing.T) {
+	cb := NewCounterBraidsForBytes(packet.KeyFiveTuple, 64*1024)
+	if cb.MemoryBytes() > 2*64*1024 {
+		t.Fatalf("CB memory %d far above budget", cb.MemoryBytes())
+	}
+	cb.AddPacket(&packet.Packet{SrcIP: 1})
+	cb.Reset()
+}
+
+func TestCounterBraidsInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("layer-1 width 32 must panic")
+		}
+	}()
+	NewCounterBraids(packet.KeySrcIP, 3, 64, 32, 2, 16)
+}
+
+// --- Count Sketch / UnivMon ---
+
+func TestCountSketchUnbiasedness(t *testing.T) {
+	cs := NewCountSketch(packet.KeyFiveTuple, 3, 1<<12)
+	tr := genTrace(2000, 100_000, 11)
+	exact := NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		cs.Add(&tr.Packets[i], 1)
+		exact.AddPacket(&tr.Packets[i])
+	}
+	// Signed errors should roughly cancel (unlike CMS).
+	var signed float64
+	n := 0
+	for k, truth := range exact.Counts() {
+		signed += float64(cs.EstimateKey(k)) - float64(truth)
+		n++
+	}
+	mean := signed / float64(n)
+	if math.Abs(mean) > 3 {
+		t.Fatalf("CountSketch mean signed error %.2f; estimator is biased", mean)
+	}
+}
+
+func TestCountSketchHeavyFlowsAccurate(t *testing.T) {
+	cs := NewCountSketch(packet.KeyFiveTuple, 3, 1<<12)
+	tr := genTrace(2000, 100_000, 12)
+	exact := NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		cs.Add(&tr.Packets[i], 1)
+		exact.AddPacket(&tr.Packets[i])
+	}
+	for k, truth := range exact.Counts() {
+		if truth < 2000 {
+			continue
+		}
+		est := float64(cs.EstimateKey(k))
+		if metrics.RE(float64(truth), est) > 0.1 {
+			t.Fatalf("heavy flow (%d) estimated %v", truth, est)
+		}
+	}
+}
+
+func TestUnivMonHeavyHitters(t *testing.T) {
+	u := NewUnivMon(packet.KeyFiveTuple, 8, 3, 1<<12, 128)
+	tr := genTrace(3000, 200_000, 13)
+	exact := NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		u.AddPacket(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	const threshold = 1024
+	truth := exact.HeavyHitters(threshold)
+	reported := u.HeavyHitters(threshold)
+	universe := map[packet.CanonicalKey]bool{}
+	for k := range exact.Counts() {
+		universe[k] = true
+	}
+	f1 := metrics.Classify(universe, truth, reported).F1()
+	if f1 < 0.85 {
+		t.Fatalf("UnivMon HH F1 %.3f", f1)
+	}
+}
+
+func TestUnivMonEntropyAndCardinality(t *testing.T) {
+	u := NewUnivMon(packet.KeyFiveTuple, 8, 3, 1<<13, 256)
+	tr := genTrace(4000, 150_000, 14)
+	exact := NewExactFrequency(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		u.AddPacket(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	counts := make([]uint64, 0, exact.Flows())
+	for _, c := range exact.Counts() {
+		counts = append(counts, c)
+	}
+	trueH := metrics.Entropy(counts)
+	if re := metrics.RE(trueH, u.Entropy()); re > 0.25 {
+		t.Fatalf("UnivMon entropy RE %.3f (true %.3f, est %.3f)", re, trueH, u.Entropy())
+	}
+	if card := u.Cardinality(); card <= 0 {
+		t.Fatalf("UnivMon cardinality %.0f must be positive", card)
+	}
+}
+
+func TestUnivMonSamplingIsNested(t *testing.T) {
+	u := NewUnivMon(packet.KeyFiveTuple, 6, 3, 256, 16)
+	k := packet.KeyFiveTuple.Extract(&packet.Packet{SrcIP: 77, Proto: 6})
+	// sampledAt(ℓ) true ⇒ sampledAt(ℓ′) true for all ℓ′ < ℓ.
+	deepest := 0
+	for l := 1; l < 6; l++ {
+		if u.sampledAt(k, l) {
+			if deepest != l-1 {
+				t.Fatalf("sampling not nested: level %d sampled but %d not", l, deepest+1)
+			}
+			deepest = l
+		}
+	}
+}
+
+// --- BeauCoup ---
+
+func TestCouponConfigValidate(t *testing.T) {
+	good := CouponConfig{Coupons: 8, Collect: 4, ProbLog2: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CouponConfig{
+		{Coupons: 0, Collect: 1, ProbLog2: 1},
+		{Coupons: 33, Collect: 1, ProbLog2: 6},
+		{Coupons: 8, Collect: 9, ProbLog2: 4},
+		{Coupons: 8, Collect: 0, ProbLog2: 4},
+		{Coupons: 8, Collect: 4, ProbLog2: 2}, // 8 coupons at 1/4 overflows unit mass
+		{Coupons: 8, Collect: 4, ProbLog2: 30},
+	}
+	for i, cc := range bad {
+		if cc.Validate() == nil {
+			t.Errorf("case %d (%+v) must fail validation", i, cc)
+		}
+	}
+}
+
+func TestSolveCouponConfigHitsThreshold(t *testing.T) {
+	for _, threshold := range []int{10, 100, 512, 1024, 10_000} {
+		cc := SolveCouponConfig(threshold)
+		if err := cc.Validate(); err != nil {
+			t.Fatalf("threshold %d: invalid config: %v", threshold, err)
+		}
+		e := cc.ExpectedDraws()
+		if e < float64(threshold)/2 || e > float64(threshold)*2 {
+			t.Fatalf("threshold %d: expected draws %.1f off target", threshold, e)
+		}
+	}
+}
+
+func TestCouponDrawDistribution(t *testing.T) {
+	cc := CouponConfig{Coupons: 8, Collect: 8, ProbLog2: 4}
+	counts := make([]int, 9)
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		h := uint32(i) * 2654435761
+		c := cc.Draw(h)
+		if c < -1 || c >= 8 {
+			t.Fatalf("draw out of range: %d", c)
+		}
+		counts[c+1]++
+	}
+	// Each coupon drawn with p = 1/16; half the draws miss.
+	for i := 1; i <= 8; i++ {
+		want := n / 16
+		if counts[i] < want*8/10 || counts[i] > want*12/10 {
+			t.Fatalf("coupon %d drawn %d times, want ≈ %d", i-1, counts[i], want)
+		}
+	}
+	if counts[0] < n*4/10 {
+		t.Fatalf("no-draw rate %d too low", counts[0])
+	}
+}
+
+func TestBeauCoupDetection(t *testing.T) {
+	const threshold = 256
+	b := NewBeauCoup(packet.KeyDstIP, packet.KeySrcIP, SolveCouponConfig(threshold), 3, 1<<12)
+	tr := genTrace(2000, 40_000, 15)
+	victim := packet.IPv4(8, 8, 8, 8)
+	tr.InjectDDoS(victim, 4*threshold, 1, 16)
+	exact := NewExactDistinct(packet.KeyDstIP, packet.KeySrcIP)
+	for i := range tr.Packets {
+		b.AddPacket(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	vk := packet.KeyDstIP.Extract(&packet.Packet{DstIP: victim})
+	if !b.Reported()[vk] {
+		t.Fatalf("victim with %d distinct sources not reported (coupons %d/%d)",
+			exact.Count(vk), b.CollectedCoupons(vk), b.Config().Collect)
+	}
+	// A quiet key far below threshold must not be reported.
+	falseAlarms := 0
+	for k, c := range exact.Counts() {
+		if c < uint64(threshold)/8 && b.Reported()[k] {
+			falseAlarms++
+		}
+	}
+	if falseAlarms > len(exact.Counts())/50 {
+		t.Fatalf("%d false alarms among quiet keys", falseAlarms)
+	}
+}
+
+func TestBeauCoupEstimateMonotone(t *testing.T) {
+	cc := CouponConfig{Coupons: 32, Collect: 32, ProbLog2: 6}
+	prev := 0.0
+	for j := 1; j <= 32; j++ {
+		c := cc
+		c.Collect = j
+		e := c.ExpectedDraws()
+		if e <= prev {
+			t.Fatalf("expected draws not monotone at %d coupons", j)
+		}
+		prev = e
+	}
+}
+
+func TestBeauCoupCardinalityEstimator(t *testing.T) {
+	bc := NewBeauCoupCardinalityForBytes(packet.KeyFiveTuple, 16)
+	tr := genTrace(5000, 10_000, 17)
+	exact := NewExactCardinality(packet.KeyFiveTuple)
+	for i := range tr.Packets {
+		bc.AddPacket(&tr.Packets[i])
+		exact.AddPacket(&tr.Packets[i])
+	}
+	re := metrics.RE(float64(exact.Cardinality()), bc.Estimate())
+	if re > 0.5 {
+		t.Fatalf("coupon cardinality RE %.3f with 16 bytes", re)
+	}
+	if bc.MemoryBytes() > 16 {
+		t.Fatalf("memory %d exceeds budget", bc.MemoryBytes())
+	}
+}
+
+// --- Exact accumulators ---
+
+func TestExactFrequencyHelpers(t *testing.T) {
+	e := NewExactFrequency(packet.KeySrcIP)
+	p1 := packet.Packet{SrcIP: 1, Size: 100}
+	p2 := packet.Packet{SrcIP: 2, Size: 200}
+	e.AddPacket(&p1)
+	e.AddPacket(&p1)
+	e.AddBytes(&p2)
+	if e.Flows() != 2 {
+		t.Fatalf("flows = %d", e.Flows())
+	}
+	hh := e.HeavyHitters(2)
+	if len(hh) != 2 { // flow1 has 2 packets; flow2 has 200 bytes
+		t.Fatalf("heavy hitters = %d", len(hh))
+	}
+	dist := e.SizeDistribution()
+	if dist[2] != 1 || dist[200] != 1 {
+		t.Fatalf("size distribution = %v", dist)
+	}
+}
+
+func TestExactDistinct(t *testing.T) {
+	e := NewExactDistinct(packet.KeyDstIP, packet.KeySrcIP)
+	for i := 0; i < 10; i++ {
+		e.AddPacket(&packet.Packet{DstIP: 1, SrcIP: uint32(i % 5)})
+	}
+	k := packet.KeyDstIP.Extract(&packet.Packet{DstIP: 1})
+	if e.Count(k) != 5 {
+		t.Fatalf("distinct = %d, want 5", e.Count(k))
+	}
+	if len(e.Over(5)) != 1 || len(e.Over(6)) != 0 {
+		t.Fatal("Over threshold wrong")
+	}
+}
+
+func TestExactMaxInterval(t *testing.T) {
+	e := NewExactMaxInterval(packet.KeyFiveTuple)
+	base := packet.Packet{SrcIP: 1, Proto: 6}
+	for _, ts := range []uint64{100, 200, 500, 600} {
+		p := base
+		p.TimestampNs = ts
+		e.AddPacket(&p)
+	}
+	k := packet.KeyFiveTuple.Extract(&base)
+	if e.Values()[k] != 300 {
+		t.Fatalf("max interval = %d, want 300", e.Values()[k])
+	}
+	// Single-packet flow has interval 0.
+	solo := packet.Packet{SrcIP: 99, Proto: 6, TimestampNs: 42}
+	e.AddPacket(&solo)
+	if e.Values()[packet.KeyFiveTuple.Extract(&solo)] != 0 {
+		t.Fatal("single-packet interval must be 0")
+	}
+}

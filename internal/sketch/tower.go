@@ -1,0 +1,131 @@
+package sketch
+
+import (
+	"fmt"
+
+	"flymon/internal/hashing"
+	"flymon/internal/packet"
+)
+
+// Tower is a TowerSketch (Yang et al., SketchINT): several counter arrays of
+// increasing bit width and decreasing length under the same total memory.
+// Small flows are resolved by the many narrow counters; a saturated narrow
+// counter reads as +∞ so large flows fall through to the wide levels. The
+// query is the minimum over non-saturated levels.
+type Tower struct {
+	spec   packet.KeySpec
+	levels []towerLevel
+	hash   *hashing.Family
+}
+
+type towerLevel struct {
+	bits     uint // counter width in bits
+	counters []uint32
+	max      uint32 // saturation value (2^bits − 1)
+}
+
+// TowerLevelSpec describes one level: counter bit width and counter count.
+type TowerLevelSpec struct {
+	Bits     int
+	Counters int
+}
+
+// NewTower builds a TowerSketch with the given levels, keyed by spec.
+// Counter counts are rounded up to powers of two.
+func NewTower(spec packet.KeySpec, levels []TowerLevelSpec) *Tower {
+	if len(levels) == 0 {
+		panic("sketch: tower needs at least one level")
+	}
+	t := &Tower{spec: spec, hash: hashing.NewFamily(len(levels), spec)}
+	for _, l := range levels {
+		if l.Bits <= 0 || l.Bits > 32 || l.Counters <= 0 {
+			panic(fmt.Sprintf("sketch: invalid tower level %+v", l))
+		}
+		n := ceilPow2(l.Counters)
+		t.levels = append(t.levels, towerLevel{
+			bits:     uint(l.Bits),
+			counters: make([]uint32, n),
+			max:      uint32(1)<<uint(l.Bits) - 1,
+		})
+	}
+	return t
+}
+
+// NewTowerForBytes builds the canonical 3-level tower (4-, 8-, 16-bit) that
+// splits memBytes of memory evenly across levels.
+func NewTowerForBytes(spec packet.KeySpec, memBytes int) *Tower {
+	per := memBytes / 3
+	if per < 4 {
+		per = 4
+	}
+	return NewTower(spec, []TowerLevelSpec{
+		{Bits: 4, Counters: per * 8 / 4},
+		{Bits: 8, Counters: per},
+		{Bits: 16, Counters: per / 2},
+	})
+}
+
+// AddPacket increments p's flow in every level, saturating narrow counters.
+func (t *Tower) AddPacket(p *packet.Packet) { t.Add(p, 1) }
+
+// Add adds v to p's flow in every level (saturating per level width).
+func (t *Tower) Add(p *packet.Packet, v uint32) {
+	for j := range t.levels {
+		l := &t.levels[j]
+		idx := t.hash.Hash(j, p) & uint32(len(l.counters)-1)
+		c := l.counters[idx] + v
+		if c > l.max || c < l.counters[idx] {
+			c = l.max
+		}
+		l.counters[idx] = c
+	}
+}
+
+// Estimate returns the minimum over non-saturated levels; if every level is
+// saturated it returns the widest level's saturation value.
+func (t *Tower) Estimate(p *packet.Packet) uint32 {
+	var k packet.CanonicalKey = t.spec.Extract(p)
+	return t.EstimateKey(k)
+}
+
+// EstimateKey is Estimate for a canonical key.
+func (t *Tower) EstimateKey(k packet.CanonicalKey) uint32 {
+	best := ^uint32(0)
+	sawLive := false
+	var widestMax uint32
+	for j := range t.levels {
+		l := &t.levels[j]
+		idx := t.hash.HashBytes(j, k[:]) & uint32(len(l.counters)-1)
+		c := l.counters[idx]
+		if l.max > widestMax {
+			widestMax = l.max
+		}
+		if c >= l.max {
+			continue // saturated: reads as +∞
+		}
+		sawLive = true
+		if c < best {
+			best = c
+		}
+	}
+	if !sawLive {
+		return widestMax
+	}
+	return best
+}
+
+// MemoryBytes returns the total counter memory (bit-packed accounting).
+func (t *Tower) MemoryBytes() int {
+	bits := 0
+	for _, l := range t.levels {
+		bits += int(l.bits) * len(l.counters)
+	}
+	return (bits + 7) / 8
+}
+
+// Reset zeroes all levels.
+func (t *Tower) Reset() {
+	for j := range t.levels {
+		clear(t.levels[j].counters)
+	}
+}

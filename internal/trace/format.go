@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"flymon/internal/packet"
+)
+
+// Binary trace format: a fixed 8-byte header ("FLYMTRC" + version) followed
+// by fixed-width little-endian records. The format exists so generated
+// workloads can be saved once and replayed identically by the daemon, the
+// bench harness, and the examples.
+
+var magic = [8]byte{'F', 'L', 'Y', 'M', 'T', 'R', 'C', 1}
+
+const recordSize = 4 + 4 + 2 + 2 + 1 + 3 /*pad*/ + 4 + 8 + 4 + 4
+
+// ErrBadMagic is returned when a trace stream does not start with the
+// expected header.
+var ErrBadMagic = errors.New("trace: bad magic (not a FlyMon trace)")
+
+// Writer streams packets into the binary trace format.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordSize]byte
+	n   int
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WritePacket appends one packet record.
+func (w *Writer) WritePacket(p *packet.Packet) error {
+	b := w.buf[:]
+	binary.LittleEndian.PutUint32(b[0:], p.SrcIP)
+	binary.LittleEndian.PutUint32(b[4:], p.DstIP)
+	binary.LittleEndian.PutUint16(b[8:], p.SrcPort)
+	binary.LittleEndian.PutUint16(b[10:], p.DstPort)
+	b[12] = p.Proto
+	b[13], b[14], b[15] = 0, 0, 0
+	binary.LittleEndian.PutUint32(b[16:], p.Size)
+	binary.LittleEndian.PutUint64(b[20:], p.TimestampNs)
+	binary.LittleEndian.PutUint32(b[28:], p.QueueLength)
+	binary.LittleEndian.PutUint32(b[32:], p.QueueDelayNs)
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing record %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// WriteTrace appends every packet of t.
+func (w *Writer) WriteTrace(t *Trace) error {
+	for i := range t.Packets {
+		if err := w.WritePacket(&t.Packets[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams packets from the binary trace format.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recordSize]byte
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// ReadPacket reads the next record into p. It returns io.EOF at a clean end
+// of stream.
+func (r *Reader) ReadPacket(p *packet.Packet) error {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: reading record: %w", err)
+	}
+	b := r.buf[:]
+	p.SrcIP = binary.LittleEndian.Uint32(b[0:])
+	p.DstIP = binary.LittleEndian.Uint32(b[4:])
+	p.SrcPort = binary.LittleEndian.Uint16(b[8:])
+	p.DstPort = binary.LittleEndian.Uint16(b[10:])
+	p.Proto = b[12]
+	p.Size = binary.LittleEndian.Uint32(b[16:])
+	p.TimestampNs = binary.LittleEndian.Uint64(b[20:])
+	p.QueueLength = binary.LittleEndian.Uint32(b[28:])
+	p.QueueDelayNs = binary.LittleEndian.Uint32(b[32:])
+	return nil
+}
+
+// ReadAll reads the remainder of the stream into an in-memory Trace.
+func (r *Reader) ReadAll() (*Trace, error) {
+	t := &Trace{}
+	for {
+		var p packet.Packet
+		err := r.ReadPacket(&p)
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Packets = append(t.Packets, p)
+	}
+}

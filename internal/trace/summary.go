@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"flymon/internal/packet"
+)
+
+// Summary aggregates the headline statistics of a trace — the quick look
+// an operator takes before sizing measurement tasks against it.
+type Summary struct {
+	Packets       int
+	Bytes         uint64
+	DurationNs    uint64
+	Flows         int // distinct 5-tuples
+	SrcIPs        int
+	DstIPs        int
+	TopFlowPkts   uint64 // heaviest flow's packet count
+	Top10SharePct float64
+	// HeavyFlows[t] = flows with ≥ t packets, for the standard thresholds.
+	HeavyFlows map[uint64]int
+}
+
+// heavyThresholds are the per-flow packet counts Summarize tallies.
+var heavyThresholds = []uint64{64, 256, 1024, 4096}
+
+// Summarize scans the trace once and aggregates its Summary.
+func Summarize(t *Trace) Summary {
+	s := Summary{HeavyFlows: make(map[uint64]int)}
+	s.Packets = t.Len()
+	if s.Packets == 0 {
+		return s
+	}
+	flows := make(map[packet.CanonicalKey]uint64)
+	srcs := make(map[uint32]bool)
+	dsts := make(map[uint32]bool)
+	for i := range t.Packets {
+		p := &t.Packets[i]
+		s.Bytes += uint64(p.Size)
+		flows[packet.KeyFiveTuple.Extract(p)]++
+		srcs[p.SrcIP] = true
+		dsts[p.DstIP] = true
+	}
+	s.DurationNs = t.Packets[s.Packets-1].TimestampNs - t.Packets[0].TimestampNs
+	s.Flows = len(flows)
+	s.SrcIPs = len(srcs)
+	s.DstIPs = len(dsts)
+
+	counts := make([]uint64, 0, len(flows))
+	for _, c := range flows {
+		counts = append(counts, c)
+		for _, th := range heavyThresholds {
+			if c >= th {
+				s.HeavyFlows[th]++
+			}
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	s.TopFlowPkts = counts[0]
+	var top10 uint64
+	for i := 0; i < 10 && i < len(counts); i++ {
+		top10 += counts[i]
+	}
+	s.Top10SharePct = 100 * float64(top10) / float64(s.Packets)
+	return s
+}
+
+// Render writes the summary in human-readable form.
+func (s Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "packets:        %d\n", s.Packets)
+	fmt.Fprintf(w, "bytes:          %d\n", s.Bytes)
+	fmt.Fprintf(w, "duration:       %v\n", time.Duration(s.DurationNs))
+	fmt.Fprintf(w, "flows (5-tuple): %d\n", s.Flows)
+	fmt.Fprintf(w, "src IPs:        %d\n", s.SrcIPs)
+	fmt.Fprintf(w, "dst IPs:        %d\n", s.DstIPs)
+	fmt.Fprintf(w, "top flow:       %d packets\n", s.TopFlowPkts)
+	fmt.Fprintf(w, "top-10 share:   %.1f%%\n", s.Top10SharePct)
+	for _, th := range heavyThresholds {
+		fmt.Fprintf(w, "flows ≥ %-5d   %d\n", th, s.HeavyFlows[th])
+	}
+}
