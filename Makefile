@@ -1,0 +1,40 @@
+GO ?= go
+BENCH_OUT ?= bench_results.txt
+
+# Hot-path benchmarks whose numbers back the concurrency claims in
+# DESIGN.md. -cpu 1,4 shows the parallel path's scaling; -count=5 gives
+# benchstat enough samples.
+HOT_BENCH = BenchmarkPipelinePerPacket|BenchmarkProcessBatch|BenchmarkProcessParallel|BenchmarkCMUProcess|BenchmarkRegisterExecute
+
+.PHONY: all check vet build test race bench bench-full clean
+
+all: check
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the hot-path microbenchmarks at 1 and 4 cores and saves the
+# output for benchstat comparison against a previous run:
+#   make bench BENCH_OUT=old.txt   # before a change
+#   make bench BENCH_OUT=new.txt   # after
+#   benchstat old.txt new.txt
+bench:
+	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -count=5 -cpu 1,4 -benchmem . | tee $(BENCH_OUT)
+
+# bench-full runs every benchmark once (figures + microbenchmarks).
+bench-full:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+clean:
+	$(GO) clean

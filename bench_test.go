@@ -6,6 +6,7 @@ package flymon
 // versions with: go run ./cmd/flymon-bench -scale full
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"flymon/internal/controlplane"
@@ -116,6 +117,49 @@ func BenchmarkPipelinePerPacket(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctrl.Process(&tr.Packets[i&4095])
+	}
+}
+
+// BenchmarkProcessBatch measures the snapshot fast path replaying a 4096-
+// packet batch sequentially through the same loaded pipeline as
+// BenchmarkPipelinePerPacket. Reported per packet.
+func BenchmarkProcessBatch(b *testing.B) {
+	ctrl := controlplane.NewController(controlplane.Config{Groups: 9, Buckets: 65536, BitWidth: 32})
+	for g := 0; g < 9; g++ {
+		_, err := ctrl.AddTask(controlplane.TaskSpec{
+			Name: "t", Key: packet.KeyFiveTuple,
+			Attribute: controlplane.AttrFrequency, MemBuckets: 16384, D: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tr := trace.Generate(trace.Config{Flows: 1000, Packets: 4096, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(tr.Packets) {
+		ctrl.ProcessBatch(tr.Packets)
+	}
+}
+
+// BenchmarkProcessParallel measures the lock-free parallel fast path:
+// GOMAXPROCS workers sharing one RCU snapshot and CAS-updated registers.
+// Reported per packet; compare -cpu 1 vs -cpu 4 for scaling.
+func BenchmarkProcessParallel(b *testing.B) {
+	ctrl := controlplane.NewController(controlplane.Config{Groups: 9, Buckets: 65536, BitWidth: 32})
+	for g := 0; g < 9; g++ {
+		_, err := ctrl.AddTask(controlplane.TaskSpec{
+			Name: "t", Key: packet.KeyFiveTuple,
+			Attribute: controlplane.AttrFrequency, MemBuckets: 16384, D: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tr := trace.Generate(trace.Config{Flows: 1000, Packets: 65536, Seed: 1})
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(tr.Packets) {
+		ctrl.ProcessParallel(tr.Packets, workers)
 	}
 }
 

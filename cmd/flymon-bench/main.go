@@ -7,7 +7,8 @@
 //
 // With no experiment arguments it runs everything. Experiments: fig2,
 // table3, fig11, fig12a, fig12b, fig13a, fig13b, fig13c, fig14a, fig14b,
-// fig14c, fig14d, fig14e, fig14f, fig14g, ablations.
+// fig14c, fig14d, fig14e, fig14f, fig14g, appendixe, multitasking,
+// throughput, ablations.
 package main
 
 import (
@@ -68,6 +69,7 @@ func main() {
 		"fig14g":       func() []*experiments.Table { return []*experiments.Table{experiments.Fig14g(scale, *seed)} },
 		"appendixe":    func() []*experiments.Table { return []*experiments.Table{experiments.AppendixE(scale, *seed)} },
 		"multitasking": func() []*experiments.Table { return []*experiments.Table{experiments.Multitasking(scale, *seed)} },
+		"throughput":   func() []*experiments.Table { return []*experiments.Table{experiments.Throughput(scale, *seed)} },
 		"ablations": func() []*experiments.Table {
 			return []*experiments.Table{
 				experiments.AblationSubParts(scale, *seed),
@@ -153,6 +155,7 @@ experiments:
   fig14g   existence-check false positives vs memory
   appendixe  recirculation splicing: capacity vs bandwidth overhead
   multitasking  96 isolated tasks on one CMU Group (§5.1)
+  throughput  lock-free batch/parallel packet rate vs worker count
   ablations  design-choice ablations (sub-parts, translation, memory modes, XOR keys)
 `)
 }

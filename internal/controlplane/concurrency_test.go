@@ -1,0 +1,231 @@
+package controlplane
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+func freqSpec(name string, filter packet.Filter, buckets int) TaskSpec {
+	return TaskSpec{
+		Name: name, Filter: filter, Key: packet.KeyFiveTuple,
+		Attribute: AttrFrequency, MemBuckets: buckets, D: 3,
+	}
+}
+
+// readAll reads every register row of a task, failing the test on error.
+func readAll(t *testing.T, c *Controller, id int) [][]uint32 {
+	t.Helper()
+	rows, err := c.ReadRegisters(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestBatchMatchesSequential: the batch fast path and the per-packet path
+// produce identical register state for deterministic (non-probabilistic)
+// tasks.
+func TestBatchMatchesSequential(t *testing.T) {
+	tr := trace.Generate(trace.Config{Flows: 800, Packets: 30_000, Seed: 11})
+	build := func() (*Controller, int) {
+		c := NewController(Config{Groups: 2, Buckets: 16384, BitWidth: 32})
+		task, err := c.AddTask(freqSpec("hh", packet.MatchAll, 4096))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, task.ID
+	}
+
+	cSeq, idSeq := build()
+	for i := range tr.Packets {
+		cSeq.Process(&tr.Packets[i])
+	}
+	cBatch, idBatch := build()
+	cBatch.ProcessBatch(tr.Packets)
+
+	a, b := readAll(t, cSeq, idSeq), readAll(t, cBatch, idBatch)
+	for r := range a {
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("row %d bucket %d: sequential %d != batch %d", r, i, a[r][i], b[r][i])
+			}
+		}
+	}
+}
+
+// TestParallelSingleWorkerMatchesBatch: ProcessParallel with one worker is
+// bit-for-bit the sequential batch path.
+func TestParallelSingleWorkerMatchesBatch(t *testing.T) {
+	tr := trace.Generate(trace.Config{Flows: 800, Packets: 30_000, Seed: 12})
+	build := func() (*Controller, int) {
+		c := NewController(Config{Groups: 2, Buckets: 16384, BitWidth: 32})
+		task, err := c.AddTask(freqSpec("hh", packet.MatchAll, 4096))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, task.ID
+	}
+
+	cBatch, idBatch := build()
+	cBatch.ProcessBatch(tr.Packets)
+	cPar, idPar := build()
+	cPar.ProcessParallel(tr.Packets, 1)
+
+	a, b := readAll(t, cBatch, idBatch), readAll(t, cPar, idPar)
+	for r := range a {
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("row %d bucket %d: batch %d != 1-worker parallel %d", r, i, a[r][i], b[r][i])
+			}
+		}
+	}
+}
+
+// TestParallelExactMass: frequency counting is per-bucket commutative, so
+// a many-worker replay keeps every row's total mass exact.
+func TestParallelExactMass(t *testing.T) {
+	tr := trace.Generate(trace.Config{Flows: 500, Packets: 40_000, Seed: 13})
+	c := NewController(Config{Groups: 1, Buckets: 16384, BitWidth: 32})
+	task, err := c.AddTask(freqSpec("hh", packet.MatchAll, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProcessParallel(tr.Packets, 8)
+	for r, row := range readAll(t, c, task.ID) {
+		var mass uint64
+		for _, v := range row {
+			mass += uint64(v)
+		}
+		if mass != uint64(len(tr.Packets)) {
+			t.Fatalf("row %d mass %d, want %d", r, mass, len(tr.Packets))
+		}
+	}
+}
+
+// TestConcurrentReconfigStress hammers the parallel packet path while the
+// control plane adds, freezes, thaws, resizes, and removes tasks — the
+// paper's on-the-fly reconfiguration claim, verified under -race. A stable
+// task owns a disjoint traffic slice throughout; its counters must stay
+// exact no matter how many snapshots were swapped mid-flight.
+func TestConcurrentReconfigStress(t *testing.T) {
+	const (
+		batches   = 40
+		batchSize = 2_000
+	)
+	c := NewController(Config{Groups: 4, Buckets: 16384, BitWidth: 32})
+
+	// The stable task measures DstPort=9 traffic only.
+	stable, err := c.AddTask(freqSpec("stable", packet.Filter{DstPort: 9}, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := trace.Generate(trace.Config{Flows: 400, Packets: batches * batchSize, Seed: 14})
+	for i := range tr.Packets {
+		tr.Packets[i].DstPort = 9
+	}
+
+	var processed atomic.Uint64
+	var wg sync.WaitGroup
+
+	// Data-plane workers: replay the trace in parallel batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < batches; b++ {
+			seg := tr.Packets[b*batchSize : (b+1)*batchSize]
+			c.ProcessParallel(seg, 4)
+			processed.Add(uint64(len(seg)))
+		}
+	}()
+
+	// Control plane: churn tasks on a disjoint traffic slice (DstPort=7).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		churn := freqSpec("churn", packet.Filter{DstPort: 7}, 1024)
+		for i := 0; i < 60; i++ {
+			task, err := c.AddTask(churn)
+			if err != nil {
+				continue // transiently out of resources: keep churning
+			}
+			switch i % 4 {
+			case 0:
+				_ = c.FreezeTask(task.ID)
+				_ = c.ThawTask(task.ID)
+			case 1:
+				_, _ = c.ResizeTask(task.ID, 2048)
+			case 2:
+				_, _ = c.ReadRegisters(task.ID)
+			}
+			if err := c.RemoveTask(task.ID); err != nil {
+				t.Errorf("remove churn task: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Control-plane reader: queries must never crash mid-swap.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		k := packet.KeyFiveTuple.Extract(&tr.Packets[0])
+		for i := 0; i < 200; i++ {
+			_, _ = c.EstimateKey(stable.ID, k)
+			_ = c.Tasks()
+			_ = c.FreeBuckets()
+		}
+	}()
+
+	wg.Wait()
+
+	// Every packet went through exactly one snapshot, and every snapshot
+	// contained the stable task: its register mass must be exact.
+	for r, row := range readAll(t, c, stable.ID) {
+		var mass uint64
+		for _, v := range row {
+			mass += uint64(v)
+		}
+		if mass != processed.Load() {
+			t.Fatalf("stable task row %d mass %d, want %d: reconfiguration must not disturb co-resident tasks",
+				r, mass, processed.Load())
+		}
+	}
+}
+
+// TestSnapshotPublishedOnMutation: a packet processed after AddTask must
+// hit the new task without any explicit refresh, and stop hitting it after
+// RemoveTask — the RCU swap is part of the mutation.
+func TestSnapshotPublishedOnMutation(t *testing.T) {
+	c := NewController(Config{Groups: 1, Buckets: 4096, BitWidth: 32})
+	task, err := c.AddTask(freqSpec("t", packet.MatchAll, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := packet.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	c.Process(&p)
+	k := packet.KeyFiveTuple.Extract(&p)
+	if v, _ := c.EstimateKey(task.ID, k); v != 1 {
+		t.Fatalf("estimate after install = %v, want 1", v)
+	}
+
+	if err := c.FreezeTask(task.ID); err != nil {
+		t.Fatal(err)
+	}
+	c.Process(&p) // frozen: must not count
+	if v, _ := c.EstimateKey(task.ID, k); v != 1 {
+		t.Fatalf("estimate after freeze = %v, want 1 (frozen rules match no traffic)", v)
+	}
+
+	if err := c.ThawTask(task.ID); err != nil {
+		t.Fatal(err)
+	}
+	c.Process(&p)
+	if v, _ := c.EstimateKey(task.ID, k); v != 2 {
+		t.Fatalf("estimate after thaw = %v, want 2", v)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flymon/internal/analysis"
@@ -47,6 +48,14 @@ type Controller struct {
 	groups   []*core.Group       // regular groups, then spliced groups
 	regular  int                 // count of regular (non-recirculated) groups
 	allocs   [][]*BuddyAllocator // [group][cmu]
+
+	// snap is the RCU-published compiled data-plane configuration. Every
+	// control-plane mutation rebuilds it under mu and swaps the pointer;
+	// the packet path only ever loads it, so reconfiguration never blocks
+	// traffic (the paper's on-the-fly property).
+	snap atomic.Pointer[core.Snapshot]
+	// ctxPool recycles per-worker scratch contexts for the packet path.
+	ctxPool sync.Pool
 
 	tasks  map[int]*Task
 	nextID int
@@ -149,30 +158,63 @@ func NewController(cfg Config) *Controller {
 		}
 		c.allocs = append(c.allocs, cmus)
 	}
+	c.ctxPool.New = func() any { return core.NewProcCtxUnique() }
+	c.publishLocked()
 	return c
+}
+
+// publishLocked compiles the pipeline's current configuration and swaps in
+// the new snapshot. Callers hold c.mu (or are the constructor).
+func (c *Controller) publishLocked() {
+	c.snap.Store(c.pipeline.Compile())
+}
+
+// Republish recompiles and republishes the data-plane snapshot. The
+// controller does this automatically after every task-mutating call; it is
+// needed only after mutating the pipeline directly through Pipeline().
+func (c *Controller) Republish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publishLocked()
 }
 
 // Pipeline exposes the data plane (the daemon feeds packets through it).
 func (c *Controller) Pipeline() *core.Pipeline { return c.pipeline }
 
-// Process pushes one packet through the data plane. It takes the
-// controller lock so concurrent control-channel operations (rule installs,
-// register readouts) serialize against packet processing, as the switch
-// driver does; batch replay paths amortize the lock with ProcessBatch.
+// Process pushes one packet through the data plane. The packet path is
+// lock-free: it loads the RCU-published snapshot and executes against its
+// frozen rule copies, so concurrent control-channel operations (rule
+// installs, freezes, memory moves) never stall traffic — the switch
+// hardware property FlyMon's on-the-fly reconfiguration relies on.
+// Process is safe for concurrent callers.
 func (c *Controller) Process(p *packet.Packet) {
-	c.mu.Lock()
-	c.pipeline.Process(p)
-	c.mu.Unlock()
+	snap := c.snap.Load()
+	pc := c.ctxPool.Get().(*core.ProcCtx)
+	snap.Process(pc, p)
+	c.ctxPool.Put(pc)
 }
 
-// ProcessBatch pushes a packet slice through the data plane under one lock
-// acquisition.
+// ProcessBatch pushes a packet slice through the data plane sequentially
+// on one fresh worker context, against one consistent snapshot. Identical
+// batches replay identically, and ProcessParallel(ps, 1) is bit-for-bit
+// equal to ProcessBatch(ps).
 func (c *Controller) ProcessBatch(ps []packet.Packet) {
-	c.mu.Lock()
-	for i := range ps {
-		c.pipeline.Process(&ps[i])
+	if len(ps) == 0 {
+		return
 	}
-	c.mu.Unlock()
+	c.snap.Load().ProcessBatch(ps)
+}
+
+// ProcessParallel shards a packet batch across a pool of `workers`
+// goroutines — the multi-pipe model: every worker executes against the
+// same consistent snapshot with its own scratch context, and register
+// updates go through per-bucket atomic CAS. workers <= 0 uses GOMAXPROCS;
+// workers == 1 is bit-for-bit identical to ProcessBatch.
+func (c *Controller) ProcessParallel(ps []packet.Packet, workers int) {
+	if len(ps) == 0 {
+		return
+	}
+	c.snap.Load().ProcessParallel(ps, workers)
 }
 
 // Tasks returns deployed tasks sorted by ID.
@@ -229,6 +271,7 @@ func (c *Controller) addTaskLocked(spec TaskSpec) (*Task, error) {
 	c.nextID++
 	c.tasks[id] = task
 	task.Delay = c.Delay.Delay(c.countRules(task))
+	c.publishLocked()
 	return task, nil
 }
 
@@ -521,6 +564,7 @@ func (c *Controller) removeTaskLocked(id int) error {
 		}
 	}
 	delete(c.tasks, id)
+	c.publishLocked()
 	return nil
 }
 
@@ -575,6 +619,7 @@ func (c *Controller) FreezeTask(id int) error {
 	for _, loc := range locs {
 		loc.Rule.Disabled = true
 	}
+	c.publishLocked()
 	return nil
 }
 
@@ -602,6 +647,7 @@ func (c *Controller) ThawTask(id int) error {
 	for _, loc := range locs {
 		loc.Rule.Disabled = false
 	}
+	c.publishLocked()
 	return nil
 }
 

@@ -43,8 +43,6 @@ type Group struct {
 	// keyUse tracks which KeySpec each compression unit currently digests
 	// (control-plane bookkeeping for greedy placement, §3.4).
 	keyUse []packet.KeySpec
-
-	keyBuf []uint32
 }
 
 // GroupConfig parameterizes group construction; zero values take the
@@ -78,7 +76,6 @@ func NewGroup(cfg GroupConfig) *Group {
 	g := &Group{
 		id:     cfg.ID,
 		keyUse: make([]packet.KeySpec, cfg.CompressionUnits),
-		keyBuf: make([]uint32, cfg.CompressionUnits),
 	}
 	for i := 0; i < cfg.CompressionUnits; i++ {
 		// Different groups get different polynomial offsets so their
@@ -142,13 +139,15 @@ func (g *Group) FreeUnit() int {
 
 // Process pushes one packet through the group: the compression stage
 // digests the candidate key set under every live hash mask, then each CMU
-// runs its matched task.
-func (g *Group) Process(ctx *Context) {
+// runs its matched task. The compressed keys land in the caller's ProcCtx
+// scratch, so concurrent workers each carry their own buffer.
+func (g *Group) Process(pc *ProcCtx) {
+	buf := pc.unitKeys(len(g.units))
 	for i, u := range g.units {
-		g.keyBuf[i] = u.Hash(ctx.Pkt)
+		buf[i] = u.Hash(pc.Ctx.Pkt)
 	}
 	for _, c := range g.cmus {
-		c.Process(ctx, g.keyBuf)
+		c.Process(&pc.Ctx, buf)
 	}
 }
 

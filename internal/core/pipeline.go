@@ -2,9 +2,78 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"flymon/internal/packet"
 )
+
+// rngSeed is the xorshift seed every fresh per-worker context starts from,
+// keeping single-context replays deterministic across runs.
+const rngSeed = 0x9E3779B97F4A7C15
+
+// ProcCtx is the per-worker scratch a packet needs on its way through the
+// data plane: the PHV Context plus the compressed-key buffers the
+// compression stage fills. One ProcCtx serves one worker; concurrent
+// workers each own their own, which is what makes the packet path safe to
+// run on many cores (the registers themselves are atomic).
+type ProcCtx struct {
+	Ctx Context
+
+	// keyBuf holds one group's compressed keys (interpretive path) or the
+	// per-group remap of deduplicated hashes (snapshot path).
+	keyBuf []uint32
+	// masked caches the distinct masked canonical keys of the current
+	// packet, indexed by the snapshot's mask table.
+	masked []packet.CanonicalKey
+	// hashes caches the distinct (mask, polynomial) digests of the current
+	// packet, indexed by the snapshot's hash table.
+	hashes []uint32
+}
+
+// NewProcCtx returns a fresh worker context with the deterministic seed.
+func NewProcCtx() *ProcCtx {
+	return &ProcCtx{Ctx: Context{rng: rngSeed}}
+}
+
+// ctxSeq numbers unique-stream contexts so no two share an rng stream.
+var ctxSeq atomic.Uint64
+
+// NewProcCtxUnique returns a worker context whose rng stream differs from
+// every other context's (splitmix64 of a global counter). Pools that may
+// drop and recreate contexts at arbitrary times must use this: restarting
+// the fixed-seed stream mid-replay would re-deal the same coin-flip prefix
+// and bias probabilistic rules. Batch replays that need reproducibility
+// use NewProcCtx instead.
+func NewProcCtxUnique() *ProcCtx {
+	z := ctxSeq.Add(1) * 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = rngSeed
+	}
+	return &ProcCtx{Ctx: Context{rng: z}}
+}
+
+// reset re-arms the context for a new packet (or a recirculated copy: a
+// fresh PHV), preserving the rng state.
+func (pc *ProcCtx) reset(p *packet.Packet) {
+	pc.Ctx.Pkt = p
+	pc.Ctx.PrevResult = 0
+	pc.Ctx.PrevOld = 0
+	pc.Ctx.PrevNewFlow = false
+	pc.Ctx.RunningMin = ^uint32(0)
+}
+
+// unitKeys returns a scratch slice for n compressed keys.
+func (pc *ProcCtx) unitKeys(n int) []uint32 {
+	if cap(pc.keyBuf) < n {
+		pc.keyBuf = make([]uint32, n)
+	}
+	return pc.keyBuf[:n]
+}
 
 // Pipeline is an ordered set of CMU Groups sharing one RMT pipeline.
 // Packets traverse groups in order; the per-packet Context threads the CMU
@@ -15,19 +84,24 @@ import (
 // the pipeline's ends form up to three additional CMU Groups reachable
 // only by mirroring and recirculating a packet — measurement capacity
 // bought with bandwidth. A packet is recirculated only when some spliced
-// group has a task matching it.
+// group has an enabled task matching it.
+//
+// Process interprets the mutable group/rule structures directly and is
+// single-threaded (one internal ProcCtx). For the concurrent fast path,
+// Compile the pipeline into an immutable Snapshot and process through
+// that; the packet counters are atomic and shared by both paths.
 type Pipeline struct {
 	groups  []*Group
 	spliced []*Group
 
-	packets      uint64
-	recirculated uint64
-	ctx          Context
+	packets      atomic.Uint64
+	recirculated atomic.Uint64
+	pc           *ProcCtx
 }
 
 // NewPipeline builds a pipeline of n default-geometry CMU Groups.
 func NewPipeline(n int) *Pipeline {
-	p := &Pipeline{ctx: Context{rng: 0x9E3779B97F4A7C15}}
+	p := &Pipeline{pc: NewProcCtx()}
 	for i := 0; i < n; i++ {
 		p.groups = append(p.groups, NewGroup(GroupConfig{ID: i}))
 	}
@@ -36,7 +110,7 @@ func NewPipeline(n int) *Pipeline {
 
 // NewPipelineWith builds a pipeline from explicit groups.
 func NewPipelineWith(groups ...*Group) *Pipeline {
-	return &Pipeline{groups: groups, ctx: Context{rng: 0x9E3779B97F4A7C15}}
+	return &Pipeline{groups: groups, pc: NewProcCtx()}
 }
 
 // Groups returns the number of groups.
@@ -60,40 +134,41 @@ func (pl *Pipeline) AddSpliced(g *Group) error {
 func (pl *Pipeline) SplicedGroups() int { return len(pl.spliced) }
 
 // Process pushes one packet through every group in pipeline order, and —
-// when a spliced group has a task for it — mirrors and recirculates it
-// through the spliced groups.
+// when a spliced group has an enabled task for it — mirrors and
+// recirculates it through the spliced groups. Process uses the pipeline's
+// own scratch context and must not be called concurrently; use
+// ProcessCtx with per-worker contexts (or a compiled Snapshot) for that.
 func (pl *Pipeline) Process(p *packet.Packet) {
-	pl.packets++
-	pl.resetCtx(p)
+	pl.ProcessCtx(pl.pc, p)
+}
+
+// ProcessCtx is Process with a caller-owned worker context.
+func (pl *Pipeline) ProcessCtx(pc *ProcCtx, p *packet.Packet) {
+	pl.packets.Add(1)
+	pc.reset(p)
 	for _, g := range pl.groups {
-		g.Process(&pl.ctx)
+		g.Process(pc)
 	}
 	if len(pl.spliced) == 0 || !pl.splicedWants(p) {
 		return
 	}
 	// The mirrored copy re-enters the pipeline: a fresh PHV.
-	pl.recirculated++
-	pl.resetCtx(p)
+	pl.recirculated.Add(1)
+	pc.reset(p)
 	for _, g := range pl.spliced {
-		g.Process(&pl.ctx)
+		g.Process(pc)
 	}
 }
 
-func (pl *Pipeline) resetCtx(p *packet.Packet) {
-	pl.ctx.Pkt = p
-	pl.ctx.PrevResult = 0
-	pl.ctx.PrevOld = 0
-	pl.ctx.PrevNewFlow = false
-	pl.ctx.RunningMin = ^uint32(0)
-}
-
-// splicedWants reports whether any spliced-group task matches p — the
-// mirror decision the first pass takes.
+// splicedWants reports whether any enabled spliced-group task matches p —
+// the mirror decision the first pass takes. Disabled (frozen) rules match
+// no traffic, so they must not trigger a mirror either: a frozen spliced
+// task costs no recirculation bandwidth.
 func (pl *Pipeline) splicedWants(p *packet.Packet) bool {
 	for _, g := range pl.spliced {
 		for i := 0; i < g.CMUs(); i++ {
 			for _, r := range g.CMU(i).Rules() {
-				if r.Filter.Matches(p) {
+				if !r.Disabled && r.Filter.Matches(p) {
 					return true
 				}
 			}
@@ -103,11 +178,11 @@ func (pl *Pipeline) splicedWants(p *packet.Packet) bool {
 }
 
 // Packets returns the number of packets processed.
-func (pl *Pipeline) Packets() uint64 { return pl.packets }
+func (pl *Pipeline) Packets() uint64 { return pl.packets.Load() }
 
 // Recirculated returns the number of packets mirrored through the spliced
 // groups; Recirculated/Packets is the Appendix-E bandwidth overhead.
-func (pl *Pipeline) Recirculated() uint64 { return pl.recirculated }
+func (pl *Pipeline) Recirculated() uint64 { return pl.recirculated.Load() }
 
 // FindTask locates a task's rule: it returns the group, CMU index and rule
 // for every CMU carrying taskID.

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"flymon/internal/dataplane"
+	"flymon/internal/hashing"
+	"flymon/internal/packet"
+)
+
+// Snapshot is an immutable compiled view of a pipeline's current runtime
+// configuration — the RCU read side of FlyMon's on-the-fly reconfiguration.
+// The control plane mutates the master Pipeline under its own lock, then
+// Compiles a fresh Snapshot and publishes it through an atomic pointer;
+// packet workers only ever load the pointer and execute against the frozen
+// rule copies inside, so rule installs, freezes, and memory moves never
+// stall traffic.
+//
+// Compilation also optimizes the per-packet work:
+//
+//   - the masked canonical key is extracted once per distinct field mask
+//     (units across groups usually share masks — every group's bootstrap
+//     unit digests the 5-tuple),
+//   - each distinct (mask, polynomial) digest is computed once and fanned
+//     out to every unit that needs it,
+//   - groups with zero enabled rules are dropped entirely, so their
+//     compression stage costs nothing,
+//   - disabled (frozen) rules are compiled out, including from the
+//     spliced-group mirror decision.
+//
+// Register state is shared with the master pipeline by pointer: updates go
+// through the registers' atomic CAS ops, and control-plane readouts observe
+// them immediately.
+type Snapshot struct {
+	pl *Pipeline // counters (atomic) shared with the master pipeline
+
+	groups  []snapGroup
+	spliced []snapGroup
+	// splicedFilters are the enabled spliced-group rule filters: the
+	// compiled mirror decision.
+	splicedFilters []packet.Filter
+
+	// masks are the distinct per-field masks live units digest; hashes the
+	// distinct (mask, polynomial) digests. Entries below nMainMasks /
+	// nMainHashes are needed by the first pass; the rest only by the
+	// recirculated pass.
+	masks       [][packet.NumFields]uint32
+	hashes      []snapHash
+	nMainMasks  int
+	nMainHashes int
+
+	maxUnits int
+}
+
+type snapHash struct {
+	mask int // index into Snapshot.masks
+	h    hashing.Hasher
+}
+
+type snapGroup struct {
+	// unitHash maps the group's local unit index to an entry of
+	// Snapshot.hashes, or -1 for an idle unit (its compressed key is 0).
+	unitHash []int
+	cmus     []snapCMU
+}
+
+type snapCMU struct {
+	reg *dataplane.Register
+	// rules are value copies of the CMU's enabled rules, in install
+	// (priority) order.
+	rules []Rule
+}
+
+// Compile freezes the pipeline's current configuration into a Snapshot.
+// The caller must ensure no concurrent mutation of the pipeline's groups
+// or rules during compilation (the controller compiles under its lock).
+func (pl *Pipeline) Compile() *Snapshot {
+	s := &Snapshot{pl: pl}
+	maskIdx := make(map[[packet.NumFields]uint32]int)
+	type hashKey struct {
+		mask, poly int
+	}
+	hashIdx := make(map[hashKey]int)
+
+	compile := func(g *Group) (snapGroup, bool) {
+		sg := snapGroup{unitHash: make([]int, len(g.units))}
+		live := false
+		for _, c := range g.cmus {
+			sc := snapCMU{reg: c.register}
+			for _, r := range c.rules {
+				if r.Disabled {
+					continue
+				}
+				sc.rules = append(sc.rules, *r)
+			}
+			if len(sc.rules) > 0 {
+				live = true
+			}
+			sg.cmus = append(sg.cmus, sc)
+		}
+		if !live {
+			return sg, false
+		}
+		for ui, u := range g.units {
+			if !u.Live() {
+				sg.unitHash[ui] = -1
+				continue
+			}
+			mask := u.Mask()
+			mi, ok := maskIdx[mask]
+			if !ok {
+				mi = len(s.masks)
+				maskIdx[mask] = mi
+				s.masks = append(s.masks, mask)
+			}
+			hk := hashKey{mask: mi, poly: u.Index()}
+			hi, ok := hashIdx[hk]
+			if !ok {
+				hi = len(s.hashes)
+				hashIdx[hk] = hi
+				s.hashes = append(s.hashes, snapHash{mask: mi, h: u.Hasher()})
+			}
+			sg.unitHash[ui] = hi
+		}
+		if len(sg.unitHash) > s.maxUnits {
+			s.maxUnits = len(sg.unitHash)
+		}
+		return sg, true
+	}
+
+	for _, g := range pl.groups {
+		if sg, ok := compile(g); ok {
+			s.groups = append(s.groups, sg)
+		}
+	}
+	s.nMainMasks, s.nMainHashes = len(s.masks), len(s.hashes)
+	for _, g := range pl.spliced {
+		sg, ok := compile(g)
+		if !ok {
+			continue
+		}
+		s.spliced = append(s.spliced, sg)
+		for ci := range sg.cmus {
+			for ri := range sg.cmus[ci].rules {
+				s.splicedFilters = append(s.splicedFilters, sg.cmus[ci].rules[ri].Filter)
+			}
+		}
+	}
+	return s
+}
+
+// Process pushes one packet through the compiled pipeline. Safe for
+// concurrent callers as long as each carries its own ProcCtx.
+func (s *Snapshot) Process(pc *ProcCtx, p *packet.Packet) {
+	s.pl.packets.Add(1)
+	pc.reset(p)
+	s.digest(pc, p, 0, s.nMainMasks, 0, s.nMainHashes)
+	for gi := range s.groups {
+		s.groups[gi].process(pc)
+	}
+	if len(s.splicedFilters) == 0 || !s.wants(p) {
+		return
+	}
+	// The mirrored copy re-enters the pipeline: a fresh PHV.
+	s.pl.recirculated.Add(1)
+	pc.reset(p)
+	s.digest(pc, p, s.nMainMasks, len(s.masks), s.nMainHashes, len(s.hashes))
+	for gi := range s.spliced {
+		s.spliced[gi].process(pc)
+	}
+}
+
+// digest fills the context's masked-key and hash caches for mask entries
+// [m0, m1) and hash entries [h0, h1).
+func (s *Snapshot) digest(pc *ProcCtx, p *packet.Packet, m0, m1, h0, h1 int) {
+	if cap(pc.masked) < len(s.masks) {
+		pc.masked = make([]packet.CanonicalKey, len(s.masks))
+	}
+	if cap(pc.hashes) < len(s.hashes) {
+		pc.hashes = make([]uint32, len(s.hashes))
+	}
+	pc.masked = pc.masked[:len(s.masks)]
+	pc.hashes = pc.hashes[:len(s.hashes)]
+	for m := m0; m < m1; m++ {
+		pc.masked[m] = packet.ExtractMasked(p, s.masks[m])
+	}
+	for hi := h0; hi < h1; hi++ {
+		sh := &s.hashes[hi]
+		pc.hashes[hi] = sh.h.Sum(pc.masked[sh.mask])
+	}
+}
+
+// wants reports whether any enabled spliced-group task matches p.
+func (s *Snapshot) wants(p *packet.Packet) bool {
+	for i := range s.splicedFilters {
+		if s.splicedFilters[i].Matches(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (sg *snapGroup) process(pc *ProcCtx) {
+	buf := pc.unitKeys(len(sg.unitHash))
+	for i, hi := range sg.unitHash {
+		if hi >= 0 {
+			buf[i] = pc.hashes[hi]
+		} else {
+			buf[i] = 0
+		}
+	}
+	for ci := range sg.cmus {
+		sg.cmus[ci].process(&pc.Ctx, buf)
+	}
+}
+
+func (sc *snapCMU) process(ctx *Context, keys []uint32) {
+	for i := range sc.rules {
+		r := &sc.rules[i]
+		if !r.Filter.Matches(ctx.Pkt) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && !ctx.coin(r.Prob) {
+			return // sampled out: the packet consumed its one access slot
+		}
+		executeRule(ctx, r, sc.reg, keys, true)
+		return // one task per packet per CMU
+	}
+}
+
+// ProcessBatch pushes a packet slice through the snapshot sequentially
+// with one worker context. A fresh context is used per call, so replays
+// are deterministic.
+func (s *Snapshot) ProcessBatch(ps []packet.Packet) {
+	pc := NewProcCtx()
+	for i := range ps {
+		s.Process(pc, &ps[i])
+	}
+}
+
+// ProcessParallel shards a packet batch across a pool of workers, each
+// with its own ProcCtx, all executing against this one consistent
+// snapshot. workers <= 1 degenerates to the sequential ProcessBatch (and
+// is bit-for-bit identical to it). Per-bucket updates are atomic; counts
+// are exact because the stateful ops commute per bucket, but multi-bucket
+// invariants may be observed mid-update by concurrent readers.
+func (s *Snapshot) ProcessParallel(ps []packet.Packet, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	if workers <= 1 {
+		s.ProcessBatch(ps)
+		return
+	}
+	chunk := (len(ps) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(ps); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ps) {
+			hi = len(ps)
+		}
+		wg.Add(1)
+		go func(seg []packet.Packet) {
+			defer wg.Done()
+			pc := NewProcCtx()
+			for i := range seg {
+				s.Process(pc, &seg[i])
+			}
+		}(ps[lo:hi])
+	}
+	wg.Wait()
+}

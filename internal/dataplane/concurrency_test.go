@@ -1,0 +1,76 @@
+package dataplane
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCondAddConcurrentExact: Cond-ADD with p2=+∞ is an unconditional add,
+// which commutes per bucket — G goroutines hammering overlapping buckets
+// through Apply's CAS loop must lose no increments. (Execute/ApplySeq are
+// the single-writer variants and are exercised by the semantics tests.)
+func TestCondAddConcurrentExact(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20_000
+		buckets    = 64
+	)
+	r := NewRegister(buckets, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Stride patterns differ per goroutine so every bucket sees
+				// contention from several writers.
+				r.Apply(OpCondAdd, uint32((i*7+g)%buckets), 1, ^uint32(0))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var mass uint64
+	for i := 0; i < buckets; i++ {
+		mass += uint64(r.Read(uint32(i)))
+	}
+	if want := uint64(goroutines * perG); mass != want {
+		t.Fatalf("total mass %d, want %d: CAS loop dropped increments", mass, want)
+	}
+}
+
+// TestMaxConcurrentUpperBound: concurrent MAX updates must converge to the
+// true maximum regardless of interleaving.
+func TestMaxConcurrentExact(t *testing.T) {
+	const goroutines = 8
+	r := NewRegister(1, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for v := uint32(0); v < 10_000; v++ {
+				r.Apply(OpMax, 0, v*uint32(g+1), 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if want := uint32(9_999 * goroutines); r.Read(0) != want {
+		t.Fatalf("max = %d, want %d", r.Read(0), want)
+	}
+}
+
+// TestApplyWitnessesOldValue: Apply must return the exact pre-update value
+// it CASed against — the DetectNew (Bloom) predicate depends on it.
+func TestApplyWitnessesOldValue(t *testing.T) {
+	r := NewRegister(4, 32)
+	if _, old := r.Apply(OpAndOr, 0, 0b0101, 0b0101); old != 0 {
+		t.Fatalf("first OR witnessed old=%d, want 0 (new flow)", old)
+	}
+	if _, old := r.Apply(OpAndOr, 0, 0b0101, 0b0101); old&0b0101 == 0 {
+		t.Fatalf("second OR witnessed old=%d, want bits already set", old)
+	}
+	if res, old := r.Apply(OpCondAdd, 1, 5, ^uint32(0)); res != 5 || old != 0 {
+		t.Fatalf("Cond-ADD returned (%d, %d), want (5, 0)", res, old)
+	}
+}

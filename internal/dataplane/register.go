@@ -1,6 +1,9 @@
 package dataplane
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // StatefulOp identifies one of the register actions a SALU can preload.
 // FlyMon's reduced operation set (§3.1.2, Appendix A) needs only three,
@@ -60,8 +63,23 @@ var ExtendedOperationSet = []StatefulOp{OpCondAdd, OpMax, OpAndOr, OpXor}
 // the executed action is selected per packet.
 //
 // The register enforces the single-access-per-packet constraint indirectly:
-// Execute touches exactly one bucket, and the CMU layer never issues two
-// Executes for one packet.
+// each stateful op touches exactly one bucket, and the CMU layer never
+// issues two ops for one packet.
+//
+// Two update variants are offered, mirroring the two packet paths above:
+//
+//   - ApplySeq/Execute: plain read-modify-write for a single writer — the
+//     interpretive pipeline path and single-threaded replays. Fastest; must
+//     not run concurrently with anything else touching the register.
+//   - Apply: a CAS loop per stateful op, safe for concurrent writers —
+//     the snapshot fast path, modeling the independent pipes of a real
+//     switch where each pipe's SALU performs its read-modify-write in one
+//     hardware clock. Per-bucket updates are linearizable, but no atomicity
+//     is promised across buckets (the d rows of a sketch may be observed
+//     mid-update by a concurrent reader, exactly as on hardware).
+//
+// Read/ReadRange/ClearRange use atomic bucket access so control-plane
+// readout can overlap the concurrent path.
 type Register struct {
 	buckets  []uint32
 	bitWidth int
@@ -99,48 +117,126 @@ func (r *Register) MemoryBytes() int { return len(r.buckets) * r.bitWidth / 8 }
 // SRAMBlocks returns the SRAM blocks this register occupies.
 func (r *Register) SRAMBlocks() int { return SRAMBlocksFor(len(r.buckets), r.bitWidth) }
 
-// Accesses returns the number of Execute calls served (test/diagnostic).
-func (r *Register) Accesses() uint64 { return r.accesses }
+// Accesses returns the number of single-writer update calls served
+// (Execute/ApplySeq; test/diagnostic). The concurrent Apply path does not
+// count: a second interlocked operation per update would double the cost
+// of the packet hot path for a number the atomic pipeline packet counters
+// already provide in aggregate.
+func (r *Register) Accesses() uint64 { return atomic.LoadUint64(&r.accesses) }
 
 // Execute performs one stateful operation on bucket index with parameters
 // p1, p2, returning the operation's result. The index is wrapped into the
-// bucket range; values saturate at the bucket width.
+// bucket range; values saturate at the bucket width. Single-writer only —
+// see ApplySeq.
 func (r *Register) Execute(op StatefulOp, index uint32, p1, p2 uint32) uint32 {
+	result, _ := r.ApplySeq(op, index, p1, p2)
+	return result
+}
+
+// ApplySeq performs one stateful operation with plain (non-atomic) bucket
+// access, returning the result and the value read before updating. It is
+// the single-writer fast path: correct and cheapest when exactly one
+// goroutine updates the register, as on the interpretive pipeline path.
+// Never mix concurrently with Apply or with control-plane readout.
+func (r *Register) ApplySeq(op StatefulOp, index uint32, p1, p2 uint32) (result, old uint32) {
 	r.accesses++
 	i := index & uint32(len(r.buckets)-1)
 	cur := r.buckets[i]
 	switch op {
 	case OpCondAdd:
-		if cur < (p2 & r.mask) {
-			next := cur + (p1 & r.mask)
+		if cur >= (p2 & r.mask) {
+			return 0, cur
+		}
+		next := cur + (p1 & r.mask)
+		if next > r.mask || next < cur {
+			next = r.mask
+		}
+		r.buckets[i] = next
+		return next, cur
+	case OpMax:
+		v := p1 & r.mask
+		if cur >= v {
+			return 0, cur
+		}
+		r.buckets[i] = v
+		return v, cur
+	case OpAndOr:
+		next := cur
+		if p2 == 0 {
+			next &= p1 & r.mask
+		} else {
+			next |= p1 & r.mask
+		}
+		r.buckets[i] = next
+		return next, cur
+	case OpXor:
+		next := cur ^ (p1 & r.mask)
+		r.buckets[i] = next
+		return next, cur
+	case OpNone:
+		return 0, cur
+	default:
+		panic(fmt.Sprintf("dataplane: unknown stateful op %d", op))
+	}
+}
+
+// Apply performs one stateful operation like ApplySeq but with a CAS loop
+// per op, making it safe for concurrent writers. The (result, old) pair is
+// consistent — it is the witnessed read-modify-write, even under
+// concurrency, which is what DetectNew-style predicates depend on. Apply
+// does not bump the Accesses counter (see Accesses).
+func (r *Register) Apply(op StatefulOp, index uint32, p1, p2 uint32) (result, old uint32) {
+	b := &r.buckets[index&uint32(len(r.buckets)-1)]
+	switch op {
+	case OpCondAdd:
+		p1m, p2m := p1&r.mask, p2&r.mask
+		for {
+			cur := atomic.LoadUint32(b)
+			if cur >= p2m {
+				return 0, cur
+			}
+			next := cur + p1m
 			if next > r.mask || next < cur {
 				next = r.mask
 			}
-			r.buckets[i] = next
-			return next
+			if atomic.CompareAndSwapUint32(b, cur, next) {
+				return next, cur
+			}
 		}
-		return 0
 	case OpMax:
 		v := p1 & r.mask
-		if cur < v {
-			r.buckets[i] = v
-			return v
+		for {
+			cur := atomic.LoadUint32(b)
+			if cur >= v {
+				return 0, cur
+			}
+			if atomic.CompareAndSwapUint32(b, cur, v) {
+				return v, cur
+			}
 		}
-		return 0
 	case OpAndOr:
-		if p2 == 0 {
-			cur &= p1 & r.mask
-		} else {
-			cur |= p1 & r.mask
+		for {
+			cur := atomic.LoadUint32(b)
+			next := cur
+			if p2 == 0 {
+				next &= p1 & r.mask
+			} else {
+				next |= p1 & r.mask
+			}
+			if atomic.CompareAndSwapUint32(b, cur, next) {
+				return next, cur
+			}
 		}
-		r.buckets[i] = cur
-		return cur
 	case OpXor:
-		cur ^= p1 & r.mask
-		r.buckets[i] = cur
-		return cur
+		for {
+			cur := atomic.LoadUint32(b)
+			next := cur ^ (p1 & r.mask)
+			if atomic.CompareAndSwapUint32(b, cur, next) {
+				return next, cur
+			}
+		}
 	case OpNone:
-		return 0
+		return 0, atomic.LoadUint32(b)
 	default:
 		panic(fmt.Sprintf("dataplane: unknown stateful op %d", op))
 	}
@@ -149,14 +245,16 @@ func (r *Register) Execute(op StatefulOp, index uint32, p1, p2 uint32) uint32 {
 // Read returns bucket i without counting a data-plane access (control-plane
 // register readout).
 func (r *Register) Read(i uint32) uint32 {
-	return r.buckets[i&uint32(len(r.buckets)-1)]
+	return atomic.LoadUint32(&r.buckets[i&uint32(len(r.buckets)-1)])
 }
 
 // ReadRange copies buckets [lo, lo+n) into a fresh slice (control-plane
 // readout of one task's partition).
 func (r *Register) ReadRange(lo, n int) []uint32 {
 	out := make([]uint32, n)
-	copy(out, r.buckets[lo:lo+n])
+	for i := range out {
+		out[i] = atomic.LoadUint32(&r.buckets[lo+i])
+	}
 	return out
 }
 
@@ -164,9 +262,9 @@ func (r *Register) ReadRange(lo, n int) []uint32 {
 // for a new task.
 func (r *Register) ClearRange(lo, n int) {
 	for i := lo; i < lo+n; i++ {
-		r.buckets[i] = 0
+		atomic.StoreUint32(&r.buckets[i], 0)
 	}
 }
 
 // Reset zeroes the whole register.
-func (r *Register) Reset() { clear(r.buckets) }
+func (r *Register) Reset() { r.ClearRange(0, len(r.buckets)) }

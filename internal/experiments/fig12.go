@@ -131,13 +131,15 @@ func Fig12b(scale Scale, seed int64) *Table {
 			event = "shrink task A memory"
 		}
 
-		// Fresh measurement window.
+		// Fresh measurement window. The epoch replays through the batch
+		// fast path (one snapshot, one worker context); the baselines only
+		// read their own state, so they can consume the epoch afterwards.
 		_ = ctrl.ResetTaskCounters(taskA.ID)
 		static.Reset()
 		exact := sketch.NewExactFrequency(packet.KeyFiveTuple)
+		ctrl.ProcessBatch(ep.Packets)
 		for i := range ep.Packets {
 			p := &ep.Packets[i]
-			ctrl.Process(p)
 			if filterA.Matches(p) {
 				static.AddPacket(p)
 				exact.AddPacket(p)

@@ -440,9 +440,10 @@ func Fig14g(scale Scale, seed int64) *Table {
 	return t
 }
 
-// replay pushes every packet of tr through pl.
+// replay pushes every packet of tr through pl's compiled fast path: one
+// snapshot compilation, then a sequential batch on a fresh worker context
+// — the same code path the concurrent controller API uses, kept
+// single-worker here so every figure is deterministic.
 func replay(pl *core.Pipeline, tr *trace.Trace) {
-	for i := range tr.Packets {
-		pl.Process(&tr.Packets[i])
-	}
+	pl.Compile().ProcessBatch(tr.Packets)
 }

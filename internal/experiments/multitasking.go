@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"flymon/internal/controlplane"
@@ -43,15 +44,17 @@ func Multitasking(scale Scale, seed int64) *Table {
 		}
 
 		// Drive traffic across all tenants and verify isolation: each
-		// task's whole register mass must equal its own packet count.
+		// task's whole register mass must equal its own packet count. The
+		// replay shards across all cores — per-bucket atomic adds make the
+		// mass check exact regardless of packet interleaving.
 		tr := trace.Generate(trace.Config{Flows: 2000, Packets: packets, Seed: seed})
 		perTenant := make([]uint64, n)
 		for i := range tr.Packets {
 			tenant := i % n
 			tr.Packets[i].DstPort = uint16(tenant + 1)
-			ctrl.Process(&tr.Packets[i])
 			perTenant[tenant]++
 		}
+		ctrl.ProcessParallel(tr.Packets, runtime.GOMAXPROCS(0))
 		isolationErrors := 0
 		for i := 0; i < n; i++ {
 			rows, err := ctrl.ReadRegisters(i + 1)

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+// Throughput measures the data-plane packet rate of a fully loaded 9-group
+// pipeline (27 CMUs, one CMS task per CMU triple) under the batch API with
+// a sweep of worker counts — the multi-pipe scaling the lock-free fast
+// path (RCU snapshots + atomic registers + per-worker contexts) buys. It
+// is not a figure of the paper; it quantifies this reproduction's "runs as
+// fast as the hardware allows" claim.
+func Throughput(scale Scale, seed int64) *Table {
+	_, packets := scale.workload()
+	ctrl := controlplane.NewController(controlplane.Config{Groups: 9, Buckets: 65536, BitWidth: 32})
+	for g := 0; g < 9; g++ {
+		if _, err := ctrl.AddTask(controlplane.TaskSpec{
+			Name: "load", Key: packet.KeyFiveTuple,
+			Attribute: controlplane.AttrFrequency, MemBuckets: 16384, D: 3,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	tr := trace.Generate(trace.Config{Flows: 6000, Packets: packets, Seed: seed})
+
+	t := &Table{
+		Title:  "Throughput — lock-free batch processing vs worker count (9 groups, 27 CMUs loaded)",
+		Header: []string{"Workers", "Mpps", "Speedup"},
+	}
+	var base float64
+	maxW := runtime.GOMAXPROCS(0)
+	for w := 1; w <= maxW; w *= 2 {
+		// Warm once, then time the replay.
+		ctrl.ProcessParallel(tr.Packets, w)
+		start := time.Now()
+		ctrl.ProcessParallel(tr.Packets, w)
+		elapsed := time.Since(start)
+		mpps := float64(len(tr.Packets)) / elapsed.Seconds() / 1e6
+		if w == 1 {
+			base = mpps
+		}
+		t.Rows = append(t.Rows, []string{itoa(w), f2(mpps), f2(mpps / base) + "x"})
+	}
+	t.Notes = append(t.Notes,
+		"reconfiguration never stalls this path: the control plane publishes immutable config snapshots (RCU)",
+		"per-bucket register updates are atomic CAS; counts stay exact under any interleaving")
+	return t
+}

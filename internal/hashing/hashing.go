@@ -97,6 +97,24 @@ func (u *Unit) HashBytes(b []byte) uint32 {
 	return fmix32(crc32.Checksum(b, u.table))
 }
 
+// Hasher is an immutable handle on a unit's polynomial: it captures the
+// CRC table (fixed at construction, like the hardware polynomial) but not
+// the unit's reconfigurable mask. Compiled data-plane snapshots hold
+// Hashers so concurrent packet processing never reads a unit's mutable
+// mask state while the control plane reconfigures it.
+type Hasher struct {
+	table *crc32.Table
+}
+
+// Hasher returns the unit's immutable polynomial handle.
+func (u *Unit) Hasher() Hasher { return Hasher{table: u.table} }
+
+// Sum digests a pre-masked canonical key, producing the same compressed
+// key Unit.Hash would for a packet extracted under the unit's mask.
+func (h Hasher) Sum(k packet.CanonicalKey) uint32 {
+	return fmix32(crc32.Checksum(k[:], h.table))
+}
+
 // fmix32 is a 32-bit avalanche finalizer (MurmurHash3's), modeling the bit
 // scrambling of the hash distribution unit's output crossbar. Raw CRC32 is
 // GF(2)-linear, so low-entropy structured inputs (sequential ports,

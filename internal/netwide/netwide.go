@@ -16,6 +16,7 @@ package netwide
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"flymon/internal/controlplane"
 	"flymon/internal/core/algorithms"
@@ -92,6 +93,36 @@ func (f *Fleet) Remove(name string) error {
 // Process measures packet p at its ingress switch.
 func (f *Fleet) Process(ingress int, p *packet.Packet) {
 	f.switches[ingress%len(f.switches)].Process(p)
+}
+
+// ProcessBatch measures a packet batch at one ingress switch through the
+// sequential fast path.
+func (f *Fleet) ProcessBatch(ingress int, ps []packet.Packet) {
+	f.switches[ingress%len(f.switches)].ProcessBatch(ps)
+}
+
+// ProcessParallel fans a batch out across the fleet concurrently: packet i
+// enters switch i mod Size (the round-robin ingress model the tests use),
+// and every switch runs its own worker over its shard — switches are
+// independent data planes, so the shards proceed without coordination.
+func (f *Fleet) ProcessParallel(ps []packet.Packet) {
+	n := len(f.switches)
+	if n == 1 || len(ps) < 2 {
+		f.ProcessBatch(0, ps)
+		return
+	}
+	var wg sync.WaitGroup
+	for si := 0; si < n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sw := f.switches[si]
+			for i := si; i < len(ps); i += n {
+				sw.Process(&ps[i])
+			}
+		}(si)
+	}
+	wg.Wait()
 }
 
 // mergedRows reads the named task's registers on every switch and merges
