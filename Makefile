@@ -6,11 +6,17 @@ BENCH_OUT ?= bench_results.txt
 # benchstat enough samples.
 HOT_BENCH = BenchmarkPipelinePerPacket|BenchmarkProcessBatch|BenchmarkProcessParallel|BenchmarkCMUProcess|BenchmarkRegisterExecute
 
-.PHONY: all check vet build test race bench bench-full clean
+.PHONY: all check vet build test race race-concurrency bench bench-allocs bench-full clean
 
 all: check
 
 check: vet build race
+
+# race-concurrency is the focused -race run over the parallel-path tests
+# (snapshot fan-out, worker pool, controller reconfiguration under load);
+# `race` runs everything, this one is the quick pre-commit gate.
+race-concurrency:
+	$(GO) test -race -count=1 -run 'Parallel|Pool|Concurrent|Snapshot|Reconfig' ./internal/core/ ./internal/controlplane/
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +37,11 @@ race:
 #   benchstat old.txt new.txt
 bench:
 	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -count=5 -cpu 1,4 -benchmem . | tee $(BENCH_OUT)
+
+# bench-allocs runs the alloc-regression gates: the compiled hot path must
+# stay at zero heap allocations per packet.
+bench-allocs:
+	$(GO) test -count=1 -run 'ZeroAlloc' -v ./internal/core/ ./internal/hashing/
 
 # bench-full runs every benchmark once (figures + microbenchmarks).
 bench-full:

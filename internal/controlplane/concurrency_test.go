@@ -229,3 +229,61 @@ func TestSnapshotPublishedOnMutation(t *testing.T) {
 		t.Fatalf("estimate after thaw = %v, want 2", v)
 	}
 }
+
+// TestProcessParallelReusesWorkerPool: the controller's ProcessParallel
+// must route batches through one persistent worker pool instead of
+// spawning goroutines per call. The pool starts lazily on the first
+// multi-worker call, and its started-worker count stays flat over any
+// number of subsequent batches.
+func TestProcessParallelReusesWorkerPool(t *testing.T) {
+	c := NewController(Config{Groups: 2, Buckets: 16384, BitWidth: 32})
+	defer c.Close()
+	if _, err := c.AddTask(freqSpec("hh", packet.MatchAll, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(trace.Config{Flows: 200, Packets: 4096, Seed: 21})
+
+	// workers == 1 is the deterministic sequential path: no pool.
+	c.ProcessParallel(tr.Packets, 1)
+	if c.workers.Load() != nil {
+		t.Fatal("single-worker ProcessParallel must not start the pool")
+	}
+
+	c.ProcessParallel(tr.Packets, 4)
+	pool := c.workers.Load()
+	if pool == nil {
+		t.Fatal("multi-worker ProcessParallel must start the persistent pool")
+	}
+	started := pool.Started()
+	if started != int64(pool.Workers()) {
+		t.Fatalf("pool started %d workers, want %d", started, pool.Workers())
+	}
+	for call := 0; call < 20; call++ {
+		c.ProcessParallel(tr.Packets, 4)
+	}
+	if got := c.workers.Load(); got != pool {
+		t.Fatal("ProcessParallel rebuilt the pool between calls")
+	}
+	if got := pool.Started(); got != started {
+		t.Fatalf("pool started-worker count moved from %d to %d across calls: goroutines are being spawned per call", started, got)
+	}
+}
+
+// TestControllerCloseShutsPool: Close releases the pool; a double Close is
+// harmless.
+func TestControllerCloseShutsPool(t *testing.T) {
+	c := NewController(Config{Groups: 1, Buckets: 4096, BitWidth: 32})
+	if _, err := c.AddTask(freqSpec("hh", packet.MatchAll, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(trace.Config{Flows: 50, Packets: 512, Seed: 23})
+	c.ProcessParallel(tr.Packets, 2)
+	if c.workers.Load() == nil {
+		t.Fatal("pool should be running before Close")
+	}
+	c.Close()
+	if c.workers.Load() != nil {
+		t.Fatal("Close must release the pool")
+	}
+	c.Close()
+}

@@ -56,6 +56,11 @@ type Controller struct {
 	snap atomic.Pointer[core.Snapshot]
 	// ctxPool recycles per-worker scratch contexts for the packet path.
 	ctxPool sync.Pool
+	// workers is the controller's persistent batch-processing pool,
+	// started lazily on the first ProcessParallel call and reused for
+	// every batch thereafter (no per-call goroutine spawning). Closed by
+	// Close.
+	workers atomic.Pointer[core.WorkerPool]
 
 	tasks  map[int]*Task
 	nextID int
@@ -205,16 +210,48 @@ func (c *Controller) ProcessBatch(ps []packet.Packet) {
 	c.snap.Load().ProcessBatch(ps)
 }
 
-// ProcessParallel shards a packet batch across a pool of `workers`
-// goroutines — the multi-pipe model: every worker executes against the
-// same consistent snapshot with its own scratch context, and register
-// updates go through per-bucket atomic CAS. workers <= 0 uses GOMAXPROCS;
-// workers == 1 is bit-for-bit identical to ProcessBatch.
+// ProcessParallel shards a packet batch across the controller's persistent
+// worker pool — the multi-pipe model: every worker executes against the
+// same consistent snapshot with its own reusable scratch context (unique
+// rng stream), and register updates go through per-bucket atomic CAS.
+// workers selects the shard count; <= 0 uses GOMAXPROCS; workers == 1 is
+// bit-for-bit identical to ProcessBatch. The pool's goroutines are started
+// once, on the first call, and reused for every subsequent batch.
 func (c *Controller) ProcessParallel(ps []packet.Packet, workers int) {
 	if len(ps) == 0 {
 		return
 	}
-	c.snap.Load().ProcessParallel(ps, workers)
+	snap := c.snap.Load()
+	if workers == 1 {
+		snap.ProcessBatch(ps)
+		return
+	}
+	c.workerPool().Process(snap, ps, workers)
+}
+
+// workerPool returns the controller's persistent pool, starting it on
+// first use (GOMAXPROCS workers).
+func (c *Controller) workerPool() *core.WorkerPool {
+	if p := c.workers.Load(); p != nil {
+		return p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.workers.Load(); p != nil {
+		return p
+	}
+	p := core.NewWorkerPool(0)
+	c.workers.Store(p)
+	return p
+}
+
+// Close releases the controller's background resources (the worker pool).
+// The controller remains usable for sequential processing and control-
+// plane queries; only ProcessParallel must not be called after Close.
+func (c *Controller) Close() {
+	if p := c.workers.Swap(nil); p != nil {
+		p.Close()
+	}
 }
 
 // Tasks returns deployed tasks sorted by ID.

@@ -427,19 +427,18 @@ func (c *CMU) Process(ctx *Context, keys []uint32) {
 }
 
 func (c *CMU) execute(ctx *Context, r *Rule, keys []uint32) {
-	executeRule(ctx, r, c.register, keys, false)
+	executeRule(ctx, r, c.register, keys)
 }
 
 // executeRule runs one rule's initialization, preparation, and stateful
-// operation against reg. It is shared by the interpretive CMU path and the
-// compiled snapshot fast path so both observe identical semantics. The
-// register's Apply returns the witnessed (result, old) pair atomically, so
-// the result bus stays consistent under concurrent writers.
-// The concurrent flag selects the register update variant: the snapshot
-// fast path runs many workers and needs the CAS ops (Register.Apply); the
-// interpretive path is single-threaded and takes the plain ones
-// (Register.ApplySeq).
-func executeRule(ctx *Context, r *Rule, reg *dataplane.Register, keys []uint32, concurrent bool) {
+// operation against reg — the interpretive path's executor. The compiled
+// snapshot fast path runs the same phases in the same order through
+// compiledRule.exec (program.go), but against the CAS register variant
+// (Register.Apply) because it serves many workers; the interpretive path
+// is single-threaded and takes the plain ops (Register.ApplySeq). Keep the
+// two in lockstep: the snapshot-equivalence tests require bit-identical
+// register state.
+func executeRule(ctx *Context, r *Rule, reg *dataplane.Register, keys []uint32) {
 	addr := r.Key.Resolve(keys)
 	index := Translate(addr, r.Mem, r.Translation)
 	p1 := r.P1.resolve(ctx, keys)
@@ -451,12 +450,7 @@ func executeRule(ctx *Context, r *Rule, reg *dataplane.Register, keys []uint32, 
 	if drop {
 		return
 	}
-	var result, old uint32
-	if concurrent {
-		result, old = reg.Apply(r.Op, index, p1, p2)
-	} else {
-		result, old = reg.ApplySeq(r.Op, index, p1, p2)
-	}
+	result, old := reg.ApplySeq(r.Op, index, p1, p2)
 	ctx.PrevResult = result
 	ctx.PrevOld = old
 	if r.ChainMin && result > 0 && result < ctx.RunningMin {

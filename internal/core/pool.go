@@ -1,0 +1,106 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"flymon/internal/packet"
+)
+
+// WorkerPool is a persistent pool of packet-processing workers — the
+// multi-pipe model with the goroutine churn compiled out. Snapshot's own
+// ProcessParallel spawns a goroutine and a fresh ProcCtx per chunk per
+// call; at millions of batches that spawn/alloc tax dominates. A pool
+// starts its workers once: each worker owns one reusable ProcCtx with a
+// unique rng stream (created via NewProcCtxUnique, so probabilistic rules
+// never sample in lockstep across workers) whose digest scratch stays
+// warm across batches, and batches are sharded over a channel.
+//
+// The pool is snapshot-agnostic: every job carries the snapshot it must
+// execute against, so one pool serves a controller across arbitrarily many
+// RCU republishes.
+type WorkerPool struct {
+	jobs    chan poolJob
+	workers int
+	started atomic.Int64 // worker goroutines ever started; stays == workers
+	close   sync.Once
+}
+
+type poolJob struct {
+	snap *Snapshot
+	seg  []packet.Packet
+	wg   *sync.WaitGroup
+}
+
+// NewWorkerPool starts a pool of n long-lived workers (n <= 0 takes
+// GOMAXPROCS). The workers live until Close.
+func NewWorkerPool(n int) *WorkerPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &WorkerPool{jobs: make(chan poolJob, 4*n), workers: n}
+	for i := 0; i < n; i++ {
+		p.started.Add(1)
+		go p.run()
+	}
+	return p
+}
+
+// run is one worker's loop: a single context, reused for every job.
+func (p *WorkerPool) run() {
+	pc := NewProcCtxUnique()
+	for j := range p.jobs {
+		for i := range j.seg {
+			j.snap.Process(pc, &j.seg[i])
+		}
+		j.wg.Done()
+	}
+}
+
+// Workers returns the pool's worker count.
+func (p *WorkerPool) Workers() int { return p.workers }
+
+// Started returns the number of worker goroutines ever started. It equals
+// Workers for the pool's whole lifetime — the property the pool exists
+// for — and tests assert it stays flat across Process calls.
+func (p *WorkerPool) Started() int64 { return p.started.Load() }
+
+// Process shards ps into `shards` contiguous chunks (shards <= 0 takes the
+// worker count) and executes them on the pool's workers against one
+// consistent snapshot, returning when every packet is processed. shards <= 1
+// degenerates to the sequential, deterministic ProcessBatch. Safe for
+// concurrent callers; per-bucket register updates are atomic, so commuting
+// ops keep exact counts regardless of sharding.
+func (p *WorkerPool) Process(s *Snapshot, ps []packet.Packet, shards int) {
+	if len(ps) == 0 {
+		return
+	}
+	if shards <= 0 {
+		shards = p.workers
+	}
+	if shards > len(ps) {
+		shards = len(ps)
+	}
+	if shards <= 1 {
+		s.ProcessBatch(ps)
+		return
+	}
+	chunk := (len(ps) + shards - 1) / shards
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(ps); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ps) {
+			hi = len(ps)
+		}
+		wg.Add(1)
+		p.jobs <- poolJob{snap: s, seg: ps[lo:hi], wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close shuts the workers down. Process must not be called after Close;
+// Close is idempotent.
+func (p *WorkerPool) Close() {
+	p.close.Do(func() { close(p.jobs) })
+}

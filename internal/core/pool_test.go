@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"flymon/internal/trace"
+)
+
+// TestWorkerPoolNoGoroutineChurn: the pool's reason to exist — workers are
+// started exactly once at construction and reused for every Process call.
+func TestWorkerPoolNoGoroutineChurn(t *testing.T) {
+	pl := allocPipeline(t)
+	s := pl.Compile()
+	p := NewWorkerPool(4)
+	defer p.Close()
+
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", p.Workers())
+	}
+	if p.Started() != 4 {
+		t.Fatalf("Started() = %d after construction, want 4", p.Started())
+	}
+	tr := trace.Generate(trace.Config{Flows: 200, Packets: 2048, Seed: 5})
+	for call := 0; call < 50; call++ {
+		p.Process(s, tr.Packets, 4)
+		if got := p.Started(); got != 4 {
+			t.Fatalf("Started() = %d after %d Process calls, want it flat at 4 (no per-call spawning)", got, call+1)
+		}
+	}
+}
+
+// TestWorkerPoolMatchesSequential: sharded pool execution must preserve
+// exact per-bucket counts for commuting ops, matching a sequential replay.
+func TestWorkerPoolMatchesSequential(t *testing.T) {
+	tr := trace.Generate(trace.Config{Flows: 300, Packets: 8192, Seed: 11})
+
+	seqPl := allocPipeline(t)
+	seqPl.Compile().ProcessBatch(tr.Packets)
+
+	poolPl := allocPipeline(t)
+	p := NewWorkerPool(4)
+	defer p.Close()
+	p.Process(poolPl.Compile(), tr.Packets, 4)
+
+	// The deterministic (non-probabilistic) tasks must agree bucket for
+	// bucket; the sampled task (taskID 3, Prob 0.5) is excluded by
+	// comparing only group 0 and group 1's first partition.
+	for ci := 0; ci < 3; ci++ {
+		for i := 0; i < 4096; i++ {
+			a := seqPl.Group(0).CMU(ci).Register().Read(uint32(i))
+			b := poolPl.Group(0).CMU(ci).Register().Read(uint32(i))
+			if a != b {
+				t.Fatalf("group 0 CMU %d bucket %d: sequential %d, pool %d", ci, i, a, b)
+			}
+		}
+	}
+	for i := 0; i < 2048; i++ {
+		a := seqPl.Group(1).CMU(0).Register().Read(uint32(i))
+		b := poolPl.Group(1).CMU(0).Register().Read(uint32(i))
+		if a != b {
+			t.Fatalf("group 1 bucket %d: sequential %d, pool %d", i, a, b)
+		}
+	}
+}
+
+// TestWorkerPoolSingleShardIsDeterministic: shards <= 1 must degenerate to
+// the sequential ProcessBatch (fresh fixed-seed context), bit-for-bit.
+func TestWorkerPoolSingleShardIsDeterministic(t *testing.T) {
+	tr := trace.Generate(trace.Config{Flows: 100, Packets: 1024, Seed: 13})
+
+	a := allocPipeline(t)
+	a.Compile().ProcessBatch(tr.Packets)
+
+	b := allocPipeline(t)
+	p := NewWorkerPool(4)
+	defer p.Close()
+	p.Process(b.Compile(), tr.Packets, 1)
+
+	for gi := 0; gi < 2; gi++ {
+		for ci := 0; ci < a.Group(gi).CMUs(); ci++ {
+			for i := 0; i < 4096; i++ {
+				x := a.Group(gi).CMU(ci).Register().Read(uint32(i))
+				y := b.Group(gi).CMU(ci).Register().Read(uint32(i))
+				if x != y {
+					t.Fatalf("group %d CMU %d bucket %d: batch %d, pool(shards=1) %d — single-shard path must be bit-identical", gi, ci, i, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerPoolConcurrentCallers: the pool must serve overlapping Process
+// calls (the controller is shared); total packet mass must be exact.
+func TestWorkerPoolConcurrentCallers(t *testing.T) {
+	pl := allocPipeline(t)
+	s := pl.Compile()
+	p := NewWorkerPool(4)
+	defer p.Close()
+
+	tr := trace.Generate(trace.Config{Flows: 100, Packets: 1024, Seed: 17})
+	const callers = 4
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Process(s, tr.Packets, 2)
+		}()
+	}
+	wg.Wait()
+	if got, want := pl.Packets(), uint64(callers*1024); got != want {
+		t.Fatalf("processed %d packets, want %d", got, want)
+	}
+}
+
+// TestWorkerPoolCloseIdempotent: double Close must not panic.
+func TestWorkerPoolCloseIdempotent(t *testing.T) {
+	p := NewWorkerPool(2)
+	p.Close()
+	p.Close()
+}

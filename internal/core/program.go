@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math/bits"
+
+	"flymon/internal/dataplane"
+	"flymon/internal/packet"
+)
+
+// This file is the snapshot compiler's back end: it flattens a Rule — an
+// interpretive structure full of wildcard conventions and method dispatch —
+// into a compiledRule, the dense, branch-poor program the data-plane fast
+// path executes. Everything resolvable at Compile time is resolved here:
+// filter matchers are specialized by shape, key selectors are rewritten
+// against the snapshot's deduplicated hash slots, address translation is
+// reduced to one shift or one mask, and constant parameters are folded.
+// The per-packet work that remains is an indexed dispatch over flat struct
+// fields, which is what lets Snapshot.Process run allocation-free and is as
+// close as software gets to the fixed per-packet work of the Tofino
+// pipeline the paper measures.
+
+// matchKind classifies a compiled filter by the checks it actually needs.
+type matchKind uint8
+
+const (
+	// matchAll matches every packet (the zero Filter) — the dominant case
+	// for whole-traffic tasks; costs one switch arm, no field reads.
+	matchAll matchKind = iota
+	// matchExact checks only exact 5-tuple fields (ports/protocol).
+	matchExact
+	// matchPrefix checks only IP prefixes (mask-and-compare).
+	matchPrefix
+	// matchGeneric checks both prefixes and exact fields.
+	matchGeneric
+)
+
+// compiledMatch is a pre-resolved packet.Filter: prefixes are lowered to
+// mask/value pairs and the filter's shape is classified so the hot path
+// runs only the comparisons the task's filter actually uses.
+type compiledMatch struct {
+	kind             matchKind
+	srcMask, srcVal  uint32
+	dstMask, dstVal  uint32
+	srcPort, dstPort uint16 // 0 = wildcard
+	proto            uint8  // 0 = wildcard
+}
+
+// prefixMaskVal lowers a CIDR prefix to (mask, value); a zero prefix
+// becomes (0, 0), which matches everything under mask-and-compare.
+func prefixMaskVal(pr packet.Prefix) (mask, val uint32) {
+	if pr.Bits <= 0 {
+		return 0, 0
+	}
+	bits := pr.Bits
+	if bits > 32 {
+		bits = 32
+	}
+	mask = ^uint32(0) << (32 - bits)
+	return mask, pr.Value & mask
+}
+
+// compileMatch specializes a filter into its minimal matcher.
+func compileMatch(f packet.Filter) compiledMatch {
+	cm := compiledMatch{srcPort: f.SrcPort, dstPort: f.DstPort, proto: f.Proto}
+	cm.srcMask, cm.srcVal = prefixMaskVal(f.SrcPrefix)
+	cm.dstMask, cm.dstVal = prefixMaskVal(f.DstPrefix)
+	hasExact := f.SrcPort != 0 || f.DstPort != 0 || f.Proto != 0
+	hasPrefix := cm.srcMask != 0 || cm.dstMask != 0
+	switch {
+	case !hasExact && !hasPrefix:
+		cm.kind = matchAll
+	case !hasPrefix:
+		cm.kind = matchExact
+	case !hasExact:
+		cm.kind = matchPrefix
+	default:
+		cm.kind = matchGeneric
+	}
+	return cm
+}
+
+// matches reports whether p belongs to the compiled filter's traffic
+// slice; semantics are identical to packet.Filter.Matches.
+func (cm *compiledMatch) matches(p *packet.Packet) bool {
+	switch cm.kind {
+	case matchAll:
+		return true
+	case matchExact:
+		return (cm.srcPort == 0 || cm.srcPort == p.SrcPort) &&
+			(cm.dstPort == 0 || cm.dstPort == p.DstPort) &&
+			(cm.proto == 0 || cm.proto == p.Proto)
+	case matchPrefix:
+		return p.SrcIP&cm.srcMask == cm.srcVal &&
+			p.DstIP&cm.dstMask == cm.dstVal
+	default:
+		return p.SrcIP&cm.srcMask == cm.srcVal &&
+			p.DstIP&cm.dstMask == cm.dstVal &&
+			(cm.srcPort == 0 || cm.srcPort == p.SrcPort) &&
+			(cm.dstPort == 0 || cm.dstPort == p.DstPort) &&
+			(cm.proto == 0 || cm.proto == p.Proto)
+	}
+}
+
+// compiledSel is a Selector rewritten against the snapshot's deduplicated
+// digest slots: the group-local unit indices are resolved to indices into
+// ProcCtx.hashes (so the per-group key-copy loop disappears), and the
+// rotation/width arithmetic is folded to one rotate and one mask.
+type compiledSel struct {
+	a, b int32  // ProcCtx.hashes slots; -1 contributes 0
+	rot  uint32 // right rotation, in [0, 32)
+	mask uint32 // width mask (^0 = full 32 bits)
+}
+
+// compileSel resolves s against a group's unit→hash-slot map.
+func compileSel(s Selector, unitHash []int) compiledSel {
+	cs := compiledSel{a: -1, b: -1, mask: ^uint32(0)}
+	if s.UnitA >= 0 && s.UnitA < len(unitHash) && unitHash[s.UnitA] >= 0 {
+		cs.a = int32(unitHash[s.UnitA])
+	}
+	if s.UnitB >= 0 && s.UnitB < len(unitHash) && unitHash[s.UnitB] >= 0 {
+		cs.b = int32(unitHash[s.UnitB])
+	}
+	lo := s.Lo % 32
+	if lo < 0 {
+		lo += 32
+	}
+	cs.rot = uint32(lo)
+	if s.Width > 0 && s.Width < 32 {
+		cs.mask = 1<<uint(s.Width) - 1
+	}
+	return cs
+}
+
+// resolve extracts the selected value from the packet's digest cache.
+func (cs *compiledSel) resolve(hashes []uint32) uint32 {
+	var v uint32
+	if cs.a >= 0 {
+		v = hashes[cs.a]
+	}
+	if cs.b >= 0 {
+		v ^= hashes[cs.b]
+	}
+	if cs.rot != 0 {
+		v = v>>cs.rot | v<<(32-cs.rot)
+	}
+	return v & cs.mask
+}
+
+// compiledParam is a ParamSource with its constants folded (ParamMaxValue
+// becomes a ParamConst of ^0) and its selector compiled.
+type compiledParam struct {
+	kind  ParamKind
+	value uint32
+	sel   compiledSel
+}
+
+func compileParam(ps ParamSource, unitHash []int) compiledParam {
+	switch ps.Kind {
+	case ParamMaxValue:
+		return compiledParam{kind: ParamConst, value: ^uint32(0)}
+	case ParamConst:
+		return compiledParam{kind: ParamConst, value: ps.Value}
+	case ParamCompressedKey:
+		return compiledParam{kind: ParamCompressedKey, sel: compileSel(ps.Sel, unitHash)}
+	default:
+		return compiledParam{kind: ps.Kind}
+	}
+}
+
+func (cp *compiledParam) resolve(ctx *Context, hashes []uint32) uint32 {
+	switch cp.kind {
+	case ParamConst:
+		return cp.value
+	case ParamPacketSize:
+		return ctx.Pkt.Size
+	case ParamTimestampUs:
+		return uint32(ctx.Pkt.TimestampNs / 1000)
+	case ParamQueueLength:
+		return ctx.Pkt.QueueLength
+	case ParamQueueDelay:
+		return ctx.Pkt.QueueDelayNs
+	case ParamCompressedKey:
+		return cp.sel.resolve(hashes)
+	case ParamPrevResult:
+		return ctx.PrevResult
+	case ParamPrevOld:
+		return ctx.PrevOld
+	default:
+		return 0
+	}
+}
+
+// compiledRule is one rule of a snapCMU's program: every field the packet
+// loop touches, flat and pre-resolved. Execution order matches
+// executeRule's exactly, so the compiled and interpretive paths stay
+// bit-for-bit equivalent.
+type compiledRule struct {
+	match compiledMatch
+	key   compiledSel
+	p1    compiledParam
+	p2    compiledParam
+	prep  Transform
+	op    dataplane.StatefulOp
+	reg   *dataplane.Register
+
+	// Address translation, reduced to `base + addr>>shift` (shift-based:
+	// high bits) or `base + addr&mask` (TCAM-based: low bits).
+	base      uint32
+	addrShift uint32
+	addrMask  uint32
+	shifted   bool
+
+	prob      float64
+	probGated bool // 0 < prob < 1
+	hasPrep   bool // prep.Kind != TransformNone
+	chainMin  bool
+	detectNew bool
+}
+
+// compileRule flattens one enabled rule against its CMU's register and its
+// group's unit→hash-slot map.
+func compileRule(r *Rule, reg *dataplane.Register, unitHash []int) compiledRule {
+	cr := compiledRule{
+		match:     compileMatch(r.Filter),
+		key:       compileSel(r.Key, unitHash),
+		p1:        compileParam(r.P1, unitHash),
+		p2:        compileParam(r.P2, unitHash),
+		prep:      r.Prep,
+		op:        r.Op,
+		reg:       reg,
+		base:      uint32(r.Mem.Base),
+		prob:      r.Prob,
+		probGated: r.Prob > 0 && r.Prob < 1,
+		hasPrep:   r.Prep.Kind != TransformNone,
+		chainMin:  r.ChainMin,
+		detectNew: r.DetectNew,
+	}
+	n := uint32(r.Mem.Buckets)
+	switch {
+	case n == 0:
+		// Degenerate range: both methods collapse to the base address.
+		cr.shifted = true
+		cr.addrShift = 32 // addr >> 32 == 0 for uint32 in Go
+	case r.Translation == ShiftBased:
+		cr.shifted = true
+		cr.addrShift = uint32(32 - bits.TrailingZeros32(n))
+	default:
+		cr.addrMask = n - 1
+	}
+	return cr
+}
+
+// exec runs the rule's initialization, preparation, and stateful operation
+// — the compiled counterpart of executeRule. The register update goes
+// through the CAS path: the snapshot engine runs many workers.
+func (r *compiledRule) exec(ctx *Context, hashes []uint32) {
+	addr := r.key.resolve(hashes)
+	var index uint32
+	if r.shifted {
+		index = r.base + addr>>r.addrShift
+	} else {
+		index = r.base + addr&r.addrMask
+	}
+	p1 := r.p1.resolve(ctx, hashes)
+	p2 := r.p2.resolve(ctx, hashes)
+	if r.chainMin {
+		p2 = ctx.RunningMin
+	}
+	if r.hasPrep {
+		var drop bool
+		p1, p2, drop = r.prep.apply(ctx, p1, p2)
+		if drop {
+			return
+		}
+	}
+	result, old := r.reg.Apply(r.op, index, p1, p2)
+	ctx.PrevResult = result
+	ctx.PrevOld = old
+	if r.chainMin && result > 0 && result < ctx.RunningMin {
+		ctx.RunningMin = result
+	}
+	if r.detectNew {
+		ctx.PrevNewFlow = old&p1 == 0
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sync"
 
-	"flymon/internal/dataplane"
 	"flymon/internal/hashing"
 	"flymon/internal/packet"
 )
@@ -17,17 +16,25 @@ import (
 // rule copies inside, so rule installs, freezes, and memory moves never
 // stall traffic.
 //
-// Compilation also optimizes the per-packet work:
+// Compilation flattens the configuration into dense per-CMU programs (see
+// program.go) and optimizes the per-packet work:
 //
 //   - the masked canonical key is extracted once per distinct field mask
 //     (units across groups usually share masks — every group's bootstrap
 //     unit digests the 5-tuple),
 //   - each distinct (mask, polynomial) digest is computed once and fanned
-//     out to every unit that needs it,
+//     out: rule key selectors are rewritten to index the shared digest
+//     cache directly, so no per-group key vector is ever copied,
+//   - filters are specialized by shape (match-all / exact-field / prefix)
+//     and address translation is folded to one shift or one mask,
 //   - groups with zero enabled rules are dropped entirely, so their
 //     compression stage costs nothing,
 //   - disabled (frozen) rules are compiled out, including from the
 //     spliced-group mirror decision.
+//
+// The result is a zero-allocation packet path: Snapshot.Process performs no
+// heap allocation once a worker's ProcCtx scratch has grown to the
+// snapshot's compiled sizes (enforced by alloc-regression tests).
 //
 // Register state is shared with the master pipeline by pointer: updates go
 // through the registers' atomic CAS ops, and control-plane readouts observe
@@ -37,9 +44,9 @@ type Snapshot struct {
 
 	groups  []snapGroup
 	spliced []snapGroup
-	// splicedFilters are the enabled spliced-group rule filters: the
-	// compiled mirror decision.
-	splicedFilters []packet.Filter
+	// splicedMatch are the enabled spliced-group rule filters, compiled:
+	// the mirror decision.
+	splicedMatch []compiledMatch
 
 	// masks are the distinct per-field masks live units digest; hashes the
 	// distinct (mask, polynomial) digests. Entries below nMainMasks /
@@ -49,8 +56,6 @@ type Snapshot struct {
 	hashes      []snapHash
 	nMainMasks  int
 	nMainHashes int
-
-	maxUnits int
 }
 
 type snapHash struct {
@@ -58,18 +63,16 @@ type snapHash struct {
 	h    hashing.Hasher
 }
 
+// snapGroup holds the compiled programs of one live group's CMUs, in
+// pipeline order. CMUs without enabled rules are compiled out.
 type snapGroup struct {
-	// unitHash maps the group's local unit index to an entry of
-	// Snapshot.hashes, or -1 for an idle unit (its compressed key is 0).
-	unitHash []int
-	cmus     []snapCMU
+	cmus []snapCMU
 }
 
+// snapCMU is one CMU's compiled rule program, in install (priority) order;
+// the first matching rule wins, enforcing one access per packet.
 type snapCMU struct {
-	reg *dataplane.Register
-	// rules are value copies of the CMU's enabled rules, in install
-	// (priority) order.
-	rules []Rule
+	prog []compiledRule
 }
 
 // Compile freezes the pipeline's current configuration into a Snapshot.
@@ -84,27 +87,24 @@ func (pl *Pipeline) Compile() *Snapshot {
 	hashIdx := make(map[hashKey]int)
 
 	compile := func(g *Group) (snapGroup, bool) {
-		sg := snapGroup{unitHash: make([]int, len(g.units))}
 		live := false
 		for _, c := range g.cmus {
-			sc := snapCMU{reg: c.register}
 			for _, r := range c.rules {
-				if r.Disabled {
-					continue
+				if !r.Disabled {
+					live = true
+					break
 				}
-				sc.rules = append(sc.rules, *r)
 			}
-			if len(sc.rules) > 0 {
-				live = true
-			}
-			sg.cmus = append(sg.cmus, sc)
 		}
 		if !live {
-			return sg, false
+			return snapGroup{}, false
 		}
+		// Claim digest slots for the group's live units, deduplicating
+		// masks and (mask, polynomial) pairs across the whole snapshot.
+		unitHash := make([]int, len(g.units))
 		for ui, u := range g.units {
 			if !u.Live() {
-				sg.unitHash[ui] = -1
+				unitHash[ui] = -1
 				continue
 			}
 			mask := u.Mask()
@@ -121,10 +121,20 @@ func (pl *Pipeline) Compile() *Snapshot {
 				hashIdx[hk] = hi
 				s.hashes = append(s.hashes, snapHash{mask: mi, h: u.Hasher()})
 			}
-			sg.unitHash[ui] = hi
+			unitHash[ui] = hi
 		}
-		if len(sg.unitHash) > s.maxUnits {
-			s.maxUnits = len(sg.unitHash)
+		var sg snapGroup
+		for _, c := range g.cmus {
+			var sc snapCMU
+			for _, r := range c.rules {
+				if r.Disabled {
+					continue
+				}
+				sc.prog = append(sc.prog, compileRule(r, c.register, unitHash))
+			}
+			if len(sc.prog) > 0 {
+				sg.cmus = append(sg.cmus, sc)
+			}
 		}
 		return sg, true
 	}
@@ -142,8 +152,8 @@ func (pl *Pipeline) Compile() *Snapshot {
 		}
 		s.spliced = append(s.spliced, sg)
 		for ci := range sg.cmus {
-			for ri := range sg.cmus[ci].rules {
-				s.splicedFilters = append(s.splicedFilters, sg.cmus[ci].rules[ri].Filter)
+			for ri := range sg.cmus[ci].prog {
+				s.splicedMatch = append(s.splicedMatch, sg.cmus[ci].prog[ri].match)
 			}
 		}
 	}
@@ -151,7 +161,9 @@ func (pl *Pipeline) Compile() *Snapshot {
 }
 
 // Process pushes one packet through the compiled pipeline. Safe for
-// concurrent callers as long as each carries its own ProcCtx.
+// concurrent callers as long as each carries its own ProcCtx. It performs
+// no heap allocation once pc's scratch matches the snapshot's compiled
+// sizes (the first call grows it).
 func (s *Snapshot) Process(pc *ProcCtx, p *packet.Packet) {
 	s.pl.packets.Add(1)
 	pc.reset(p)
@@ -159,7 +171,7 @@ func (s *Snapshot) Process(pc *ProcCtx, p *packet.Packet) {
 	for gi := range s.groups {
 		s.groups[gi].process(pc)
 	}
-	if len(s.splicedFilters) == 0 || !s.wants(p) {
+	if len(s.splicedMatch) == 0 || !s.wants(p) {
 		return
 	}
 	// The mirrored copy re-enters the pipeline: a fresh PHV.
@@ -193,8 +205,8 @@ func (s *Snapshot) digest(pc *ProcCtx, p *packet.Packet, m0, m1, h0, h1 int) {
 
 // wants reports whether any enabled spliced-group task matches p.
 func (s *Snapshot) wants(p *packet.Packet) bool {
-	for i := range s.splicedFilters {
-		if s.splicedFilters[i].Matches(p) {
+	for i := range s.splicedMatch {
+		if s.splicedMatch[i].matches(p) {
 			return true
 		}
 	}
@@ -202,29 +214,24 @@ func (s *Snapshot) wants(p *packet.Packet) bool {
 }
 
 func (sg *snapGroup) process(pc *ProcCtx) {
-	buf := pc.unitKeys(len(sg.unitHash))
-	for i, hi := range sg.unitHash {
-		if hi >= 0 {
-			buf[i] = pc.hashes[hi]
-		} else {
-			buf[i] = 0
-		}
-	}
 	for ci := range sg.cmus {
-		sg.cmus[ci].process(&pc.Ctx, buf)
+		sg.cmus[ci].process(&pc.Ctx, pc.hashes)
 	}
 }
 
-func (sc *snapCMU) process(ctx *Context, keys []uint32) {
-	for i := range sc.rules {
-		r := &sc.rules[i]
-		if !r.Filter.Matches(ctx.Pkt) {
+// process runs one CMU's compiled program: first-match task selection over
+// the specialized matchers, then the flattened rule body. Rule key
+// selectors index the shared digest cache directly.
+func (sc *snapCMU) process(ctx *Context, hashes []uint32) {
+	for i := range sc.prog {
+		r := &sc.prog[i]
+		if !r.match.matches(ctx.Pkt) {
 			continue
 		}
-		if r.Prob > 0 && r.Prob < 1 && !ctx.coin(r.Prob) {
+		if r.probGated && !ctx.coin(r.prob) {
 			return // sampled out: the packet consumed its one access slot
 		}
-		executeRule(ctx, r, sc.reg, keys, true)
+		r.exec(ctx, hashes)
 		return // one task per packet per CMU
 	}
 }
@@ -239,12 +246,23 @@ func (s *Snapshot) ProcessBatch(ps []packet.Packet) {
 	}
 }
 
-// ProcessParallel shards a packet batch across a pool of workers, each
+// newParallelCtx builds the per-chunk worker contexts ProcessParallel
+// spawns. It must hand out unique rng streams: chunk workers all starting
+// from the fixed seed would flip identical coins, making probabilistic
+// rules sample in lockstep across workers. A package variable so tests can
+// observe the streams deterministically.
+var newParallelCtx = NewProcCtxUnique
+
+// ProcessParallel shards a packet batch across transient workers, each
 // with its own ProcCtx, all executing against this one consistent
 // snapshot. workers <= 1 degenerates to the sequential ProcessBatch (and
-// is bit-for-bit identical to it). Per-bucket updates are atomic; counts
-// are exact because the stateful ops commute per bucket, but multi-bucket
-// invariants may be observed mid-update by concurrent readers.
+// is bit-for-bit identical to it); workers > 1 gives every worker a unique
+// rng stream. Per-bucket updates are atomic; counts are exact because the
+// stateful ops commute per bucket, but multi-bucket invariants may be
+// observed mid-update by concurrent readers.
+//
+// This spawns goroutines per call; steady-state batch pipelines should
+// prefer a persistent WorkerPool (the controller owns one).
 func (s *Snapshot) ProcessParallel(ps []packet.Packet, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -266,7 +284,7 @@ func (s *Snapshot) ProcessParallel(ps []packet.Packet, workers int) {
 		wg.Add(1)
 		go func(seg []packet.Packet) {
 			defer wg.Done()
-			pc := NewProcCtx()
+			pc := newParallelCtx()
 			for i := range seg {
 				s.Process(pc, &seg[i])
 			}

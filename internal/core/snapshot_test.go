@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"flymon/internal/dataplane"
@@ -205,5 +206,46 @@ func TestSnapshotParallelExactMass(t *testing.T) {
 			t.Fatalf("CMU %d mass %d, want %d (per-bucket atomicity must keep counts exact)",
 				ci, mass, len(tr.Packets))
 		}
+	}
+}
+
+// TestSnapshotParallelWorkersGetUniqueRngStreams guards the fix for the
+// lockstep-sampling bug: ProcessParallel used to hand every chunk worker a
+// NewProcCtx() with the same fixed seed, so probabilistic rules flipped
+// identical coins across workers and sampled correlated packet subsets.
+// The worker contexts must come from unique rng streams (and none may be
+// the fixed replay seed, which remains reserved for the deterministic
+// single-worker path).
+func TestSnapshotParallelWorkersGetUniqueRngStreams(t *testing.T) {
+	var mu sync.Mutex
+	var seeds []uint64
+	orig := newParallelCtx
+	newParallelCtx = func() *ProcCtx {
+		pc := orig()
+		mu.Lock()
+		seeds = append(seeds, pc.Ctx.rng)
+		mu.Unlock()
+		return pc
+	}
+	defer func() { newParallelCtx = orig }()
+
+	tr := trace.Generate(trace.Config{Flows: 100, Packets: 4096, Seed: 9})
+	g := NewGroup(GroupConfig{ID: 0, Buckets: 1024, BitWidth: 32})
+	buildCMS(t, g, 1, 1, 1024)
+	const workers = 8
+	NewPipelineWith(g).Compile().ProcessParallel(tr.Packets, workers)
+
+	if len(seeds) != workers {
+		t.Fatalf("ProcessParallel built %d worker contexts, want %d", len(seeds), workers)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range seeds {
+		if s == rngSeed {
+			t.Fatalf("a parallel worker got the fixed replay seed %#x: workers would flip coins in lockstep", s)
+		}
+		if seen[s] {
+			t.Fatalf("two parallel workers share rng stream %#x", s)
+		}
+		seen[s] = true
 	}
 }

@@ -1,0 +1,94 @@
+package core
+
+import "testing"
+
+// Edge-case coverage for address translation (§3.3): the two methods must
+// agree on degenerate partitions, respect base offsets at the address
+// extremes, and stay inside the partition even for the non-power-of-two
+// ranges the planner never emits but nothing structurally forbids.
+
+func TestTranslateZeroBucketsCollapsesToBase(t *testing.T) {
+	mem := MemRange{Base: 77, Buckets: 0}
+	for _, m := range []TranslationMethod{ShiftBased, TCAMBased} {
+		for _, addr := range []uint32{0, 1, 0x8000_0000, ^uint32(0)} {
+			if got := Translate(addr, mem, m); got != 77 {
+				t.Errorf("%s translate addr %#x with 0 buckets: %d, want base 77", m, addr, got)
+			}
+		}
+	}
+}
+
+func TestTranslateSingleBucket(t *testing.T) {
+	// A one-bucket partition has a single legal index: its base. Shift-based
+	// must shift the full 32 bits away (the shift == 32 boundary), not wrap.
+	mem := MemRange{Base: 512, Buckets: 1}
+	for _, m := range []TranslationMethod{ShiftBased, TCAMBased} {
+		for _, addr := range []uint32{0, 0xDEADBEEF, ^uint32(0)} {
+			if got := Translate(addr, mem, m); got != 512 {
+				t.Errorf("%s translate addr %#x with 1 bucket: %d, want 512", m, addr, got)
+			}
+		}
+	}
+}
+
+func TestTranslateAddressExtremesRespectBase(t *testing.T) {
+	// Address 0 maps to the partition's first bucket and address ^0 to its
+	// last, for both methods — out-of-partition indices at the extremes are
+	// exactly the off-by-one bugs translation refactors introduce.
+	mem := MemRange{Base: 3072, Buckets: 1024}
+	for _, m := range []TranslationMethod{ShiftBased, TCAMBased} {
+		if got := Translate(0, mem, m); got != 3072 {
+			t.Errorf("%s translate addr 0: %d, want first bucket 3072", m, got)
+		}
+		if got := Translate(^uint32(0), mem, m); got != 3072+1023 {
+			t.Errorf("%s translate addr ^0: %d, want last bucket %d", m, got, 3072+1023)
+		}
+	}
+}
+
+func TestTranslateShiftVsTCAMBitSelection(t *testing.T) {
+	// Shift-based reads the high bits; TCAM-based the low bits. An address
+	// with disjoint high/low patterns separates the two.
+	mem := MemRange{Base: 1 << 12, Buckets: 256}
+	addr := uint32(0xAB_0000_CD)
+	if got := Translate(addr, mem, ShiftBased); got != 1<<12+0xAB {
+		t.Errorf("shift-based: %#x, want base+0xAB", got)
+	}
+	if got := Translate(addr, mem, TCAMBased); got != 1<<12+0xCD {
+		t.Errorf("TCAM-based: %#x, want base+0xCD", got)
+	}
+}
+
+func TestTranslateNonPowerOfTwoStaysInPartition(t *testing.T) {
+	// Buckets is a power of two by planner invariant, but Translate must
+	// degrade safely (stay in [Base, Base+Buckets)) if handed a
+	// non-power-of-two range: shift-based keys off the lowest set bit,
+	// TCAM-based masks with n-1.
+	for _, buckets := range []int{3, 48, 1000} {
+		mem := MemRange{Base: 2048, Buckets: buckets}
+		for _, m := range []TranslationMethod{ShiftBased, TCAMBased} {
+			for i := 0; i < 4096; i++ {
+				addr := uint32(i) * 2654435761
+				got := Translate(addr, mem, m)
+				if got < 2048 || got >= uint32(2048+buckets) {
+					t.Fatalf("%s translate addr %#x escaped partition [2048,%d): %d",
+						m, addr, 2048+buckets, got)
+				}
+			}
+		}
+	}
+}
+
+func TestTranslateFullRegisterRange(t *testing.T) {
+	// A partition covering the whole register (Base 0) must reach both
+	// boundary buckets.
+	mem := MemRange{Base: 0, Buckets: 65536}
+	for _, m := range []TranslationMethod{ShiftBased, TCAMBased} {
+		if got := Translate(^uint32(0), mem, m); got != 65535 {
+			t.Errorf("%s translate ^0 over full register: %d, want 65535", m, got)
+		}
+		if got := Translate(0, mem, m); got != 0 {
+			t.Errorf("%s translate 0 over full register: %d, want 0", m, got)
+		}
+	}
+}

@@ -36,7 +36,7 @@ func MaxUnits() int { return len(polynomials) }
 // runtime, modelling the dynamic hashing feature the paper relies on.
 type Unit struct {
 	index int
-	table *crc32.Table
+	table *Table8
 	mask  [packet.NumFields]uint32
 	live  bool
 }
@@ -47,7 +47,7 @@ func NewUnit(i int) *Unit {
 	if i < 0 || i >= len(polynomials) {
 		panic(fmt.Sprintf("hashing: unit index %d out of range [0,%d)", i, len(polynomials)))
 	}
-	return &Unit{index: i, table: crc32.MakeTable(polynomials[i])}
+	return &Unit{index: i, table: tableFor(i)}
 }
 
 // Index returns the unit's hardware index.
@@ -83,18 +83,20 @@ func (u *Unit) Mask() [packet.NumFields]uint32 { return u.mask }
 
 // Hash digests packet p's candidate key set under the installed mask,
 // producing the unit's compressed key. An unconfigured unit returns 0.
+// The digest runs over the fixed-size canonical key on the caller's stack
+// (slicing-by-8, no allocation).
 func (u *Unit) Hash(p *packet.Packet) uint32 {
 	if !u.live {
 		return 0
 	}
 	k := packet.ExtractMasked(p, u.mask)
-	return fmix32(crc32.Checksum(k[:], u.table))
+	return fmix32(u.table.ChecksumKey(&k))
 }
 
 // HashBytes digests an arbitrary canonical key. Exposed for baselines and
 // tests that bypass the packet model.
 func (u *Unit) HashBytes(b []byte) uint32 {
-	return fmix32(crc32.Checksum(b, u.table))
+	return fmix32(u.table.Checksum(b))
 }
 
 // Hasher is an immutable handle on a unit's polynomial: it captures the
@@ -103,16 +105,18 @@ func (u *Unit) HashBytes(b []byte) uint32 {
 // Hashers so concurrent packet processing never reads a unit's mutable
 // mask state while the control plane reconfigures it.
 type Hasher struct {
-	table *crc32.Table
+	table *Table8
 }
 
 // Hasher returns the unit's immutable polynomial handle.
 func (u *Unit) Hasher() Hasher { return Hasher{table: u.table} }
 
 // Sum digests a pre-masked canonical key, producing the same compressed
-// key Unit.Hash would for a packet extracted under the unit's mask.
+// key Unit.Hash would for a packet extracted under the unit's mask. The
+// key stays on the caller's stack: Sum is the snapshot fast path's digest
+// and must not allocate.
 func (h Hasher) Sum(k packet.CanonicalKey) uint32 {
-	return fmix32(crc32.Checksum(k[:], h.table))
+	return fmix32(h.table.ChecksumKey(&k))
 }
 
 // fmix32 is a 32-bit avalanche finalizer (MurmurHash3's), modeling the bit

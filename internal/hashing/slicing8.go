@@ -1,0 +1,106 @@
+package hashing
+
+import (
+	"sync"
+
+	"flymon/internal/packet"
+)
+
+// Table8 is a slicing-by-8 CRC32 lookup table set for one (reversed)
+// polynomial. The standard library only ships accelerated update paths for
+// the IEEE and Castagnoli polynomials; FlyMon's hash units model Tofino's
+// per-unit polynomial diversity, so the other six custom polynomials would
+// fall back to the stdlib's byte-at-a-time loop. A Table8 gives every
+// polynomial the same word-at-a-time treatment: eight bytes per iteration,
+// eight table lookups, no data-dependent branches.
+//
+// The computed checksums are bit-identical to crc32.Checksum with a table
+// built by crc32.MakeTable for the same polynomial — slicing-by-8 is an
+// algebraic regrouping of the same CRC, not a different hash — so compiled
+// snapshots, interpretive units, and control-plane readout keep agreeing on
+// bucket locations across this change.
+type Table8 [8][256]uint32
+
+// MakeTable8 builds the slicing-by-8 tables for a reversed polynomial.
+func MakeTable8(poly uint32) *Table8 {
+	t := new(Table8)
+	for i := range t[0] {
+		crc := uint32(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 == 1 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		t[0][i] = crc
+	}
+	for i := range t[0] {
+		crc := t[0][i]
+		for j := 1; j < 8; j++ {
+			crc = t[0][crc&0xFF] ^ crc>>8
+			t[j][i] = crc
+		}
+	}
+	return t
+}
+
+// update advances crc (already inverted) over b, eight bytes at a time.
+func (t *Table8) update(crc uint32, b []byte) uint32 {
+	for len(b) >= 8 {
+		crc ^= uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+		crc = t[0][b[7]] ^ t[1][b[6]] ^ t[2][b[5]] ^ t[3][b[4]] ^
+			t[4][crc>>24] ^ t[5][crc>>16&0xFF] ^
+			t[6][crc>>8&0xFF] ^ t[7][crc&0xFF]
+		b = b[8:]
+	}
+	for _, v := range b {
+		crc = t[0][byte(crc)^v] ^ crc>>8
+	}
+	return crc
+}
+
+// Checksum digests arbitrary bytes, matching crc32.Checksum for the same
+// polynomial.
+func (t *Table8) Checksum(b []byte) uint32 {
+	return ^t.update(^uint32(0), b)
+}
+
+// ChecksumKey digests a canonical key in word-sized chunks: two 8-byte
+// slicing rounds cover the 16 leading bytes, a 4-byte tail finishes the
+// timestamp and padding. Taking the key by pointer keeps the caller's
+// stack copy from escaping — this is the data plane's zero-allocation
+// digest primitive.
+func (t *Table8) ChecksumKey(k *packet.CanonicalKey) uint32 {
+	crc := ^uint32(0)
+
+	crc ^= uint32(k[0]) | uint32(k[1])<<8 | uint32(k[2])<<16 | uint32(k[3])<<24
+	crc = t[0][k[7]] ^ t[1][k[6]] ^ t[2][k[5]] ^ t[3][k[4]] ^
+		t[4][crc>>24] ^ t[5][crc>>16&0xFF] ^
+		t[6][crc>>8&0xFF] ^ t[7][crc&0xFF]
+
+	crc ^= uint32(k[8]) | uint32(k[9])<<8 | uint32(k[10])<<16 | uint32(k[11])<<24
+	crc = t[0][k[15]] ^ t[1][k[14]] ^ t[2][k[13]] ^ t[3][k[12]] ^
+		t[4][crc>>24] ^ t[5][crc>>16&0xFF] ^
+		t[6][crc>>8&0xFF] ^ t[7][crc&0xFF]
+
+	crc = t[0][byte(crc)^k[16]] ^ crc>>8
+	crc = t[0][byte(crc)^k[17]] ^ crc>>8
+	crc = t[0][byte(crc)^k[18]] ^ crc>>8
+	crc = t[0][byte(crc)^k[19]] ^ crc>>8
+
+	return ^crc
+}
+
+// unitTables caches one Table8 per hash-unit polynomial: units are built
+// per group and tables are 8 KB each, so construction is shared and lazy.
+var (
+	unitTables    = make([]*Table8, len(polynomials))
+	unitTableOnce = make([]sync.Once, len(polynomials))
+)
+
+// tableFor returns the cached slicing-by-8 tables of polynomial index i.
+func tableFor(i int) *Table8 {
+	unitTableOnce[i].Do(func() { unitTables[i] = MakeTable8(polynomials[i]) })
+	return unitTables[i]
+}

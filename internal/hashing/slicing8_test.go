@@ -1,0 +1,86 @@
+package hashing
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"flymon/internal/packet"
+)
+
+// TestTable8MatchesStdlib: slicing-by-8 must be bit-identical to the
+// stdlib byte-at-a-time CRC for every unit polynomial, at every length —
+// bucket locations computed before and after this change must agree.
+func TestTable8MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for pi, poly := range polynomials {
+		ref := crc32.MakeTable(poly)
+		t8 := MakeTable8(poly)
+		buf := make([]byte, 64)
+		rng.Read(buf)
+		for n := 0; n <= len(buf); n++ {
+			want := crc32.Checksum(buf[:n], ref)
+			if got := t8.Checksum(buf[:n]); got != want {
+				t.Fatalf("poly %d len %d: Checksum %#x, want %#x", pi, n, got, want)
+			}
+		}
+		var k packet.CanonicalKey
+		for trial := 0; trial < 100; trial++ {
+			rng.Read(k[:])
+			want := crc32.Checksum(k[:], ref)
+			if got := t8.ChecksumKey(&k); got != want {
+				t.Fatalf("poly %d: ChecksumKey %#x, want %#x on %x", pi, got, want, k)
+			}
+		}
+	}
+}
+
+// TestHasherSumMatchesUnitHash: the snapshot-held Hasher and the live unit
+// must agree on every packet (they share the table; Sum takes the
+// pre-masked key).
+func TestHasherSumMatchesUnitHash(t *testing.T) {
+	for i := 0; i < MaxUnits(); i++ {
+		u := NewUnit(i)
+		u.Configure(packet.KeyFiveTuple)
+		h := u.Hasher()
+		p := packet.Packet{SrcIP: 0xC0A80000 + uint32(i), DstIP: 7, SrcPort: 80, DstPort: 443, Proto: 6}
+		k := packet.ExtractMasked(&p, u.Mask())
+		if u.Hash(&p) != h.Sum(k) {
+			t.Fatalf("unit %d: Hash and Hasher.Sum disagree", i)
+		}
+	}
+}
+
+// TestHashZeroAlloc: the per-packet digest primitives must not allocate —
+// the canonical key has to stay on the stack.
+func TestHashZeroAlloc(t *testing.T) {
+	u := NewUnit(3) // custom polynomial: no stdlib fast path to lean on
+	u.Configure(packet.KeyFiveTuple)
+	h := u.Hasher()
+	p := packet.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	k := packet.ExtractMasked(&p, u.Mask())
+
+	if avg := testing.AllocsPerRun(200, func() {
+		p.SrcIP++
+		_ = u.Hash(&p)
+	}); avg != 0 {
+		t.Fatalf("Unit.Hash allocates %.1f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		k[0]++
+		_ = h.Sum(k)
+	}); avg != 0 {
+		t.Fatalf("Hasher.Sum allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkChecksumKey measures the word-chunked canonical-key digest.
+func BenchmarkChecksumKey(b *testing.B) {
+	t8 := tableFor(3)
+	var k packet.CanonicalKey
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k[0] = byte(i)
+		_ = t8.ChecksumKey(&k)
+	}
+}
