@@ -6,11 +6,22 @@ BENCH_OUT ?= bench_results.txt
 # benchstat enough samples.
 HOT_BENCH = BenchmarkPipelinePerPacket|BenchmarkProcessBatch|BenchmarkProcessParallel|BenchmarkCMUProcess|BenchmarkRegisterExecute
 
-.PHONY: all check vet build test race race-concurrency bench bench-allocs bench-full clean
+.PHONY: all check vet build test race race-concurrency chaos bench bench-allocs bench-full clean
 
 all: check
 
-check: vet build race
+check: vet build race chaos
+
+# chaos runs the control-channel fault-injection suite under -race: the
+# faultnet transport tests, the resilient-client recovery paths (timeouts,
+# resets, corrupt frames, desync, breaker), codec framing robustness, and
+# the degraded-mode fleet tests. The fault plans use a fixed seed matrix
+# (seeds 1..3 inside TestChaosSeedMatrix plus per-test seeds), so failures
+# reproduce deterministically.
+chaos:
+	$(GO) test -race -count=1 -timeout 300s \
+		-run 'Chaos|Fault|Breaker|Hung|Panic|Dispatch|Codec|Client|Reset|Corrupt|Truncat|Partial|Deterministic|Listener|Delays|ZeroPlan|TestFleet(Partial|Strict|Remove|OpTimeout|Deploy)' \
+		./internal/faultnet/ ./internal/rpc/ ./internal/netwide/
 
 # race-concurrency is the focused -race run over the parallel-path tests
 # (snapshot fan-out, worker pool, controller reconfiguration under load);

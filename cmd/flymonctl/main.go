@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	flymonctl [-addr host:9177] <command> [flags]
+//	flymonctl [-addr host:9177] [-timeout 30s] [-retries 2] <command> [flags]
+//
+// -timeout bounds each control-channel round trip (a hung daemon fails
+// with an i/o timeout instead of blocking forever); -retries is the
+// automatic retry budget for read-only commands after a transport failure
+// (mutations are never auto-retried: on a transport failure the daemon may
+// or may not have applied them — re-check with `list`).
 //
 // Commands: add, rm, resize, list, estimate, cardinality, contains,
 // distribution, resources, gen, replay, stats.
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"flymon/internal/cli"
 	"flymon/internal/controlplane"
@@ -28,9 +35,34 @@ func main() {
 		os.Exit(2)
 	}
 	addr := ":9177"
+	opts := rpc.Options{}
 	args := os.Args[1:]
-	if args[0] == "-addr" && len(args) >= 2 {
-		addr, args = args[1], args[2:]
+	// Leading global flags, in any order, before the command word.
+global:
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-addr":
+			addr, args = args[1], args[2:]
+		case "-timeout":
+			d, err := time.ParseDuration(args[1])
+			if err != nil {
+				fatal(fmt.Errorf("-timeout: %w", err))
+			}
+			opts.CallTimeout = d
+			args = args[2:]
+		case "-retries":
+			n := 0
+			if _, err := fmt.Sscanf(args[1], "%d", &n); err != nil {
+				fatal(fmt.Errorf("-retries: %w", err))
+			}
+			if n == 0 {
+				n = -1 // user asked for zero retries, not the default
+			}
+			opts.MaxRetries = n
+			args = args[2:]
+		default:
+			break global
+		}
 	}
 	if len(args) == 0 {
 		usage()
@@ -38,7 +70,7 @@ func main() {
 	}
 	cmd, args := args[0], args[1:]
 
-	client, err := rpc.Dial(addr)
+	client, err := rpc.DialOptions(addr, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,7 +120,12 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: flymonctl [-addr host:9177] <command> [flags]
+	fmt.Fprint(os.Stderr, `usage: flymonctl [-addr host:9177] [-timeout 30s] [-retries 2] <command> [flags]
+
+global flags:
+  -addr     daemon control-channel address
+  -timeout  per-call deadline (default 30s); a hung daemon errors instead of blocking
+  -retries  retry budget for read-only commands after transport failures (default 2)
 
 commands:
   add          deploy a measurement task

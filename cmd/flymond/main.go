@@ -6,18 +6,28 @@
 //
 //	flymond [-listen :9177] [-groups 9] [-buckets 65536] [-bitwidth 32]
 //	        [-mode accurate|efficient]
+//	        [-chaos-seed N -chaos-read-delay 5ms -chaos-write-delay 5ms
+//	         -chaos-reset-every N -chaos-corrupt-every N]
+//
+// The -chaos-* flags wrap the control channel in the fault-injecting
+// transport (internal/faultnet) for resilience drills: delays, connection
+// resets, and corrupt frames on every accepted connection, from a seeded
+// deterministic plan. They exist so operators can rehearse exactly the
+// failures the resilient client claims to survive.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"flymon/internal/controlplane"
+	"flymon/internal/faultnet"
 	"flymon/internal/rpc"
 )
 
@@ -29,6 +39,11 @@ func main() {
 	bitWidth := flag.Int("bitwidth", 32, "register bucket width in bits")
 	partitions := flag.Int("partitions", 32, "memory partitions per CMU")
 	mode := flag.String("mode", "accurate", "memory allocation mode: accurate or efficient")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-injection seed (0 with other chaos flags = seed 1)")
+	chaosReadDelay := flag.Duration("chaos-read-delay", 0, "max injected delay per control-channel read")
+	chaosWriteDelay := flag.Duration("chaos-write-delay", 0, "max injected delay per control-channel write")
+	chaosResetEvery := flag.Int("chaos-reset-every", 0, "inject a connection reset every Nth I/O op (0 = never)")
+	chaosCorruptEvery := flag.Int("chaos-corrupt-every", 0, "corrupt every Nth response frame (0 = never)")
 	flag.Parse()
 
 	var memMode controlplane.MemoryMode
@@ -50,9 +65,28 @@ func main() {
 		Mode:          memMode,
 	})
 	srv := rpc.NewServer(ctrl, log.Printf)
-	addr, err := srv.Listen(*listen)
+	plan := faultnet.Plan{
+		Seed:         *chaosSeed,
+		ReadDelay:    *chaosReadDelay,
+		WriteDelay:   *chaosWriteDelay,
+		ResetEvery:   *chaosResetEvery,
+		CorruptEvery: *chaosCorruptEvery,
+	}
+	chaotic := plan.Seed != 0 || plan.ReadDelay > 0 || plan.WriteDelay > 0 ||
+		plan.ResetEvery > 0 || plan.CorruptEvery > 0
+	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("flymond: %v", err)
+		log.Fatalf("flymond: listen %s: %v", *listen, err)
+	}
+	addr := ln.Addr().String()
+	if chaotic {
+		if plan.Seed == 0 {
+			plan.Seed = 1 // a seeded plan is reproducible; 0 would collapse the rng streams
+		}
+		fmt.Printf("flymond: CHAOS MODE: control channel under fault plan %+v\n", plan)
+		srv.Serve(faultnet.WrapListener(ln, plan))
+	} else {
+		srv.Serve(ln)
 	}
 	fmt.Printf("flymond: %d+%d CMU Groups (%d CMUs), %d×%d-bit buckets/CMU, %s allocation\n",
 		*groups, ctrl.Pipeline().SplicedGroups(), (*groups+ctrl.Pipeline().SplicedGroups())*3, *buckets, *bitWidth, memMode)

@@ -1,0 +1,257 @@
+// Package faultnet is a fault-injecting transport for exercising the
+// control channel under adverse network conditions. It wraps net.Conn and
+// net.Listener with a seeded, deterministic fault Plan — per-direction
+// delays, injected connection resets, partial writes, and corrupt or
+// truncated frames — so any test in the repo can assert that a component
+// survives the fault taxonomy of DESIGN.md §11 without depending on a real
+// lossy network.
+//
+// Determinism: every wrapped connection draws faults from its own
+// math/rand stream seeded from Plan.Seed and a per-connection ordinal, so
+// a fixed (Plan, connection order) always yields the same fault sequence.
+// Wall-clock interleaving across goroutines is of course not fixed, but
+// the decisions (which op is delayed, reset, corrupted) are.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is returned by a wrapped connection when the Plan
+// injects a connection reset. The underlying connection is closed, so the
+// peer observes EOF/ECONNRESET.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// Plan is a deterministic fault schedule. The zero value injects nothing.
+// Probabilities are per I/O operation; *Every fields fire on every Nth
+// operation (counted per connection, reads and writes separately), which
+// gives tests hard guarantees ("every 5th op resets") that probabilistic
+// plans cannot.
+type Plan struct {
+	Seed int64 // base seed; connection i uses Seed*1048583 + i
+
+	// Delays: each read/write sleeps a uniform duration in [0, max].
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
+
+	// Resets: close the underlying conn and fail the op.
+	ResetProb   float64 // per-op probability
+	ResetEvery  int     // every Nth op (0 = never); counted across reads+writes
+	ResetAfterN int64   // after N total bytes have crossed this conn (0 = never)
+
+	// Write-side frame damage.
+	PartialWrites bool    // split writes into random chunks (still delivers all bytes)
+	CorruptProb   float64 // flip one byte of the buffer before writing
+	CorruptEvery  int     // every Nth write (0 = never)
+	TruncateProb  float64 // write a strict prefix, then inject a reset
+}
+
+func (p Plan) active() bool {
+	return p.ReadDelay > 0 || p.WriteDelay > 0 || p.ResetProb > 0 || p.ResetEvery > 0 ||
+		p.ResetAfterN > 0 || p.PartialWrites || p.CorruptProb > 0 || p.CorruptEvery > 0 ||
+		p.TruncateProb > 0
+}
+
+// Conn wraps a net.Conn with fault injection.
+type Conn struct {
+	net.Conn
+	plan Plan
+
+	mu     sync.Mutex // guards rng and counters (reads/writes may be concurrent)
+	rng    *rand.Rand
+	ops    int   // total I/O ops, for *Every schedules
+	writes int   // write ops, for CorruptEvery
+	bytes  int64 // total bytes crossed, for ResetAfterN
+}
+
+// WrapConn applies plan to conn using the stream for connection ordinal
+// ordinal (pass 0 if only one connection is wrapped).
+func WrapConn(conn net.Conn, plan Plan, ordinal int64) *Conn {
+	return &Conn{
+		Conn: conn,
+		plan: plan,
+		rng:  rand.New(rand.NewSource(plan.Seed*1048583 + ordinal)),
+	}
+}
+
+// decide runs under c.mu and returns the fault decisions for one op.
+func (c *Conn) decide(isWrite bool, n int) (delay time.Duration, reset, corrupt bool, truncateAt int) {
+	c.ops++
+	if isWrite {
+		c.writes++
+	}
+	max := c.plan.ReadDelay
+	if isWrite {
+		max = c.plan.WriteDelay
+	}
+	if max > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(max) + 1))
+	}
+	if c.plan.ResetEvery > 0 && c.ops%c.plan.ResetEvery == 0 {
+		reset = true
+	}
+	if c.plan.ResetProb > 0 && c.rng.Float64() < c.plan.ResetProb {
+		reset = true
+	}
+	if c.plan.ResetAfterN > 0 && c.bytes >= c.plan.ResetAfterN {
+		reset = true
+	}
+	if isWrite {
+		if c.plan.CorruptEvery > 0 && c.writes%c.plan.CorruptEvery == 0 {
+			corrupt = true
+		}
+		if c.plan.CorruptProb > 0 && c.rng.Float64() < c.plan.CorruptProb {
+			corrupt = true
+		}
+		truncateAt = -1
+		if c.plan.TruncateProb > 0 && n > 1 && c.rng.Float64() < c.plan.TruncateProb {
+			truncateAt = 1 + c.rng.Intn(n-1)
+		}
+	} else {
+		truncateAt = -1
+	}
+	return delay, reset, corrupt, truncateAt
+}
+
+// inject closes the underlying conn so the peer sees a reset-like failure.
+func (c *Conn) inject() error {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0) // RST, not FIN: the peer sees ECONNRESET
+	}
+	c.Conn.Close()
+	return ErrInjectedReset
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if !c.plan.active() {
+		return c.Conn.Read(b)
+	}
+	c.mu.Lock()
+	delay, reset, _, _ := c.decide(false, len(b))
+	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		return 0, c.inject()
+	}
+	n, err := c.Conn.Read(b)
+	c.mu.Lock()
+	c.bytes += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if !c.plan.active() {
+		return c.Conn.Write(b)
+	}
+	c.mu.Lock()
+	delay, reset, corrupt, truncateAt := c.decide(true, len(b))
+	var chunks []int
+	if c.plan.PartialWrites && len(b) > 1 {
+		// Pre-draw the chunk boundaries under the lock for determinism.
+		rem := len(b)
+		for rem > 1 {
+			n := 1 + c.rng.Intn(rem)
+			chunks = append(chunks, n)
+			rem -= n
+		}
+		if rem > 0 {
+			chunks = append(chunks, rem)
+		}
+	}
+	var corruptAt int
+	if corrupt && len(b) > 0 {
+		corruptAt = c.rng.Intn(len(b))
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset {
+		return 0, c.inject()
+	}
+	if corrupt && len(b) > 0 {
+		// Never mutate the caller's buffer: bufio reuses it.
+		dup := make([]byte, len(b))
+		copy(dup, b)
+		dup[corruptAt] ^= 0x5a
+		if dup[corruptAt] == '\n' { // keep framing intact; damage the payload
+			dup[corruptAt] = '#'
+		}
+		b = dup
+	}
+	if truncateAt >= 0 && truncateAt < len(b) {
+		n, err := c.Conn.Write(b[:truncateAt])
+		if err != nil {
+			return n, err
+		}
+		c.mu.Lock()
+		c.bytes += int64(n)
+		c.mu.Unlock()
+		return n, c.inject()
+	}
+	if len(chunks) > 0 {
+		total := 0
+		for _, n := range chunks {
+			w, err := c.Conn.Write(b[total : total+n])
+			total += w
+			c.mu.Lock()
+			c.bytes += int64(w)
+			c.mu.Unlock()
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	n, err := c.Conn.Write(b)
+	c.mu.Lock()
+	c.bytes += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Listener wraps a net.Listener; every accepted connection gets the Plan
+// with a fresh deterministic stream.
+type Listener struct {
+	net.Listener
+	plan Plan
+	next atomic.Int64
+}
+
+// WrapListener applies plan to every connection ln accepts.
+func WrapListener(ln net.Listener, plan Plan) *Listener {
+	return &Listener{Listener: ln, plan: plan}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(conn, l.plan, l.next.Add(1)), nil
+}
+
+// Dialer produces fault-injected client-side connections.
+type Dialer struct {
+	Plan    Plan
+	Timeout time.Duration // per-dial timeout (0 = net default)
+	next    atomic.Int64
+}
+
+// Dial connects and wraps the connection with the Dialer's plan.
+func (d *Dialer) Dial(network, addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout(network, addr, d.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(conn, d.Plan, d.next.Add(1)), nil
+}

@@ -1,0 +1,167 @@
+package netwide
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SwitchState classifies a remote switch's control-channel reachability.
+type SwitchState int
+
+const (
+	// SwitchHealthy: the last operation succeeded.
+	SwitchHealthy SwitchState = iota
+	// SwitchDegraded: recent failures, but fewer than the down threshold —
+	// the switch may be flapping or slow.
+	SwitchDegraded
+	// SwitchDown: at or past the consecutive-failure threshold; queries
+	// should expect this switch to be missing from merges.
+	SwitchDown
+)
+
+func (s SwitchState) String() string {
+	switch s {
+	case SwitchHealthy:
+		return "healthy"
+	case SwitchDegraded:
+		return "degraded"
+	case SwitchDown:
+		return "down"
+	default:
+		return fmt.Sprintf("SwitchState(%d)", int(s))
+	}
+}
+
+// SwitchHealth is one switch's control-channel health snapshot.
+type SwitchHealth struct {
+	Index               int
+	Addr                string
+	State               SwitchState
+	ConsecutiveFailures int
+	TotalFailures       int
+	LastError           string
+	LastSuccess         time.Time
+	LastFailure         time.Time
+}
+
+// healthTracker aggregates per-switch operation outcomes. A switch is
+// degraded after its first consecutive failure and down after downAfter of
+// them; any success resets it to healthy.
+type healthTracker struct {
+	mu        sync.Mutex
+	downAfter int
+	now       func() time.Time
+	entries   []SwitchHealth
+}
+
+func newHealthTracker(n, downAfter int, addrs []string) *healthTracker {
+	t := &healthTracker{downAfter: downAfter, now: time.Now, entries: make([]SwitchHealth, n)}
+	for i := range t.entries {
+		t.entries[i].Index = i
+		if i < len(addrs) {
+			t.entries[i].Addr = addrs[i]
+		}
+	}
+	return t
+}
+
+// record folds one operation outcome into switch i's health.
+func (t *healthTracker) record(i int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.entries) {
+		return
+	}
+	e := &t.entries[i]
+	if err == nil {
+		e.State = SwitchHealthy
+		e.ConsecutiveFailures = 0
+		e.LastError = ""
+		e.LastSuccess = t.now()
+		return
+	}
+	e.ConsecutiveFailures++
+	e.TotalFailures++
+	e.LastError = err.Error()
+	e.LastFailure = t.now()
+	if e.ConsecutiveFailures >= t.downAfter {
+		e.State = SwitchDown
+	} else {
+		e.State = SwitchDegraded
+	}
+}
+
+// snapshot copies the health table.
+func (t *healthTracker) snapshot() []SwitchHealth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SwitchHealth, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// QueryReport annotates a fleet-wide result with which switches
+// contributed. A partial report means the value is a merge over a subset
+// of switches — for additive sketch merges that is a valid lower bound,
+// which callers can surface instead of failing the whole query.
+type QueryReport struct {
+	Contributed []int          // switch indices merged into the result
+	Failed      map[int]string // switch index → error, for the rest
+}
+
+// Partial reports whether any switch was left out of the merge.
+func (r QueryReport) Partial() bool { return len(r.Failed) > 0 }
+
+// String renders "3/4 switches (down: 2)"-style summaries.
+func (r QueryReport) String() string {
+	total := len(r.Contributed) + len(r.Failed)
+	if !r.Partial() {
+		return fmt.Sprintf("%d/%d switches", len(r.Contributed), total)
+	}
+	missing := make([]int, 0, len(r.Failed))
+	for i := range r.Failed {
+		missing = append(missing, i)
+	}
+	sort.Ints(missing)
+	parts := make([]string, len(missing))
+	for j, i := range missing {
+		parts[j] = fmt.Sprintf("%d", i)
+	}
+	return fmt.Sprintf("%d/%d switches (missing: %s)", len(r.Contributed), total, strings.Join(parts, ","))
+}
+
+// PartialFailureError is a structured fleet-operation failure naming every
+// switch that failed, so the caller can retry exactly the stragglers.
+type PartialFailureError struct {
+	Op     string
+	Task   string
+	Failed map[int]error // switch index → error
+	Total  int           // fleet size
+}
+
+func (e *PartialFailureError) Error() string {
+	idx := make([]int, 0, len(e.Failed))
+	for i := range e.Failed {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	parts := make([]string, len(idx))
+	for j, i := range idx {
+		parts[j] = fmt.Sprintf("switch %d: %v", i, e.Failed[i])
+	}
+	return fmt.Sprintf("netwide: %s of %q failed on %d/%d switches: %s",
+		e.Op, e.Task, len(e.Failed), e.Total, strings.Join(parts, "; "))
+}
+
+// Stragglers returns the failed switch indices in order.
+func (e *PartialFailureError) Stragglers() []int {
+	idx := make([]int, 0, len(e.Failed))
+	for i := range e.Failed {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}

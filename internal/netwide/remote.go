@@ -2,6 +2,10 @@ package netwide
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"flymon/internal/controlplane"
 	"flymon/internal/core/algorithms"
@@ -10,6 +14,30 @@ import (
 	"flymon/internal/sketch"
 )
 
+// FleetOptions tunes the remote fleet's failure behavior.
+type FleetOptions struct {
+	// AllowPartial lets fleet-wide queries return a merged result over the
+	// reachable subset of switches (annotated in a QueryReport) instead of
+	// failing the whole query when one daemon is down. A sketch merged
+	// over k of n switches is still a valid (under)estimate.
+	AllowPartial bool
+	// OpTimeout bounds one fleet-wide fan-out (deploy, remove, query).
+	// Switches that have not answered by then are counted as failed for
+	// this operation; their in-flight calls still complete in the
+	// background and update health. 0 = wait for every per-call timeout.
+	OpTimeout time.Duration
+	// DownAfter consecutive failures mark a switch Down (default 3; the
+	// first failure already marks it Degraded).
+	DownAfter int
+}
+
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.DownAfter <= 0 {
+		o.DownAfter = 3
+	}
+	return o
+}
+
 // RemoteFleet is the deployed form of Fleet: the switches are flymond
 // daemons reached over the control channel. The central controller keeps a
 // local MIRROR controller built from the same configuration and fed the
@@ -17,20 +45,42 @@ import (
 // deterministic, so the mirror computes the exact hash mappings and
 // register indices the remote switches use, while the remote daemons
 // provide the actual register contents.
+//
+// All fleet operations fan out concurrently and track per-switch health;
+// with AllowPartial set, queries degrade gracefully when daemons are
+// unreachable instead of wedging the whole fleet on one dead switch.
 type RemoteFleet struct {
 	clients []*rpc.Client
 	mirror  *controlplane.Controller
+	opts    FleetOptions
+	health  *healthTracker
+
+	mu      sync.Mutex
 	taskIDs map[string]int // mirror task ID (== remote IDs by construction)
 }
 
-// NewRemoteFleet wraps daemon connections. cfg MUST equal the configuration
-// every daemon was started with (flymond's -groups/-buckets/-bitwidth
-// flags); a mismatch silently corrupts index computation, so deployments
-// should verify with a known-key probe (see VerifyAlignment).
+// NewRemoteFleet wraps daemon connections with default options (strict
+// all-or-nothing queries). cfg MUST equal the configuration every daemon
+// was started with (flymond's -groups/-buckets/-bitwidth flags); a
+// mismatch silently corrupts index computation, so deployments should
+// verify with a known-key probe (see VerifyAlignment).
 func NewRemoteFleet(clients []*rpc.Client, cfg controlplane.Config) *RemoteFleet {
+	return NewRemoteFleetOptions(clients, cfg, FleetOptions{})
+}
+
+// NewRemoteFleetOptions wraps daemon connections with explicit failure
+// options.
+func NewRemoteFleetOptions(clients []*rpc.Client, cfg controlplane.Config, opts FleetOptions) *RemoteFleet {
+	opts = opts.withDefaults()
+	addrs := make([]string, len(clients))
+	for i, c := range clients {
+		addrs[i] = c.Addr()
+	}
 	return &RemoteFleet{
 		clients: clients,
 		mirror:  controlplane.NewController(cfg),
+		opts:    opts,
+		health:  newHealthTracker(len(clients), opts.DownAfter, addrs),
 		taskIDs: make(map[string]int),
 	}
 }
@@ -38,104 +88,238 @@ func NewRemoteFleet(clients []*rpc.Client, cfg controlplane.Config) *RemoteFleet
 // Size returns the number of remote switches.
 func (f *RemoteFleet) Size() int { return len(f.clients) }
 
-// Deploy installs the spec on every daemon and on the local mirror.
+// Health returns the per-switch health table (state, consecutive and
+// total failures, last error) built from every fleet operation so far.
+func (f *RemoteFleet) Health() []SwitchHealth { return f.health.snapshot() }
+
+// fanOut runs op on every switch concurrently and collects per-switch
+// errors, bounded by OpTimeout. Late completions still record health.
+func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error {
+	type result struct {
+		i   int
+		err error
+	}
+	ch := make(chan result, len(f.clients))
+	for i, c := range f.clients {
+		go func(i int, c *rpc.Client) {
+			err := op(i, c)
+			f.health.record(i, err)
+			ch <- result{i, err}
+		}(i, c)
+	}
+	var timeout <-chan time.Time
+	if f.opts.OpTimeout > 0 {
+		t := time.NewTimer(f.opts.OpTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	errs := make(map[int]error)
+	seen := make(map[int]bool, len(f.clients))
+	for n := 0; n < len(f.clients); n++ {
+		select {
+		case r := <-ch:
+			seen[r.i] = true
+			if r.err != nil {
+				errs[r.i] = r.err
+			}
+		case <-timeout:
+			for i := range f.clients {
+				if !seen[i] {
+					errs[i] = fmt.Errorf("netwide: fleet deadline (%v) exceeded", f.opts.OpTimeout)
+				}
+			}
+			return errs
+		}
+	}
+	return errs
+}
+
+// Deploy installs the spec on every daemon and on the local mirror,
+// fanning out concurrently. Deployment stays all-or-nothing: a task that
+// exists only on part of the fleet would silently under-merge forever, so
+// any failure rolls back the switches that did deploy.
 func (f *RemoteFleet) Deploy(spec controlplane.TaskSpec) error {
+	f.mu.Lock()
 	if _, ok := f.taskIDs[spec.Name]; ok {
+		f.mu.Unlock()
 		return fmt.Errorf("netwide: task %q already deployed", spec.Name)
 	}
 	mt, err := f.mirror.AddTask(spec)
 	if err != nil {
+		f.mu.Unlock()
 		return fmt.Errorf("netwide: mirror deploy of %q: %w", spec.Name, err)
 	}
-	deployed := make([]int, 0, len(f.clients))
-	for i, c := range f.clients {
+	f.mu.Unlock()
+
+	var dmu sync.Mutex
+	deployed := make(map[int]int) // switch index → remote task ID
+	var diverged error
+	errs := f.fanOut(func(i int, c *rpc.Client) error {
 		rt, err := c.AddTask(spec)
 		if err != nil {
-			for j, id := range deployed {
-				_ = f.clients[j].RemoveTask(id)
-			}
-			_ = f.mirror.RemoveTask(mt.ID)
 			return fmt.Errorf("netwide: deploying %q on daemon %d: %w", spec.Name, i, err)
 		}
-		if rt.ID != mt.ID {
+		dmu.Lock()
+		deployed[i] = rt.ID
+		if rt.ID != mt.ID && diverged == nil {
 			// The daemon has diverged from the mirror (other tasks were
 			// deployed out of band): refuse rather than mis-index.
-			for j, id := range deployed {
-				_ = f.clients[j].RemoveTask(id)
-			}
-			_ = c.RemoveTask(rt.ID)
-			_ = f.mirror.RemoveTask(mt.ID)
-			return fmt.Errorf("netwide: daemon %d assigned task ID %d, mirror expected %d — configurations diverged",
+			diverged = fmt.Errorf("netwide: daemon %d assigned task ID %d, mirror expected %d — configurations diverged",
 				i, rt.ID, mt.ID)
 		}
-		deployed = append(deployed, rt.ID)
+		dmu.Unlock()
+		return nil
+	})
+	dmu.Lock()
+	defer dmu.Unlock()
+	if len(errs) > 0 || diverged != nil {
+		// Roll back the daemons that did install, best effort. Plain
+		// goroutines, not fanOut: a no-op on an untouched daemon must not
+		// be recorded as a health probe.
+		var wg sync.WaitGroup
+		for i, id := range deployed {
+			wg.Add(1)
+			go func(i, id int) {
+				defer wg.Done()
+				_ = f.clients[i].RemoveTask(id)
+			}(i, id)
+		}
+		wg.Wait()
+		f.mu.Lock()
+		_ = f.mirror.RemoveTask(mt.ID)
+		f.mu.Unlock()
+		if diverged != nil {
+			return diverged
+		}
+		for _, i := range sortedKeys(errs) {
+			return errs[i] // first failure in switch order
+		}
 	}
+	f.mu.Lock()
 	f.taskIDs[spec.Name] = mt.ID
+	f.mu.Unlock()
 	return nil
 }
 
-// Remove uninstalls the named task everywhere.
+// Remove uninstalls the named task everywhere. On partial failure the
+// task handle is KEPT so removal can be retried: forgetting the mapping
+// would strand installed tasks on the unreachable switches forever. A
+// retry treats "no task" answers as already-removed (removal is
+// idempotent), so it only needs the stragglers to come back.
 func (f *RemoteFleet) Remove(name string) error {
+	f.mu.Lock()
 	id, ok := f.taskIDs[name]
+	f.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("netwide: no task %q", name)
 	}
-	var firstErr error
-	for _, c := range f.clients {
-		if err := c.RemoveTask(id); err != nil && firstErr == nil {
-			firstErr = err
+	errs := f.fanOut(func(i int, c *rpc.Client) error {
+		err := c.RemoveTask(id)
+		if err != nil && strings.Contains(err.Error(), "no task") {
+			return nil // removed by a previous, partially-failed attempt
 		}
+		return err
+	})
+	if len(errs) > 0 {
+		return &PartialFailureError{Op: "remove", Task: name, Failed: errs, Total: len(f.clients)}
 	}
-	if err := f.mirror.RemoveTask(id); err != nil && firstErr == nil {
-		firstErr = err
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.mirror.RemoveTask(id); err != nil {
+		return err
 	}
 	delete(f.taskIDs, name)
-	return firstErr
+	return nil
 }
 
-// mergedRemoteRows reads the named task's registers from every daemon and
-// merges them with the combiner.
-func (f *RemoteFleet) mergedRemoteRows(name string, combine func(dst, src []uint32) error) ([][]uint32, int, error) {
+// mergedRemoteRows reads the named task's registers from every reachable
+// daemon and merges them with the combiner. With AllowPartial set, a
+// subset merge succeeds and the QueryReport says which switches
+// contributed; otherwise any unreachable daemon fails the query.
+func (f *RemoteFleet) mergedRemoteRows(name string, combine func(dst, src []uint32) error) ([][]uint32, int, QueryReport, error) {
+	f.mu.Lock()
 	id, ok := f.taskIDs[name]
+	f.mu.Unlock()
+	var report QueryReport
 	if !ok {
-		return nil, 0, fmt.Errorf("netwide: no task %q", name)
+		return nil, 0, report, fmt.Errorf("netwide: no task %q", name)
+	}
+	// Each goroutine owns rows[i] until its result is received on the
+	// channel inside fanOut; timed-out slots are never read.
+	rows := make([][][]uint32, len(f.clients))
+	var rmu sync.Mutex
+	errs := f.fanOut(func(i int, c *rpc.Client) error {
+		r, err := c.ReadRegisters(id)
+		if err != nil {
+			return fmt.Errorf("netwide: reading %q on daemon %d: %w", name, i, err)
+		}
+		rmu.Lock()
+		rows[i] = r
+		rmu.Unlock()
+		return nil
+	})
+	report.Failed = make(map[int]string, len(errs))
+	for i, err := range errs {
+		report.Failed[i] = err.Error()
+	}
+	if len(errs) > 0 && !f.opts.AllowPartial {
+		for _, i := range sortedKeys(errs) {
+			return nil, 0, report, errs[i]
+		}
 	}
 	var merged [][]uint32
-	for i, c := range f.clients {
-		rows, err := c.ReadRegisters(id)
-		if err != nil {
-			return nil, 0, fmt.Errorf("netwide: reading %q on daemon %d: %w", name, i, err)
-		}
-		if merged == nil {
-			merged = rows // the RPC client already returns fresh slices
+	rmu.Lock()
+	defer rmu.Unlock()
+	for i := range f.clients {
+		if _, failed := errs[i]; failed || rows[i] == nil {
 			continue
 		}
-		if len(rows) != len(merged) {
-			return nil, 0, fmt.Errorf("netwide: daemon %d row count %d, expected %d", i, len(rows), len(merged))
+		if merged == nil {
+			merged = rows[i] // the RPC client already returns fresh slices
+			report.Contributed = append(report.Contributed, i)
+			continue
 		}
-		for r := range rows {
-			if err := combine(merged[r], rows[r]); err != nil {
-				return nil, 0, err
+		if len(rows[i]) != len(merged) {
+			return nil, 0, report, fmt.Errorf("netwide: daemon %d row count %d, expected %d", i, len(rows[i]), len(merged))
+		}
+		for r := range rows[i] {
+			if err := combine(merged[r], rows[i][r]); err != nil {
+				return nil, 0, report, err
 			}
 		}
+		report.Contributed = append(report.Contributed, i)
 	}
-	return merged, id, nil
+	if merged == nil {
+		return nil, 0, report, &PartialFailureError{Op: "read", Task: name, Failed: errs, Total: len(f.clients)}
+	}
+	return merged, id, report, nil
 }
 
 // EstimateKey returns the fleet-wide frequency estimate for key k (counter
-// tasks; packets must be measured at exactly one daemon).
+// tasks; packets must be measured at exactly one daemon). With
+// AllowPartial set it may be computed over a subset of switches; use
+// EstimateKeyPartial to learn which.
 func (f *RemoteFleet) EstimateKey(name string, k packet.CanonicalKey) (uint64, error) {
-	merged, id, err := f.mergedRemoteRows(name, sketch.MergeAddRegisters)
+	v, _, err := f.EstimateKeyPartial(name, k)
+	return v, err
+}
+
+// EstimateKeyPartial is EstimateKey plus the QueryReport: which switches
+// contributed to the merge and which were skipped (with their errors).
+// When report.Partial() is true the estimate is a lower bound over the
+// reachable part of the fleet.
+func (f *RemoteFleet) EstimateKeyPartial(name string, k packet.CanonicalKey) (uint64, QueryReport, error) {
+	merged, id, report, err := f.mergedRemoteRows(name, sketch.MergeAddRegisters)
 	if err != nil {
-		return 0, err
+		return 0, report, err
 	}
 	h, err := f.mirror.TaskHandle(id)
 	if err != nil {
-		return 0, err
+		return 0, report, err
 	}
 	cms, ok := h.(*algorithms.CMSTask)
 	if !ok {
-		return 0, fmt.Errorf("netwide: task %q is not a counter task", name)
+		return 0, report, fmt.Errorf("netwide: task %q is not a counter task", name)
 	}
 	min := ^uint32(0)
 	for i := 0; i < cms.D; i++ {
@@ -144,14 +328,16 @@ func (f *RemoteFleet) EstimateKey(name string, k packet.CanonicalKey) (uint64, e
 			min = v
 		}
 	}
-	return uint64(min), nil
+	return uint64(min), report, nil
 }
 
 // VerifyAlignment checks that a daemon computes the same register indices
 // as the mirror by comparing the two deployments' placements for a named
 // task (a cheap structural probe; a full check would replay a known key).
 func (f *RemoteFleet) VerifyAlignment(name string) error {
+	f.mu.Lock()
 	id, ok := f.taskIDs[name]
+	f.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("netwide: no task %q", name)
 	}
@@ -175,4 +361,15 @@ func (f *RemoteFleet) VerifyAlignment(name string) error {
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns the map's switch indices in ascending order, so
+// error selection and reports are deterministic.
+func sortedKeys(m map[int]error) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
 }

@@ -27,6 +27,10 @@ const (
 	MethodReplay        = "replay"
 	MethodStats         = "stats"
 	MethodPing          = "ping"
+	// MethodDebugPanic is an operator fault drill: the handler panics on
+	// purpose so deployments can verify the daemon's panic containment
+	// (the panic becomes an error Response; the daemon keeps serving).
+	MethodDebugPanic = "debug_panic"
 )
 
 // AddTaskParams carries a task spec.

@@ -1,0 +1,103 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped) when the per-endpoint circuit
+// breaker is open: the daemon has failed repeatedly and calls fail fast
+// instead of each waiting out a full timeout. The breaker half-opens after
+// the cooldown and lets one probe through.
+var ErrCircuitOpen = errors.New("rpc: circuit open")
+
+// BreakerState is the observable state of a client's circuit breaker.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// breaker is a classic closed→open→half-open circuit breaker counting
+// consecutive transport failures. Application-level errors (the daemon
+// answered, but with an error) never trip it.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures to open
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	lastErr  error
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a call may proceed. In the open state it fails
+// fast with ErrCircuitOpen (wrapping the error that opened the circuit);
+// after the cooldown it transitions to half-open and admits one probe.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return nil
+	default: // BreakerOpen
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return nil
+		}
+		return fmt.Errorf("%w (endpoint failing since %d consecutive errors, last: %v)",
+			ErrCircuitOpen, b.failures, b.lastErr)
+	}
+}
+
+// success records a completed round trip and closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.lastErr = nil
+}
+
+// failure records a transport failure; at threshold the circuit opens.
+// A failed half-open probe re-opens immediately.
+func (b *breaker) failure(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.lastErr = err
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// snapshot returns the state and consecutive-failure count.
+func (b *breaker) snapshot() (BreakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.failures
+}

@@ -2,7 +2,9 @@ package rpc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -11,30 +13,269 @@ import (
 	"flymon/internal/packet"
 )
 
-// Client is a synchronous control-channel client.
-type Client struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	codec *codec
-	next  uint64
+// Options tunes the client's resilience behavior. The zero value of any
+// field selects the default; DefaultOptions lists them.
+type Options struct {
+	// DialTimeout bounds each TCP connect (initial and reconnect).
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response round trip: it is set as the
+	// connection deadline for every call, so a hung daemon surfaces as an
+	// i/o timeout instead of blocking the client (and every queued caller)
+	// forever. Raise it for long replays over slow links.
+	CallTimeout time.Duration
+	// MaxRetries is the retry budget for idempotent (read-only) methods
+	// after a transport failure (0 = default; negative = never retry).
+	// Mutations are never retried automatically: the request may have been
+	// applied before the failure.
+	MaxRetries int
+	// BackoffBase/BackoffMax shape the exponential backoff between retry
+	// attempts (base·2^attempt, capped, with ±50% jitter).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold consecutive transport failures open the circuit;
+	// while open, calls fail fast with ErrCircuitOpen until BreakerCooldown
+	// elapses and a half-open probe is admitted.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Seed fixes the jitter stream (0 = derived from the clock). Tests use
+	// this to make backoff schedules reproducible.
+	Seed int64
+	// Dialer overrides the transport dial, letting tests inject a
+	// fault-wrapped connection (see internal/faultnet.Dialer). nil = TCP.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
-// Dial connects to a FlyMon daemon.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+// DefaultOptions are the resilience defaults applied by Dial.
+var DefaultOptions = Options{
+	DialTimeout:      5 * time.Second,
+	CallTimeout:      30 * time.Second,
+	MaxRetries:       2,
+	BackoffBase:      25 * time.Millisecond,
+	BackoffMax:       1 * time.Second,
+	BreakerThreshold: 5,
+	BreakerCooldown:  3 * time.Second,
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = d.DialTimeout
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = d.CallTimeout
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = d.MaxRetries
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = d.BackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = d.BackoffMax
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = d.BreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = d.BreakerCooldown
+	}
+	if o.Dialer == nil {
+		o.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return o
+}
+
+// TransportError marks a failure of the channel itself (dial, deadline,
+// reset, corrupt frame, desynced stream) as opposed to an error the daemon
+// returned. For a mutation, a TransportError means the request may or may
+// not have been applied — callers that need certainty must re-query.
+type TransportError struct {
+	Method string
+	Err    error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("rpc: transport failure during %s (request may or may not have been applied): %v", e.Method, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// idempotentMethods lists the read-only calls the client may transparently
+// retry after a transport failure: re-executing them cannot change daemon
+// state.
+var idempotentMethods = map[string]bool{
+	MethodPing:          true,
+	MethodListTasks:     true,
+	MethodEstimate:      true,
+	MethodCardinality:   true,
+	MethodContains:      true,
+	MethodReported:      true,
+	MethodDistribution:  true,
+	MethodReadRegisters: true,
+	MethodResources:     true,
+	MethodReport:        true,
+	MethodStats:         true,
+}
+
+// drainLimit bounds how many stale (lower-ID) responses one call will
+// consume before declaring the stream poisoned and reconnecting.
+const drainLimit = 8
+
+// Client is a synchronous, self-healing control-channel client: per-call
+// deadlines, automatic reconnect with jittered exponential backoff, a
+// retry budget for idempotent methods, stale-response draining, and a
+// circuit breaker that fails fast when the endpoint is down.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex // serializes calls; never held across unbounded I/O
+	conn   net.Conn
+	codec  *codec
+	next   uint64
+	closed bool
+	rng    *rand.Rand
+
+	brk *breaker
+}
+
+// Dial connects to a FlyMon daemon with DefaultOptions.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects with explicit resilience options. The initial dial
+// must succeed (a misconfigured address should fail loudly); after that
+// the client reconnects on demand.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{
+		addr: addr,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(seed)),
+		brk:  newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+	}
+	conn, err := opts.Dialer(addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, codec: newCodec(conn)}, nil
+	c.conn = conn
+	c.codec = newCodec(conn)
+	return c, nil
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Addr returns the daemon address this client targets.
+func (c *Client) Addr() string { return c.addr }
 
-// call performs one synchronous request.
+// BreakerState reports the circuit breaker's state and the consecutive
+// transport-failure count, for health surfacing.
+func (c *Client) BreakerState() (BreakerState, int) { return c.brk.snapshot() }
+
+// Close tears down the connection. Subsequent calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.codec = nil
+	return err
+}
+
+// teardown drops a connection whose stream state is no longer trustworthy.
+func (c *Client) teardown() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.codec = nil
+	}
+}
+
+// ensureConn redials if the previous connection was torn down.
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.opts.Dialer(c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("rpc: reconnect %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.codec = newCodec(conn)
+	return nil
+}
+
+// backoff sleeps base·2^attempt capped at BackoffMax, with ±50% jitter so
+// a fleet of clients does not reconnect in lockstep.
+func (c *Client) backoff(attempt int) {
+	d := c.opts.BackoffBase << uint(attempt)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	half := int64(d) / 2
+	if half > 0 {
+		d = time.Duration(half + c.rng.Int63n(2*half))
+	}
+	time.Sleep(d)
+}
+
+// call performs one synchronous request with retries for idempotent
+// methods. Calls are serialized: the protocol is strictly one in-flight
+// request per connection.
 func (c *Client) call(method string, params, result any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("rpc: %s on closed client", method)
+	}
+	attempts := 1
+	if idempotentMethods[method] {
+		attempts += c.opts.MaxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt - 1)
+		}
+		err := c.callOnce(method, params, result)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var te *TransportError
+		if !errors.As(err, &te) {
+			// Application error or open breaker: retrying cannot help.
+			return err
+		}
+	}
+	return lastErr
+}
+
+// callOnce runs a single round trip over the current (or a fresh)
+// connection. Any transport failure tears the connection down so the next
+// attempt starts from a clean stream.
+func (c *Client) callOnce(method string, params, result any) error {
+	if err := c.brk.allow(); err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		c.teardown()
+		te := &TransportError{Method: method, Err: err}
+		c.brk.failure(te)
+		return te
+	}
+	if err := c.ensureConn(); err != nil {
+		return fail(err)
+	}
 	c.next++
 	req := Request{ID: c.next, Method: method}
 	if params != nil {
@@ -44,24 +285,46 @@ func (c *Client) call(method string, params, result any) error {
 		}
 		req.Params = raw
 	}
+	// The deadline covers the whole round trip; it is what guarantees a
+	// hung daemon cannot wedge this client (satellite: no unbounded I/O
+	// under c.mu).
+	c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
+	defer func() {
+		if c.conn != nil {
+			c.conn.SetDeadline(time.Time{})
+		}
+	}()
 	if err := c.codec.write(&req); err != nil {
-		return fmt.Errorf("rpc: sending %s: %w", method, err)
+		return fail(fmt.Errorf("sending: %w", err))
 	}
 	var resp Response
-	if err := c.codec.read(&resp); err != nil {
-		return fmt.Errorf("rpc: receiving %s: %w", method, err)
-	}
-	if resp.ID != req.ID {
-		return fmt.Errorf("rpc: response id %d for request %d", resp.ID, req.ID)
+	for drained := 0; ; drained++ {
+		if err := c.codec.read(&resp); err != nil {
+			return fail(fmt.Errorf("receiving: %w", err))
+		}
+		if resp.ID == req.ID {
+			break
+		}
+		if resp.ID < req.ID && drained < drainLimit {
+			// A stale response from an abandoned call: drain it and keep
+			// reading rather than poisoning the stream for every later
+			// caller.
+			continue
+		}
+		return fail(fmt.Errorf("response id %d for request %d: stream desynced", resp.ID, req.ID))
 	}
 	if resp.Error != "" {
+		// The daemon answered: the channel is healthy even if the request
+		// was rejected.
+		c.brk.success()
 		return fmt.Errorf("rpc: %s: %s", method, resp.Error)
 	}
 	if result != nil {
 		if err := json.Unmarshal(resp.Result, result); err != nil {
-			return fmt.Errorf("rpc: decoding %s result: %w", method, err)
+			return fail(fmt.Errorf("decoding result: %w", err))
 		}
 	}
+	c.brk.success()
 	return nil
 }
 

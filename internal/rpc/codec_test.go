@@ -1,0 +1,232 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gateGoroutines returns a check that fails the test if goroutines leaked
+// relative to the call point. Register it with t.Cleanup BEFORE creating
+// servers/clients so it runs after their cleanups have torn everything
+// down (cleanups run LIFO).
+func gateGoroutines(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			now := runtime.NumGoroutine()
+			if now <= before+2 { // tolerate runtime/test harness jitter
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+}
+
+func TestCodecReadMalformedFrames(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string // substring of the error
+	}{
+		{"empty stream", "", "EOF"},
+		{"truncated frame no newline", `{"id":1,"method":"pi`, "decoding message"},
+		{"garbage json", "not json at all\n", "decoding message"},
+		{"binary garbage", "\x00\x01\x02\xff\xfe\n", "decoding message"},
+		{"half object", `{"id":1,` + "\n", "decoding message"},
+		{"wrong json type", `[1,2,3]` + "\n", "decoding message"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &codec{r: bufio.NewReader(strings.NewReader(tc.input)), w: bufio.NewWriter(io.Discard)}
+			var req Request
+			err := c.read(&req)
+			if err == nil {
+				t.Fatal("malformed frame must error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// repeatReader yields b forever — an oversized line without allocating it.
+type repeatReader struct{ b []byte }
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		n += copy(p[n:], r.b)
+	}
+	return n, nil
+}
+
+func TestCodecReadOversizedLine(t *testing.T) {
+	c := &codec{r: bufio.NewReader(&repeatReader{b: []byte("xxxxxxxxxxxxxxxx")}), w: bufio.NewWriter(io.Discard)}
+	var req Request
+	err := c.read(&req)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized line error = %v", err)
+	}
+}
+
+func FuzzCodecRead(f *testing.F) {
+	f.Add([]byte(`{"id":1,"method":"ping"}` + "\n"))
+	f.Add([]byte(`{"id":9,"error":"x"}` + "\n"))
+	f.Add([]byte("\n"))
+	f.Add([]byte{0x00, 0xff, '\n'})
+	f.Add([]byte(`{"id":1` + "\n" + `}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := &codec{r: bufio.NewReader(bytes.NewReader(data)), w: bufio.NewWriter(io.Discard)}
+		var req Request
+		// Must never panic; errors are fine.
+		_ = c.read(&req)
+	})
+}
+
+// scriptedServer accepts connections and hands each to script.
+func scriptedServer(t *testing.T, script func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				script(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func testOpts() Options {
+	return Options{
+		DialTimeout:      2 * time.Second,
+		CallTimeout:      time.Second,
+		MaxRetries:       -1, // no automatic retries unless a test wants them
+		BackoffBase:      5 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		BreakerThreshold: 100,
+		BreakerCooldown:  50 * time.Millisecond,
+		Seed:             1,
+	}
+}
+
+func TestClientDrainsStaleResponses(t *testing.T) {
+	check := gateGoroutines(t)
+	t.Cleanup(check)
+	addr := scriptedServer(t, func(conn net.Conn) {
+		c := newCodec(conn)
+		for {
+			var req Request
+			if err := c.read(&req); err != nil {
+				return
+			}
+			// A response abandoned by a previous (timed-out) call arrives
+			// first; the real answer follows. The client must drain.
+			if req.ID > 1 {
+				c.write(&Response{ID: req.ID - 1, Result: []byte(`{"value":false}`)})
+			}
+			c.write(&Response{ID: req.ID, Result: []byte(`{"value":true}`)})
+		}
+	})
+	c, err := DialOptions(addr, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientReconnectsAfterFutureIDDesync(t *testing.T) {
+	check := gateGoroutines(t)
+	t.Cleanup(check)
+	var first atomic.Bool
+	first.Store(true)
+	addr := scriptedServer(t, func(conn net.Conn) {
+		c := newCodec(conn)
+		for {
+			var req Request
+			if err := c.read(&req); err != nil {
+				return
+			}
+			if first.CompareAndSwap(true, false) {
+				// A from-the-future ID is unrecoverable on this stream.
+				c.write(&Response{ID: req.ID + 100, Result: []byte(`{"value":true}`)})
+				continue
+			}
+			c.write(&Response{ID: req.ID, Result: []byte(`{"value":true}`)})
+		}
+	})
+	c, err := DialOptions(addr, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Ping()
+	if err == nil || !strings.Contains(err.Error(), "desynced") {
+		t.Fatalf("desync error = %v", err)
+	}
+	// The poisoned stream was torn down: the next call reconnects cleanly.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("call after desync: %v", err)
+	}
+}
+
+func TestClientSurvivesGarbageResponse(t *testing.T) {
+	check := gateGoroutines(t)
+	t.Cleanup(check)
+	var n atomic.Int32
+	addr := scriptedServer(t, func(conn net.Conn) {
+		c := newCodec(conn)
+		for {
+			var req Request
+			if err := c.read(&req); err != nil {
+				return
+			}
+			if n.Add(1) == 1 {
+				conn.Write([]byte("%%% this is not json %%%\n"))
+				continue
+			}
+			c.write(&Response{ID: req.ID, Result: []byte(`{"value":true}`)})
+		}
+	})
+	opts := testOpts()
+	opts.MaxRetries = 2 // Ping is idempotent: the retry must recover
+	c, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping through garbage response = %v", err)
+	}
+}

@@ -25,10 +25,14 @@ type Server struct {
 	tr      *trace.Trace
 	replays int
 
-	ln     net.Listener
-	closed chan struct{}
-	wg     sync.WaitGroup
-	logf   func(format string, args ...any)
+	ln        net.Listener
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	logf      func(format string, args ...any)
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // NewServer wraps a controller. logf may be nil (silent).
@@ -36,7 +40,7 @@ func NewServer(ctrl *controlplane.Controller, logf func(string, ...any)) *Server
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{ctrl: ctrl, closed: make(chan struct{}), logf: logf}
+	return &Server{ctrl: ctrl, closed: make(chan struct{}), logf: logf, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen binds addr ("host:port"; ":0" for an ephemeral port) and starts
@@ -46,21 +50,52 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
 	}
-	s.ln = ln
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for connection handlers to drain.
+// Serve starts serving on a caller-provided listener — the hook for
+// wrapping the control channel in a fault-injecting transport
+// (faultnet.WrapListener) or any other net.Listener decorator.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+}
+
+// Close stops the listener, closes every active connection, and waits for
+// connection handlers to drain. Without the active-connection sweep a
+// single idle client would wedge daemon shutdown forever. Close is
+// idempotent: shutdown paths often race a signal handler against a
+// defer.
 func (s *Server) Close() error {
-	close(s.closed)
 	var err error
-	if s.ln != nil {
-		err = s.ln.Close()
-	}
-	s.wg.Wait()
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
 	return err
+}
+
+// track registers a live connection; untrack(conn) removes it.
+func (s *Server) track(conn net.Conn) {
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -77,15 +112,25 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.wg.Add(1)
+		s.track(conn)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.serveConn(conn)
 		}()
 	}
 }
 
+// serveConn handles one connection. The top-level recover is the last
+// line of defense: a panic anywhere in the codec or handler path must cost
+// at most this one connection, never the daemon.
 func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("rpc: connection handler panic (connection dropped): %v", r)
+		}
+	}()
 	c := newCodec(conn)
 	for {
 		var req Request
@@ -103,9 +148,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(req *Request) *Response {
+func (s *Server) dispatch(req *Request) (resp *Response) {
+	resp = &Response{ID: req.ID}
+	// One malformed request must not crash the whole daemon: a handler
+	// panic becomes an error Response on this connection and a log line.
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("rpc: panic in %s handler: %v", req.Method, r)
+			resp.Result = nil
+			resp.Error = fmt.Sprintf("rpc: internal error handling %s: %v", req.Method, r)
+		}
+	}()
 	result, err := s.handle(req.Method, req.Params)
-	resp := &Response{ID: req.ID}
 	if err != nil {
 		resp.Error = err.Error()
 		return resp
@@ -350,6 +404,9 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 			TracePackets:     tl,
 			Tasks:            len(s.ctrl.Tasks()),
 		}, nil
+
+	case MethodDebugPanic:
+		panic("operator-requested fault drill")
 
 	default:
 		return nil, fmt.Errorf("rpc: unknown method %q", method)
