@@ -1,16 +1,22 @@
 GO ?= go
 BENCH_OUT ?= bench_results.txt
+SCALING_OUT ?= bench_scaling.txt
 
 # Hot-path benchmarks whose numbers back the concurrency claims in
 # DESIGN.md. -cpu 1,4 shows the parallel path's scaling; -count=5 gives
 # benchstat enough samples.
-HOT_BENCH = BenchmarkPipelinePerPacket|BenchmarkProcessBatch|BenchmarkProcessParallel|BenchmarkCMUProcess|BenchmarkRegisterExecute
+HOT_BENCH = BenchmarkPipelinePerPacket|BenchmarkProcessBatch|BenchmarkProcessParallel$$|BenchmarkCMUProcess|BenchmarkRegisterExecute
 
-.PHONY: all check vet build test race race-concurrency chaos bench bench-allocs bench-full clean
+# The register-mode scaling suite: shared-CAS vs sharded-lane ProcessParallel
+# on the heavy-hitter workload, plus the lane-drain cost.
+SCALING_BENCH = BenchmarkProcessParallelModes|BenchmarkShardDrain
+
+.PHONY: all check vet build test race race-concurrency chaos bench bench-allocs \
+	bench-full bench-scaling bench-smoke bench-compare clean
 
 all: check
 
-check: vet build race chaos
+check: vet build race chaos bench-smoke bench-allocs
 
 # chaos runs the control-channel fault-injection suite under -race: the
 # faultnet transport tests, the resilient-client recovery paths (timeouts,
@@ -53,6 +59,28 @@ bench:
 # stay at zero heap allocations per packet.
 bench-allocs:
 	$(GO) test -count=1 -run 'ZeroAlloc' -v ./internal/core/ ./internal/hashing/
+
+# bench-scaling runs the register-mode scaling suite across core counts
+# with the fixed trace seed baked into bench_test.go: 5 samples per mode
+# per -cpu so the benchcmp medians are robust to scheduler noise. The
+# trailing benchcmp pass prints the shared-CAS → sharded delta per cpu
+# count (negative = sharded faster); bench_scaling.txt is the committed
+# artifact backing the scaling table in README.md.
+bench-scaling:
+	$(GO) test -run '^$$' -bench '$(SCALING_BENCH)' -count=5 -cpu 1,2,4 -benchmem -timeout 0 . | tee $(SCALING_OUT)
+	$(GO) run ./cmd/benchcmp -pair 'mode=shared-cas:mode=sharded' $(SCALING_OUT)
+
+# bench-smoke is the check-gate pass over the scaling suite: one short run
+# to catch bit-rot in the mode benchmarks (a sharded-routing regression
+# shows up here as a compile error or a panic, not a slow number).
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(SCALING_BENCH)' -benchtime 64x -cpu 2 .
+
+# bench-compare diffs two saved benchmark outputs by median ns/op:
+#   make bench OLD=...        # or bench-scaling, with BENCH_OUT/SCALING_OUT
+#   make bench-compare OLD=old.txt NEW=new.txt
+bench-compare:
+	$(GO) run ./cmd/benchcmp $(OLD) $(NEW)
 
 # bench-full runs every benchmark once (figures + microbenchmarks).
 bench-full:

@@ -163,6 +163,88 @@ func BenchmarkProcessParallel(b *testing.B) {
 	}
 }
 
+// benchLoadedController builds the standard loaded 9-group pipeline (27
+// CMUs, 9 three-row CMS tasks) in either register mode. workers sets the
+// lane count in sharded mode (0 = GOMAXPROCS; note a single lane disables
+// sharding — one worker has nothing to contend with).
+func benchLoadedController(b *testing.B, sharded bool, workers int) *controlplane.Controller {
+	b.Helper()
+	ctrl := controlplane.NewController(controlplane.Config{
+		Groups: 9, Buckets: 65536, BitWidth: 32, ShardedState: sharded, Workers: workers,
+	})
+	for g := 0; g < 9; g++ {
+		_, err := ctrl.AddTask(controlplane.TaskSpec{
+			Name: "t", Key: packet.KeyFiveTuple,
+			Attribute: controlplane.AttrFrequency, MemBuckets: 16384, D: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ctrl
+}
+
+// BenchmarkProcessParallelModes compares the two parallel register modes on
+// a heavy-hitter workload (16 flows, Zipf s=2.0: the top flow alone is
+// ~60% of packets, so the shared-CAS mode hammers a few hot buckets with
+// LOCK-prefixed read-modify-writes while the sharded mode's plain lane
+// stores never interlock and the tiny duplicated hot set stays
+// cache-resident). Reported per packet; run with -cpu 1,2,4 for the
+// scaling table, and compare mode=shared-cas against mode=sharded at
+// equal -cpu.
+func BenchmarkProcessParallelModes(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		sharded bool
+	}{
+		{"shared-cas", false},
+		{"sharded", true},
+	} {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			ctrl := benchLoadedController(b, mode.sharded, 0)
+			defer ctrl.Close()
+			tr := trace.Generate(trace.Config{Flows: 16, Packets: 65536, Seed: 7, ZipfS: 2.0})
+			workers := runtime.GOMAXPROCS(0)
+			// Warm: start the pool, grow worker scratch, fault in the
+			// lanes, so the timed region measures steady state.
+			ctrl.ProcessParallel(tr.Packets, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(tr.Packets) {
+				ctrl.ProcessParallel(tr.Packets, workers)
+			}
+			b.StopTimer()
+			// Fold lanes so both modes end with comparable shared state and
+			// the drain cost is visible in its own benchmark, not here.
+			ctrl.DrainShards()
+		})
+	}
+}
+
+// BenchmarkShardDrain measures the query-path reduction: folding every
+// dirty lane of the loaded pipeline back into shared state (the readout
+// tax sharded mode pays once per query burst). The controller is pinned
+// to 4 lanes so every -cpu value folds identical state — at GOMAXPROCS=1
+// a 0-worker config would collapse to a single lane, which disables
+// sharding and leaves nothing to drain. A small untimed batch re-dirties
+// the lanes between drains — skewed, so it touches the same hot buckets a
+// real burst would. The cursor makes a drain with no intervening batch
+// free; that path is covered by the dirtiness-cursor tests.
+func BenchmarkShardDrain(b *testing.B) {
+	const workers = 4
+	ctrl := benchLoadedController(b, true, workers)
+	defer ctrl.Close()
+	tr := trace.Generate(trace.Config{Flows: 16, Packets: 4096, Seed: 7, ZipfS: 2.0})
+	ctrl.ProcessParallel(tr.Packets, workers)
+	ctrl.DrainShards()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctrl.ProcessParallel(tr.Packets, workers)
+		b.StartTimer()
+		ctrl.DrainShards()
+	}
+}
+
 // BenchmarkCMUProcess measures one CMU Group processing one packet.
 func BenchmarkCMUProcess(b *testing.B) {
 	g := core.NewGroup(core.GroupConfig{Buckets: 65536, BitWidth: 32})

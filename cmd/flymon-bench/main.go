@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	flymon-bench [-scale small|full] [-seed N] [experiment ...]
+//	flymon-bench [-scale small|full] [-seed N] [-workers N] [-sharded] [experiment ...]
 //
 // With no experiment arguments it runs everything. Experiments: fig2,
 // table3, fig11, fig12a, fig12b, fig13a, fig13b, fig13c, fig14a, fig14b,
@@ -26,6 +26,8 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "small", "workload scale: small or full")
 	seed := flag.Int64("seed", 42, "workload seed")
+	workers := flag.Int("workers", 0, "worker-count cap for the throughput experiment (0 = GOMAXPROCS)")
+	sharded := flag.Bool("sharded", false, "throughput experiment uses sharded register lanes (per-worker plain stores) instead of shared CAS")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	seriesDir := flag.String("series-dir", "", "also write fig12a's raw time series as .dat files into this directory")
 	flag.Usage = usage
@@ -69,7 +71,9 @@ func main() {
 		"fig14g":       func() []*experiments.Table { return []*experiments.Table{experiments.Fig14g(scale, *seed)} },
 		"appendixe":    func() []*experiments.Table { return []*experiments.Table{experiments.AppendixE(scale, *seed)} },
 		"multitasking": func() []*experiments.Table { return []*experiments.Table{experiments.Multitasking(scale, *seed)} },
-		"throughput":   func() []*experiments.Table { return []*experiments.Table{experiments.Throughput(scale, *seed)} },
+		"throughput": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Throughput(scale, *seed, *workers, *sharded)}
+		},
 		"ablations": func() []*experiments.Table {
 			return []*experiments.Table{
 				experiments.AblationSubParts(scale, *seed),
@@ -135,7 +139,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: flymon-bench [-scale small|full] [-seed N] [experiment ...]
+	fmt.Fprintf(os.Stderr, `usage: flymon-bench [-scale small|full] [-seed N] [-workers N] [-sharded] [experiment ...]
 
 experiments:
   fig2     resource footprint of statically deployed sketches
@@ -156,6 +160,8 @@ experiments:
   appendixe  recirculation splicing: capacity vs bandwidth overhead
   multitasking  96 isolated tasks on one CMU Group (§5.1)
   throughput  lock-free batch/parallel packet rate vs worker count
+              (-workers caps the sweep; -sharded switches the register
+              state from shared CAS to per-worker plain-store lanes)
   ablations  design-choice ablations (sub-parts, translation, memory modes, XOR keys)
 `)
 }

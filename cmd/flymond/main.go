@@ -5,7 +5,7 @@
 // Usage:
 //
 //	flymond [-listen :9177] [-groups 9] [-buckets 65536] [-bitwidth 32]
-//	        [-mode accurate|efficient]
+//	        [-mode accurate|efficient] [-workers N] [-sharded]
 //	        [-chaos-seed N -chaos-read-delay 5ms -chaos-write-delay 5ms
 //	         -chaos-reset-every N -chaos-corrupt-every N]
 //
@@ -39,6 +39,8 @@ func main() {
 	bitWidth := flag.Int("bitwidth", 32, "register bucket width in bits")
 	partitions := flag.Int("partitions", 32, "memory partitions per CMU")
 	mode := flag.String("mode", "accurate", "memory allocation mode: accurate or efficient")
+	workers := flag.Int("workers", 0, "parallel batch workers and register lanes (0 = GOMAXPROCS)")
+	sharded := flag.Bool("sharded", false, "sharded register state: mergeable ops write per-worker plain-store lanes, reduced on query")
 	chaosSeed := flag.Int64("chaos-seed", 0, "fault-injection seed (0 with other chaos flags = seed 1)")
 	chaosReadDelay := flag.Duration("chaos-read-delay", 0, "max injected delay per control-channel read")
 	chaosWriteDelay := flag.Duration("chaos-write-delay", 0, "max injected delay per control-channel write")
@@ -63,6 +65,8 @@ func main() {
 		BitWidth:      *bitWidth,
 		Partitions:    *partitions,
 		Mode:          memMode,
+		Workers:       *workers,
+		ShardedState:  *sharded,
 	})
 	srv := rpc.NewServer(ctrl, log.Printf)
 	plan := faultnet.Plan{
@@ -90,6 +94,9 @@ func main() {
 	}
 	fmt.Printf("flymond: %d+%d CMU Groups (%d CMUs), %d×%d-bit buckets/CMU, %s allocation\n",
 		*groups, ctrl.Pipeline().SplicedGroups(), (*groups+ctrl.Pipeline().SplicedGroups())*3, *buckets, *bitWidth, memMode)
+	if ctrl.Sharded() {
+		fmt.Printf("flymond: sharded register state: %d plain-store lanes per CMU, reduced on query\n", ctrl.Workers())
+	}
 	fmt.Printf("flymond: control channel on %s\n", addr)
 
 	sig := make(chan os.Signal, 1)

@@ -2,6 +2,7 @@ package controlplane
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,18 @@ type Controller struct {
 	// Close.
 	workers atomic.Pointer[core.WorkerPool]
 
+	// sharded enables the mergeable-op lane engine: pool workers write
+	// private cache-line-padded register lanes with plain stores and the
+	// control plane reduces them on read. shardWorkers is the lane (and
+	// pool) count. procGate orders lane access: ProcessParallel batches
+	// hold it shared; drains and lane-clearing mutations hold it exclusive
+	// (lane loads/stores are plain, so they must never overlap a batch).
+	// Lock order is always mu before procGate.
+	sharded      bool
+	shardWorkers int
+	procGate     sync.RWMutex
+	shardCtr     metrics.ShardCounters
+
 	tasks  map[int]*Task
 	nextID int
 
@@ -94,6 +107,20 @@ type Config struct {
 	// mirror+recirculation. The placer uses them as a last resort: tasks
 	// landing there cost bandwidth (Pipeline.Recirculated tracks it).
 	SplicedGroups int
+
+	// Workers sizes the controller's persistent batch-processing pool and,
+	// in sharded mode, the per-register lane count (0 = GOMAXPROCS).
+	Workers int
+	// ShardedState switches ProcessParallel's register updates from shared
+	// CAS buckets to private per-worker lanes for exactly-mergeable ops
+	// (Cond-ADD at the saturation bound, MAX, AND-OR, XOR): workers write
+	// their own cache-line-padded lane with plain stores and the control
+	// plane reduces lanes into shared state before any readout. Ops whose
+	// merge would not be exact (sub-saturation thresholds, result-bus
+	// consumers) transparently keep the CAS path. Query results are
+	// identical in either mode; sharded mode trades a drain pass per
+	// readout for a CAS-free packet path.
+	ShardedState bool
 }
 
 // DefaultTCAMEntriesPerGroup is the preparation stage's TCAM share: half of
@@ -163,6 +190,16 @@ func NewController(cfg Config) *Controller {
 		}
 		c.allocs = append(c.allocs, cmus)
 	}
+	c.shardWorkers = cfg.Workers
+	if c.shardWorkers <= 0 {
+		c.shardWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ShardedState {
+		c.sharded = true
+		// Lanes must exist before the first Compile so the snapshot's
+		// routing verdicts see them.
+		pl.EnableSharding(c.shardWorkers)
+	}
 	c.ctxPool.New = func() any { return core.NewProcCtxUnique() }
 	c.publishLocked()
 	return c
@@ -217,6 +254,12 @@ func (c *Controller) ProcessBatch(ps []packet.Packet) {
 // workers selects the shard count; <= 0 uses GOMAXPROCS; workers == 1 is
 // bit-for-bit identical to ProcessBatch. The pool's goroutines are started
 // once, on the first call, and reused for every subsequent batch.
+//
+// In sharded mode (Config.ShardedState) each pool worker owns a private
+// register lane: compiled rules whose ops merge exactly write the lane with
+// plain stores — no CAS, no contended counter — and the control plane
+// reduces lanes into shared state before any readout. Batches hold the
+// procGate shared so a drain never overlaps lane writes.
 func (c *Controller) ProcessParallel(ps []packet.Packet, workers int) {
 	if len(ps) == 0 {
 		return
@@ -226,11 +269,18 @@ func (c *Controller) ProcessParallel(ps []packet.Packet, workers int) {
 		snap.ProcessBatch(ps)
 		return
 	}
-	c.workerPool().Process(snap, ps, workers)
+	// Resolve the pool before taking the gate: workerPool may take c.mu,
+	// and the lock order is mu before procGate everywhere.
+	pool := c.workerPool()
+	if c.sharded {
+		c.procGate.RLock()
+		defer c.procGate.RUnlock()
+	}
+	pool.Process(snap, ps, workers)
 }
 
 // workerPool returns the controller's persistent pool, starting it on
-// first use (GOMAXPROCS workers).
+// first use (Config.Workers workers, lane-owning in sharded mode).
 func (c *Controller) workerPool() *core.WorkerPool {
 	if p := c.workers.Load(); p != nil {
 		return p
@@ -240,9 +290,85 @@ func (c *Controller) workerPool() *core.WorkerPool {
 	if p := c.workers.Load(); p != nil {
 		return p
 	}
-	p := core.NewWorkerPool(0)
+	var p *core.WorkerPool
+	if c.sharded {
+		p = core.NewShardedWorkerPool(c.shardWorkers)
+	} else {
+		p = core.NewWorkerPool(c.shardWorkers)
+	}
 	c.workers.Store(p)
 	return p
+}
+
+// drainShards folds every dirty register lane back into shared state so a
+// control-plane read observes complete counts. It holds the procGate
+// exclusively for the scan (lane loads are plain; no batch may overlap).
+// Callers hold c.mu. No-op in shared mode and when no batch has written a
+// lane since the last drain (the registers' dirtiness cursor).
+func (c *Controller) drainShards() {
+	if !c.sharded {
+		return
+	}
+	c.procGate.Lock()
+	n := c.pipeline.DrainShards()
+	c.procGate.Unlock()
+	c.shardCtr.RecordDrain(n)
+}
+
+// quiesce blocks the sharded batch path for the duration of a mutation
+// that reads or clears register lanes and returns the release func.
+// No-op in shared mode. Callers hold c.mu; the gate is not reentrant, so a
+// quiesced caller must use drainGateHeld, never drainShards.
+func (c *Controller) quiesce() func() {
+	if !c.sharded {
+		return func() {}
+	}
+	c.procGate.Lock()
+	return c.procGate.Unlock
+}
+
+// drainGateHeld folds dirty lanes while the caller already holds the
+// procGate exclusively (via quiesce).
+func (c *Controller) drainGateHeld() {
+	if !c.sharded {
+		return
+	}
+	c.shardCtr.RecordDrain(c.pipeline.DrainShards())
+}
+
+// DrainShards folds every dirty register lane into shared state and
+// returns the number of lane buckets folded. Query methods drain
+// automatically; this is for callers reading registers directly through
+// Pipeline(). No-op (zero) in shared mode.
+func (c *Controller) DrainShards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sharded {
+		return 0
+	}
+	c.procGate.Lock()
+	n := c.pipeline.DrainShards()
+	c.procGate.Unlock()
+	c.shardCtr.RecordDrain(n)
+	return n
+}
+
+// Sharded reports whether the controller runs the sharded lane engine.
+func (c *Controller) Sharded() bool { return c.sharded }
+
+// Workers returns the controller's batch-pool width (the lane count in
+// sharded mode).
+func (c *Controller) Workers() int { return c.shardWorkers }
+
+// ShardStats summarizes the sharded engine: lane count, the live
+// snapshot's compile-time routing verdicts, and drain counters.
+func (c *Controller) ShardStats() metrics.ShardStats {
+	st := c.shardCtr.Stats()
+	if c.sharded {
+		st.Workers = c.shardWorkers
+	}
+	st.ShardedRules, st.FallbackRules = c.snap.Load().ShardedRules()
+	return st
 }
 
 // Close releases the controller's background resources (the worker pool).
@@ -290,6 +416,9 @@ func (c *Controller) AddTask(spec TaskSpec) (*Task, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A failed placement rolls back via Uninstall, which clears register
+	// lanes — quiesce so no batch writes them concurrently.
+	defer c.quiesce()()
 	return c.addTaskLocked(spec)
 }
 
@@ -580,6 +709,10 @@ func (c *Controller) countRules(t *Task) RuleCount {
 func (c *Controller) RemoveTask(id int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Uninstall clears the task's register lanes with plain stores; its
+	// freed partitions may be re-granted, so stale lane state must not
+	// survive. Quiesce the batch path for the duration.
+	defer c.quiesce()()
 	return c.removeTaskLocked(id)
 }
 
@@ -617,6 +750,10 @@ func (c *Controller) ResizeTask(id, newBuckets int) (old [][]uint32, err error) 
 	if !ok {
 		return nil, fmt.Errorf("controlplane: no task %d", id)
 	}
+	// Quiesce, then fold lanes so the readout below is complete and the
+	// memory move never races lane writers.
+	defer c.quiesce()()
+	c.drainGateHeld()
 	old, _ = c.pipeline.ReadTask(id)
 	origSpec := t.Spec
 	spec := origSpec
@@ -697,6 +834,7 @@ func (c *Controller) ThawTask(id int) error {
 func (c *Controller) SplitTask(id int) (lo, hi *Task, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.quiesce()() // removal clears lanes
 	t, ok := c.tasks[id]
 	if !ok {
 		return nil, nil, fmt.Errorf("controlplane: no task %d", id)
@@ -808,12 +946,18 @@ func (c *Controller) FreeBuckets() [][]int {
 }
 
 // --- Query interface (control-plane readout + analysis) ---
+//
+// Every query drains dirty register lanes first (drainShards) so sharded-
+// mode readouts observe complete, merged counts — identical to what the
+// shared-CAS mode would report. The drain is a no-op in shared mode and
+// skipped entirely when no batch ran since the last drain.
 
 // EstimateKey returns the task's per-key estimate (frequency, max, or
 // distinct count depending on the algorithm).
 func (c *Controller) EstimateKey(id int, k packet.CanonicalKey) (float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainShards()
 	t, err := c.taskLocked(id)
 	if err != nil {
 		return 0, err
@@ -844,6 +988,7 @@ func (c *Controller) EstimateKey(id int, k packet.CanonicalKey) (float64, error)
 func (c *Controller) Cardinality(id int) (float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainShards()
 	t, err := c.taskLocked(id)
 	if err != nil {
 		return 0, err
@@ -862,6 +1007,7 @@ func (c *Controller) Cardinality(id int) (float64, error) {
 func (c *Controller) Contains(id int, k packet.CanonicalKey) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainShards()
 	t, err := c.taskLocked(id)
 	if err != nil {
 		return false, err
@@ -877,6 +1023,7 @@ func (c *Controller) Contains(id int, k packet.CanonicalKey) (bool, error) {
 func (c *Controller) Reported(id int, candidates []packet.CanonicalKey) (map[packet.CanonicalKey]bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainShards()
 	t, err := c.taskLocked(id)
 	if err != nil {
 		return nil, err
@@ -898,6 +1045,7 @@ func (c *Controller) Reported(id int, candidates []packet.CanonicalKey) (map[pac
 func (c *Controller) Distribution(id int) (map[uint64]float64, float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainShards()
 	t, err := c.taskLocked(id)
 	if err != nil {
 		return nil, 0, err
@@ -918,6 +1066,7 @@ func (c *Controller) Distribution(id int) (map[uint64]float64, float64, error) {
 func (c *Controller) ReadRegisters(id int) ([][]uint32, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainShards()
 	return c.pipeline.ReadTask(id)
 }
 
@@ -926,6 +1075,7 @@ func (c *Controller) ReadRegisters(id int) ([][]uint32, error) {
 func (c *Controller) ResetTaskCounters(id int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.quiesce()() // ClearRange zeroes lanes with plain stores
 	locs := c.pipeline.Locate(id)
 	if len(locs) == 0 {
 		return fmt.Errorf("controlplane: no task %d", id)
@@ -941,6 +1091,7 @@ func (c *Controller) ResetTaskCounters(id int) error {
 func (c *Controller) TaskHandle(id int) (any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainShards()
 	t, err := c.taskLocked(id)
 	if err != nil {
 		return nil, err

@@ -305,6 +305,12 @@ type Context struct {
 	// to MaxUint32 per packet.
 	RunningMin uint32
 
+	// Shard is the worker's private register-lane index, or -1 when this
+	// context writes through the shared CAS path. Only sharded worker-pool
+	// contexts carry a lane (see WorkerPool); the compiled program routes
+	// a rule to the lane only when its op is exactly mergeable.
+	Shard int32
+
 	// rng drives probabilistic execution, deterministic per pipeline.
 	rng uint64
 }

@@ -32,7 +32,7 @@ type ProcCtx struct {
 
 // NewProcCtx returns a fresh worker context with the deterministic seed.
 func NewProcCtx() *ProcCtx {
-	return &ProcCtx{Ctx: Context{rng: rngSeed}}
+	return &ProcCtx{Ctx: Context{rng: rngSeed, Shard: -1}}
 }
 
 // ctxSeq numbers unique-stream contexts so no two share an rng stream.
@@ -54,7 +54,7 @@ func NewProcCtxUnique() *ProcCtx {
 	if z == 0 {
 		z = rngSeed
 	}
-	return &ProcCtx{Ctx: Context{rng: z}}
+	return &ProcCtx{Ctx: Context{rng: z, Shard: -1}}
 }
 
 // reset re-arms the context for a new packet (or a recirculated copy: a

@@ -23,6 +23,7 @@ import (
 type WorkerPool struct {
 	jobs    chan poolJob
 	workers int
+	sharded bool // workers own register lanes (ctx.Shard = worker index)
 	started atomic.Int64 // worker goroutines ever started; stays == workers
 	close   sync.Once
 }
@@ -35,21 +36,34 @@ type poolJob struct {
 
 // NewWorkerPool starts a pool of n long-lived workers (n <= 0 takes
 // GOMAXPROCS). The workers live until Close.
-func NewWorkerPool(n int) *WorkerPool {
+func NewWorkerPool(n int) *WorkerPool { return newWorkerPool(n, false) }
+
+// NewShardedWorkerPool starts a pool whose workers each own one private
+// register lane: worker i processes with ctx.Shard = i, so compiled rules
+// whose ops are exactly mergeable write lane i with plain stores instead
+// of CASing the shared bucket. The pool must be sized to the registers'
+// EnableSharding count — lane indices at or past the lane count are a
+// wiring bug and panic in ShardApply.
+func NewShardedWorkerPool(n int) *WorkerPool { return newWorkerPool(n, true) }
+
+func newWorkerPool(n int, sharded bool) *WorkerPool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	p := &WorkerPool{jobs: make(chan poolJob, 4*n), workers: n}
+	p := &WorkerPool{jobs: make(chan poolJob, 4*n), workers: n, sharded: sharded}
 	for i := 0; i < n; i++ {
 		p.started.Add(1)
-		go p.run()
+		go p.run(i)
 	}
 	return p
 }
 
 // run is one worker's loop: a single context, reused for every job.
-func (p *WorkerPool) run() {
+func (p *WorkerPool) run(id int) {
 	pc := NewProcCtxUnique()
+	if p.sharded {
+		pc.Ctx.Shard = int32(id)
+	}
 	for j := range p.jobs {
 		for i := range j.seg {
 			j.snap.Process(pc, &j.seg[i])
@@ -60,6 +74,9 @@ func (p *WorkerPool) run() {
 
 // Workers returns the pool's worker count.
 func (p *WorkerPool) Workers() int { return p.workers }
+
+// Sharded reports whether the pool's workers own register lanes.
+func (p *WorkerPool) Sharded() bool { return p.sharded }
 
 // Started returns the number of worker goroutines ever started. It equals
 // Workers for the pool's whole lifetime — the property the pool exists

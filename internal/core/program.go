@@ -215,11 +215,19 @@ type compiledRule struct {
 	hasPrep   bool // prep.Kind != TransformNone
 	chainMin  bool
 	detectNew bool
+
+	// sharded routes the stateful op to the worker's private register lane
+	// (plain stores, merged at readout) instead of the shared CAS bucket.
+	// Set only when the op is exactly mergeable, the register has lanes,
+	// and no rule in the snapshot consumes the result bus — see
+	// mergeable.go.
+	sharded bool
 }
 
 // compileRule flattens one enabled rule against its CMU's register and its
-// group's unit→hash-slot map.
-func compileRule(r *Rule, reg *dataplane.Register, unitHash []int) compiledRule {
+// group's unit→hash-slot map. allowShard is the snapshot-wide verdict of
+// the bus-consumer scan: false pins every rule to the shared CAS path.
+func compileRule(r *Rule, reg *dataplane.Register, unitHash []int, allowShard bool) compiledRule {
 	cr := compiledRule{
 		match:     compileMatch(r.Filter),
 		key:       compileSel(r.Key, unitHash),
@@ -234,6 +242,7 @@ func compileRule(r *Rule, reg *dataplane.Register, unitHash []int) compiledRule 
 		hasPrep:   r.Prep.Kind != TransformNone,
 		chainMin:  r.ChainMin,
 		detectNew: r.DetectNew,
+		sharded:   allowShard && reg.Shards() > 0 && shardEligible(r, reg.Mask()),
 	}
 	n := uint32(r.Mem.Buckets)
 	switch {
@@ -252,7 +261,9 @@ func compileRule(r *Rule, reg *dataplane.Register, unitHash []int) compiledRule 
 
 // exec runs the rule's initialization, preparation, and stateful operation
 // — the compiled counterpart of executeRule. The register update goes
-// through the CAS path: the snapshot engine runs many workers.
+// through the CAS path (the snapshot engine runs many workers), except for
+// mergeable rules executed by a lane-owning worker, which take the plain
+// sharded path and are reduced at readout.
 func (r *compiledRule) exec(ctx *Context, hashes []uint32) {
 	addr := r.key.resolve(hashes)
 	var index uint32
@@ -273,7 +284,12 @@ func (r *compiledRule) exec(ctx *Context, hashes []uint32) {
 			return
 		}
 	}
-	result, old := r.reg.Apply(r.op, index, p1, p2)
+	var result, old uint32
+	if r.sharded && ctx.Shard >= 0 {
+		result, old = r.reg.ShardApply(int(ctx.Shard), r.op, index, p1, p2)
+	} else {
+		result, old = r.reg.Apply(r.op, index, p1, p2)
+	}
 	ctx.PrevResult = result
 	ctx.PrevOld = old
 	if r.chainMin && result > 0 && result < ctx.RunningMin {

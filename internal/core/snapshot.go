@@ -56,6 +56,12 @@ type Snapshot struct {
 	hashes      []snapHash
 	nMainMasks  int
 	nMainHashes int
+
+	// shardedRules / fallbackRules count the compile-time routing verdicts
+	// (mergeable.go): how many enabled rules run on private lanes vs the
+	// shared CAS path. Diagnostics for operators comparing modes.
+	shardedRules  int
+	fallbackRules int
 }
 
 type snapHash struct {
@@ -85,6 +91,21 @@ func (pl *Pipeline) Compile() *Snapshot {
 		mask, poly int
 	}
 	hashIdx := make(map[hashKey]int)
+
+	// Sharding is sound only while nothing can observe a lane-local result
+	// bus: one enabled bus consumer anywhere (SuMax's min chain, Counter
+	// Braids' PrevResult, max-interval's IntervalSub) pins the whole
+	// snapshot to the shared CAS path.
+	allowShard := true
+	for _, g := range pl.allGroups() {
+		for i := 0; i < g.CMUs(); i++ {
+			for _, r := range g.CMU(i).Rules() {
+				if !r.Disabled && busConsumer(r) {
+					allowShard = false
+				}
+			}
+		}
+	}
 
 	compile := func(g *Group) (snapGroup, bool) {
 		live := false
@@ -130,7 +151,13 @@ func (pl *Pipeline) Compile() *Snapshot {
 				if r.Disabled {
 					continue
 				}
-				sc.prog = append(sc.prog, compileRule(r, c.register, unitHash))
+				cr := compileRule(r, c.register, unitHash, allowShard)
+				if cr.sharded {
+					s.shardedRules++
+				} else {
+					s.fallbackRules++
+				}
+				sc.prog = append(sc.prog, cr)
 			}
 			if len(sc.prog) > 0 {
 				sg.cmus = append(sg.cmus, sc)
@@ -158,6 +185,12 @@ func (pl *Pipeline) Compile() *Snapshot {
 		}
 	}
 	return s
+}
+
+// ShardedRules returns the compile-time routing verdict: how many enabled
+// rules execute on private per-worker lanes vs the shared CAS path.
+func (s *Snapshot) ShardedRules() (sharded, fallback int) {
+	return s.shardedRules, s.fallbackRules
 }
 
 // Process pushes one packet through the compiled pipeline. Safe for

@@ -80,11 +80,49 @@ var ExtendedOperationSet = []StatefulOp{OpCondAdd, OpMax, OpAndOr, OpXor}
 //
 // Read/ReadRange/ClearRange use atomic bucket access so control-plane
 // readout can overlap the concurrent path.
+//
+// A third, contention-free update path exists for FlyMon's mergeable
+// operation set: EnableSharding gives every data-plane worker a private
+// bucket lane, written with plain stores through ShardApply and reduced
+// back into the shared buckets by DrainRange — see the sharding section
+// below for the exactness argument and the synchronization contract.
 type Register struct {
 	buckets  []uint32
 	bitWidth int
 	mask     uint32
+
+	// accesses counts single-writer base updates (ApplySeq/Execute). It is
+	// striped away from the bucket/shard headers by the pads so that stats
+	// traffic never shares a cache line with per-packet state; the sharded
+	// path keeps its own per-lane counters (regShard.accesses) and
+	// Accesses folds all stripes on read.
+	_        [cacheLineBytes]byte
 	accesses uint64
+	_        [cacheLineBytes - 8]byte
+
+	shards []regShard
+	// drainedSeq is the ShardSeq value the last MarkDrained recorded; the
+	// control plane's drain skips registers whose cursor has not moved.
+	drainedSeq uint64
+}
+
+// cacheLineBytes is the assumed cache-line size used to pad shard state so
+// lanes and counters of different workers never false-share.
+const cacheLineBytes = 64
+
+// lanePadBuckets is the head/tail padding (in buckets) around each shard's
+// lane allocation: one full cache line keeps a lane's first and last
+// buckets off lines owned by neighboring heap objects.
+const lanePadBuckets = cacheLineBytes / 4
+
+// regShard is one worker's private bucket lane plus its access-counter
+// stripe. The struct is padded to a multiple of the cache line so the
+// counters of adjacent shards (updated on every sharded op) never share a
+// line.
+type regShard struct {
+	lane     []uint32 // len == register size; single-writer, plain access
+	accesses uint64
+	_        [cacheLineBytes*2 - 32]byte
 }
 
 // NewRegister allocates a register with the given bucket count (rounded up
@@ -117,12 +155,21 @@ func (r *Register) MemoryBytes() int { return len(r.buckets) * r.bitWidth / 8 }
 // SRAMBlocks returns the SRAM blocks this register occupies.
 func (r *Register) SRAMBlocks() int { return SRAMBlocksFor(len(r.buckets), r.bitWidth) }
 
-// Accesses returns the number of single-writer update calls served
-// (Execute/ApplySeq; test/diagnostic). The concurrent Apply path does not
-// count: a second interlocked operation per update would double the cost
-// of the packet hot path for a number the atomic pipeline packet counters
-// already provide in aggregate.
-func (r *Register) Accesses() uint64 { return atomic.LoadUint64(&r.accesses) }
+// Accesses returns the number of plain-path update calls served
+// (Execute/ApplySeq plus every shard's ShardApply ops), folding the
+// per-stripe counters on read — stats collection pays the fan-in, not the
+// packet path. The concurrent Apply path does not count: a second
+// interlocked operation per update would double the cost of the packet hot
+// path for a number the atomic pipeline packet counters already provide in
+// aggregate. Like the plain update paths themselves, the fold is exact
+// only once the writers have been quiesced (e.g. after a batch returns).
+func (r *Register) Accesses() uint64 {
+	n := atomic.LoadUint64(&r.accesses)
+	for i := range r.shards {
+		n += atomic.LoadUint64(&r.shards[i].accesses)
+	}
+	return n
+}
 
 // Execute performs one stateful operation on bucket index with parameters
 // p1, p2, returning the operation's result. The index is wrapped into the
@@ -140,38 +187,44 @@ func (r *Register) Execute(op StatefulOp, index uint32, p1, p2 uint32) uint32 {
 // Never mix concurrently with Apply or with control-plane readout.
 func (r *Register) ApplySeq(op StatefulOp, index uint32, p1, p2 uint32) (result, old uint32) {
 	r.accesses++
-	i := index & uint32(len(r.buckets)-1)
-	cur := r.buckets[i]
+	return applyPlain(r.buckets, r.mask, op, index, p1, p2)
+}
+
+// applyPlain is the shared plain (non-atomic) read-modify-write kernel
+// behind ApplySeq and ShardApply.
+func applyPlain(buckets []uint32, mask uint32, op StatefulOp, index, p1, p2 uint32) (result, old uint32) {
+	i := index & uint32(len(buckets)-1)
+	cur := buckets[i]
 	switch op {
 	case OpCondAdd:
-		if cur >= (p2 & r.mask) {
+		if cur >= (p2 & mask) {
 			return 0, cur
 		}
-		next := cur + (p1 & r.mask)
-		if next > r.mask || next < cur {
-			next = r.mask
+		next := cur + (p1 & mask)
+		if next > mask || next < cur {
+			next = mask
 		}
-		r.buckets[i] = next
+		buckets[i] = next
 		return next, cur
 	case OpMax:
-		v := p1 & r.mask
+		v := p1 & mask
 		if cur >= v {
 			return 0, cur
 		}
-		r.buckets[i] = v
+		buckets[i] = v
 		return v, cur
 	case OpAndOr:
 		next := cur
 		if p2 == 0 {
-			next &= p1 & r.mask
+			next &= p1 & mask
 		} else {
-			next |= p1 & r.mask
+			next |= p1 & mask
 		}
-		r.buckets[i] = next
+		buckets[i] = next
 		return next, cur
 	case OpXor:
-		next := cur ^ (p1 & r.mask)
-		r.buckets[i] = next
+		next := cur ^ (p1 & mask)
+		buckets[i] = next
 		return next, cur
 	case OpNone:
 		return 0, cur
@@ -259,12 +312,195 @@ func (r *Register) ReadRange(lo, n int) []uint32 {
 }
 
 // ClearRange zeroes buckets [lo, lo+n) — used when a partition is recycled
-// for a new task.
+// for a new task. Shard lanes are cleared too (a recycled partition must
+// not resurrect a removed task's undrained lane state); lane stores are
+// plain, so on a sharded register the caller must hold whatever gate
+// excludes concurrent ShardApply writers.
 func (r *Register) ClearRange(lo, n int) {
 	for i := lo; i < lo+n; i++ {
 		atomic.StoreUint32(&r.buckets[i], 0)
+	}
+	for s := range r.shards {
+		lane := r.shards[s].lane
+		for i := lo; i < lo+n; i++ {
+			lane[i] = 0
+		}
 	}
 }
 
 // Reset zeroes the whole register.
 func (r *Register) Reset() { r.ClearRange(0, len(r.buckets)) }
+
+// --- Sharded state: private per-worker lanes + mergeable-op reduction ---
+//
+// FlyMon's reduced operation set is not just expressive — it is mergeable:
+// saturating sums add, maxes max, OR-bitmaps OR, XOR parities XOR. That
+// property lets a register split its write traffic across private
+// per-worker lanes (no CAS, no shared cache lines) and reduce them back on
+// the query path, exactly like the per-pipe SALU copies of a multi-pipe
+// switch ASIC whose control plane folds the pipes at readout.
+//
+// Exactness. For each mergeable op, folding per-lane results with
+// MergeValues is bit-identical to having applied the whole update stream
+// sequentially against one bucket, for any partition of the stream:
+//
+//   - Cond-ADD with its threshold at the saturation bound min(mask, Σpᵢ):
+//     if no lane saturates the fold sums exactly; if any lane saturates
+//     then Σ lanes ≥ mask and the saturating fold clamps to mask, which is
+//     also the sequential result. (A threshold *below* the bound is a real
+//     condition on global state and is NOT mergeable — callers must keep
+//     such rules on the CAS path.)
+//   - MAX: max over lane maxima = max over the stream; 0 is the identity.
+//   - AND-OR, OR branch: OR over lane bitmaps = OR over the stream; 0 is
+//     the identity. (The AND branch starts from the bucket's current
+//     value, so it is not mergeable.)
+//   - XOR: XOR is an abelian group; lanes fold exactly, 0 is the identity.
+//
+// Synchronization contract. A lane is single-writer (the owning worker)
+// with plain loads/stores. DrainRange/ClearRange read and write lanes with
+// plain access too, so the caller must exclude sharded writers around them
+// (the control plane holds a gate that ProcessParallel batches take in
+// shared mode). The fold into the base buckets goes through the CAS path,
+// so it may safely overlap single-packet CAS writers and atomic readers.
+
+// EnableSharding allocates n private bucket lanes (one per worker). It is
+// idempotent for the same n; changing the lane count discards the current
+// lanes, so callers must drain first. n <= 1 disables sharding. Lanes are
+// padded so neighboring allocations never share the first/last cache line.
+func (r *Register) EnableSharding(n int) {
+	if n <= 1 {
+		r.shards = nil
+		r.drainedSeq = 0
+		return
+	}
+	if len(r.shards) == n {
+		return
+	}
+	r.shards = make([]regShard, n)
+	r.drainedSeq = 0
+	size := len(r.buckets)
+	for i := range r.shards {
+		arr := make([]uint32, size+2*lanePadBuckets)
+		r.shards[i].lane = arr[lanePadBuckets : lanePadBuckets+size : lanePadBuckets+size]
+	}
+}
+
+// Shards returns the number of private lanes (0 = sharding disabled).
+func (r *Register) Shards() int { return len(r.shards) }
+
+// Mask returns the bucket-width mask (the saturation bound).
+func (r *Register) Mask() uint32 { return r.mask }
+
+// ShardApply performs one stateful operation on the given worker's private
+// lane with plain bucket access — the contention-free fast path for
+// mergeable ops. Each lane tolerates exactly one writer; distinct shards
+// never synchronize. The (result, old) pair is lane-local: callers must
+// not feed it into cross-worker predicates (the compiler only routes rules
+// here when nothing consumes the result bus).
+func (r *Register) ShardApply(shard int, op StatefulOp, index, p1, p2 uint32) (result, old uint32) {
+	sh := &r.shards[shard]
+	sh.accesses++
+	return applyPlain(sh.lane, r.mask, op, index, p1, p2)
+}
+
+// MergeValues folds two bucket values under a mergeable op's reduction:
+// saturating sum for Cond-ADD, max for MAX, OR for AND-OR, XOR for XOR.
+// OpNone returns a unchanged.
+func MergeValues(op StatefulOp, mask, a, b uint32) uint32 {
+	switch op {
+	case OpCondAdd:
+		s := (a & mask) + (b & mask)
+		if s > mask || s < a&mask {
+			s = mask
+		}
+		return s
+	case OpMax:
+		if b&mask > a&mask {
+			return b & mask
+		}
+		return a & mask
+	case OpAndOr:
+		return (a | b) & mask
+	case OpXor:
+		return (a ^ b) & mask
+	case OpNone:
+		return a
+	default:
+		panic(fmt.Sprintf("dataplane: unknown stateful op %d", op))
+	}
+}
+
+// ReadMerged returns bucket i reduced across the shared buckets and every
+// lane under op's merge function, without draining. Lane loads are plain:
+// quiesce sharded writers first.
+func (r *Register) ReadMerged(op StatefulOp, i uint32) uint32 {
+	i &= uint32(len(r.buckets) - 1)
+	v := atomic.LoadUint32(&r.buckets[i])
+	for s := range r.shards {
+		v = MergeValues(op, r.mask, v, r.shards[s].lane[i])
+	}
+	return v
+}
+
+// ReadRangeMerged is ReadRange reduced across lanes under op.
+func (r *Register) ReadRangeMerged(op StatefulOp, lo, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.ReadMerged(op, uint32(lo+i))
+	}
+	return out
+}
+
+// DrainRange folds every lane's buckets in [lo, lo+n) into the shared
+// buckets under op's merge function and zeroes the drained lane entries,
+// returning the number of nonzero lane buckets folded. The fold lands
+// through the CAS path (Apply), so concurrent CAS writers and atomic
+// readers stay safe; lane access is plain, so sharded writers must be
+// quiesced. Zero is every merge's identity, which makes draining a range
+// whose rules never sharded a no-op.
+func (r *Register) DrainRange(op StatefulOp, lo, n int) int {
+	merged := 0
+	for s := range r.shards {
+		lane := r.shards[s].lane
+		for i := lo; i < lo+n; i++ {
+			v := lane[i]
+			if v == 0 {
+				continue
+			}
+			lane[i] = 0
+			merged++
+			switch op {
+			case OpCondAdd:
+				r.Apply(OpCondAdd, uint32(i), v, ^uint32(0))
+			case OpMax:
+				r.Apply(OpMax, uint32(i), v, 0)
+			case OpAndOr:
+				r.Apply(OpAndOr, uint32(i), v, 1)
+			case OpXor:
+				r.Apply(OpXor, uint32(i), v, 0)
+			}
+		}
+	}
+	return merged
+}
+
+// ShardSeq returns the total sharded ops applied so far — a cheap
+// dirtiness cursor: a register whose ShardSeq has not moved since its last
+// drain has nothing new to fold, letting query paths skip the lane scan.
+// Exact only with sharded writers quiesced, like every lane read.
+func (r *Register) ShardSeq() uint64 {
+	var n uint64
+	for i := range r.shards {
+		n += atomic.LoadUint64(&r.shards[i].accesses)
+	}
+	return n
+}
+
+// ShardsDirty reports whether sharded ops have landed since MarkDrained.
+func (r *Register) ShardsDirty() bool {
+	return len(r.shards) > 0 && r.ShardSeq() != atomic.LoadUint64(&r.drainedSeq)
+}
+
+// MarkDrained records the current ShardSeq as fully folded. Call after
+// draining every partition of the register.
+func (r *Register) MarkDrained() { atomic.StoreUint64(&r.drainedSeq, r.ShardSeq()) }

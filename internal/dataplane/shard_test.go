@@ -1,0 +1,264 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Tests for the sharded-lane engine: merge-function algebra, the exactness
+// of shard-then-merge against sequential ground truth (the property the
+// compiled engine's routing verdicts rely on), lane hygiene on clears, and
+// the dirtiness cursor.
+
+func TestMergeValuesAlgebra(t *testing.T) {
+	const mask = 0xFFFF
+	cases := []struct {
+		name    string
+		op      StatefulOp
+		a, b, w uint32
+	}{
+		{"condadd-sum", OpCondAdd, 3, 4, 7},
+		{"condadd-saturates", OpCondAdd, 0xFFFF, 1, 0xFFFF},
+		{"condadd-both-saturated", OpCondAdd, 0xFFFF, 0xFFFF, 0xFFFF},
+		{"max-left", OpMax, 9, 4, 9},
+		{"max-right", OpMax, 4, 9, 9},
+		{"andor-or", OpAndOr, 0b0101, 0b0011, 0b0111},
+		{"xor", OpXor, 0b0101, 0b0011, 0b0110},
+		{"none-identity", OpNone, 42, 7, 42},
+	}
+	for _, c := range cases {
+		if got := MergeValues(c.op, mask, c.a, c.b); got != c.w {
+			t.Errorf("%s: MergeValues(%v, %#x, %#x) = %#x, want %#x", c.name, c.op, c.a, c.b, got, c.w)
+		}
+	}
+	// Zero is the identity of every mergeable op's reduction.
+	rng := rand.New(rand.NewSource(7))
+	for _, op := range []StatefulOp{OpCondAdd, OpMax, OpAndOr, OpXor} {
+		for trial := 0; trial < 100; trial++ {
+			v := rng.Uint32() & mask
+			if got := MergeValues(op, mask, v, 0); got != v {
+				t.Fatalf("%v: merge(%#x, 0) = %#x, want identity", op, v, got)
+			}
+			if got := MergeValues(op, mask, 0, v); got != v {
+				t.Fatalf("%v: merge(0, %#x) = %#x, want identity", op, v, got)
+			}
+		}
+	}
+}
+
+// shardStream is one synthetic update: a bucket index and parameters.
+type shardStream struct {
+	index, p1, p2 uint32
+}
+
+// runSequential replays ops on a fresh register with ApplySeq — the ground
+// truth the merged state must match bit-for-bit.
+func runSequential(size, width int, op StatefulOp, stream []shardStream) []uint32 {
+	r := NewRegister(size, width)
+	for _, s := range stream {
+		r.ApplySeq(op, s.index, s.p1, s.p2)
+	}
+	return r.ReadRange(0, r.Size())
+}
+
+// TestShardMergeEquivalence is the exactness proof as a property test: for
+// every mergeable op shape, partitioning an update stream across lanes and
+// draining is bit-identical to sequential execution, for random streams,
+// random partitions, and both register widths (saturation exercised).
+func TestShardMergeEquivalence(t *testing.T) {
+	const size = 64
+	type shape struct {
+		name  string
+		op    StatefulOp
+		width int
+		gen   func(rng *rand.Rand) shardStream
+	}
+	shapes := []shape{
+		{"condadd-saturating-add-32", OpCondAdd, 32, func(rng *rand.Rand) shardStream {
+			return shardStream{rng.Uint32(), rng.Uint32() % 100, ^uint32(0)}
+		}},
+		// 8-bit buckets overflow quickly: the saturating fold must still
+		// match (min(mask, Σ) on both sides).
+		{"condadd-saturating-add-8", OpCondAdd, 8, func(rng *rand.Rand) shardStream {
+			return shardStream{rng.Uint32(), rng.Uint32() % 16, ^uint32(0)}
+		}},
+		{"max-32", OpMax, 32, func(rng *rand.Rand) shardStream {
+			return shardStream{rng.Uint32(), rng.Uint32(), 0}
+		}},
+		{"max-16", OpMax, 16, func(rng *rand.Rand) shardStream {
+			return shardStream{rng.Uint32(), rng.Uint32(), 0}
+		}},
+		{"andor-or-branch", OpAndOr, 32, func(rng *rand.Rand) shardStream {
+			return shardStream{rng.Uint32(), 1 << (rng.Uint32() % 32), 1}
+		}},
+		{"xor-8", OpXor, 8, func(rng *rand.Rand) shardStream {
+			return shardStream{rng.Uint32(), rng.Uint32(), 0}
+		}},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(sh.name))))
+			for trial := 0; trial < 50; trial++ {
+				shards := 2 + rng.Intn(7)
+				stream := make([]shardStream, 200+rng.Intn(800))
+				for i := range stream {
+					stream[i] = sh.gen(rng)
+				}
+				want := runSequential(size, sh.width, sh.op, stream)
+
+				r := NewRegister(size, sh.width)
+				r.EnableSharding(shards)
+				for _, s := range stream {
+					r.ShardApply(rng.Intn(shards), sh.op, s.index, s.p1, s.p2)
+				}
+				// Before draining, ReadRangeMerged must already see the
+				// reduced view.
+				merged := r.ReadRangeMerged(sh.op, 0, r.Size())
+				for i := range want {
+					if merged[i] != want[i] {
+						t.Fatalf("trial %d: ReadRangeMerged[%d] = %#x, want %#x", trial, i, merged[i], want[i])
+					}
+				}
+				r.DrainRange(sh.op, 0, r.Size())
+				got := r.ReadRange(0, r.Size())
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d (%d shards): bucket %d = %#x after drain, want %#x",
+							trial, shards, i, got[i], want[i])
+					}
+				}
+				// Lanes must be zero after the drain; a second drain folds
+				// nothing.
+				if n := r.DrainRange(sh.op, 0, r.Size()); n != 0 {
+					t.Fatalf("trial %d: second drain folded %d buckets, want 0", trial, n)
+				}
+			}
+		})
+	}
+}
+
+// TestShardDrainPartial checks that draining one partition leaves other
+// partitions' lane state intact.
+func TestShardDrainPartial(t *testing.T) {
+	r := NewRegister(64, 32)
+	r.EnableSharding(2)
+	r.ShardApply(0, OpCondAdd, 3, 5, ^uint32(0))  // partition [0,32)
+	r.ShardApply(1, OpCondAdd, 40, 7, ^uint32(0)) // partition [32,64)
+	if n := r.DrainRange(OpCondAdd, 0, 32); n != 1 {
+		t.Fatalf("drain of [0,32) folded %d buckets, want 1", n)
+	}
+	if got := r.Read(3); got != 5 {
+		t.Fatalf("bucket 3 = %d after partial drain, want 5", got)
+	}
+	if got := r.Read(40); got != 0 {
+		t.Fatalf("bucket 40 = %d before its drain, want 0 (still in lane)", got)
+	}
+	if got := r.ReadMerged(OpCondAdd, 40); got != 7 {
+		t.Fatalf("merged bucket 40 = %d, want 7", got)
+	}
+	if n := r.DrainRange(OpCondAdd, 32, 32); n != 1 {
+		t.Fatalf("drain of [32,64) folded %d buckets, want 1", n)
+	}
+	if got := r.Read(40); got != 7 {
+		t.Fatalf("bucket 40 = %d after drain, want 7", got)
+	}
+}
+
+// TestShardDrainMergesIntoExistingBase checks the fold composes with base
+// state written by the CAS path (mixed-mode execution).
+func TestShardDrainMergesIntoExistingBase(t *testing.T) {
+	r := NewRegister(16, 32)
+	r.EnableSharding(2)
+	r.Apply(OpCondAdd, 1, 10, ^uint32(0)) // single-packet CAS path
+	r.ShardApply(0, OpCondAdd, 1, 4, ^uint32(0))
+	r.ShardApply(1, OpCondAdd, 1, 6, ^uint32(0))
+	r.DrainRange(OpCondAdd, 0, r.Size())
+	if got := r.Read(1); got != 20 {
+		t.Fatalf("bucket 1 = %d, want 20 (10 base + 4 + 6 lanes)", got)
+	}
+}
+
+func TestClearRangeClearsLanes(t *testing.T) {
+	r := NewRegister(32, 32)
+	r.EnableSharding(3)
+	r.ShardApply(2, OpCondAdd, 5, 9, ^uint32(0))
+	r.ClearRange(0, 32)
+	if got := r.ReadMerged(OpCondAdd, 5); got != 0 {
+		t.Fatalf("merged bucket 5 = %d after ClearRange, want 0 (lane must not resurrect)", got)
+	}
+	if n := r.DrainRange(OpCondAdd, 0, 32); n != 0 {
+		t.Fatalf("drain after ClearRange folded %d buckets, want 0", n)
+	}
+}
+
+func TestShardDirtinessCursor(t *testing.T) {
+	r := NewRegister(16, 32)
+	if r.ShardsDirty() {
+		t.Fatal("unsharded register reports dirty")
+	}
+	r.EnableSharding(2)
+	if r.ShardsDirty() {
+		t.Fatal("fresh lanes report dirty")
+	}
+	r.ShardApply(0, OpMax, 1, 3, 0)
+	if !r.ShardsDirty() {
+		t.Fatal("lane write did not mark the register dirty")
+	}
+	r.DrainRange(OpMax, 0, r.Size())
+	r.MarkDrained()
+	if r.ShardsDirty() {
+		t.Fatal("drained register still dirty")
+	}
+	r.ShardApply(1, OpMax, 1, 5, 0)
+	if !r.ShardsDirty() {
+		t.Fatal("post-drain lane write did not re-mark dirty")
+	}
+}
+
+func TestEnableShardingLifecycle(t *testing.T) {
+	r := NewRegister(16, 32)
+	r.EnableSharding(4)
+	if r.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", r.Shards())
+	}
+	r.ShardApply(3, OpCondAdd, 0, 1, ^uint32(0))
+	r.EnableSharding(4) // same n: idempotent, lanes kept
+	if got := r.ReadMerged(OpCondAdd, 0); got != 1 {
+		t.Fatalf("re-enable with same n lost lane state: merged = %d, want 1", got)
+	}
+	r.EnableSharding(2) // different n: lanes discarded (caller drains first)
+	if r.Shards() != 2 {
+		t.Fatalf("Shards() = %d after resize, want 2", r.Shards())
+	}
+	if r.ShardsDirty() {
+		t.Fatal("resized lanes report dirty")
+	}
+	r.EnableSharding(0)
+	if r.Shards() != 0 {
+		t.Fatalf("Shards() = %d after disable, want 0", r.Shards())
+	}
+}
+
+// TestAccessesFoldsStripes is the striped-counter satellite: ApplySeq bumps
+// the base stripe, each ShardApply bumps its lane's stripe, and Accesses
+// folds them all on read.
+func TestAccessesFoldsStripes(t *testing.T) {
+	r := NewRegister(16, 32)
+	r.EnableSharding(3)
+	for i := 0; i < 5; i++ {
+		r.ApplySeq(OpCondAdd, uint32(i), 1, ^uint32(0))
+	}
+	for s := 0; s < 3; s++ {
+		for i := 0; i < 4; i++ {
+			r.ShardApply(s, OpCondAdd, uint32(i), 1, ^uint32(0))
+		}
+	}
+	if got := r.Accesses(); got != 5+3*4 {
+		t.Fatalf("Accesses() = %d, want %d", got, 5+3*4)
+	}
+	// The concurrent CAS path intentionally does not count.
+	r.Apply(OpCondAdd, 0, 1, ^uint32(0))
+	if got := r.Accesses(); got != 5+3*4 {
+		t.Fatalf("Accesses() = %d after Apply, want %d (CAS path uncounted)", got, 5+3*4)
+	}
+}

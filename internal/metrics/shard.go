@@ -1,0 +1,52 @@
+package metrics
+
+import "sync/atomic"
+
+// ShardCounters instruments the sharded register engine's reduction path:
+// how often the control plane folded per-worker lanes back into shared
+// state, how much it folded, and how often the dirtiness cursor let it
+// skip the scan entirely. One instance lives on each controller running in
+// sharded mode; all methods are safe for concurrent use.
+type ShardCounters struct {
+	drains        atomic.Uint64
+	drainsSkipped atomic.Uint64
+	bucketsMerged atomic.Uint64
+}
+
+// RecordDrain notes one drain pass that folded `buckets` nonzero lane
+// buckets. A pass that found every register clean counts as skipped — the
+// steady-state query path between batches.
+func (c *ShardCounters) RecordDrain(buckets int) {
+	if buckets == 0 {
+		c.drainsSkipped.Add(1)
+		return
+	}
+	c.drains.Add(1)
+	c.bucketsMerged.Add(uint64(buckets))
+}
+
+// ShardStats is a point-in-time summary of the sharded engine, exposed to
+// operators (flymond stats, CLI mode comparisons).
+type ShardStats struct {
+	// Workers is the lane count (0 = sharding disabled).
+	Workers int
+	// ShardedRules / FallbackRules are the live snapshot's compile-time
+	// routing verdicts: rules on private lanes vs the shared CAS path.
+	ShardedRules  int
+	FallbackRules int
+	// Drains counts drain passes that folded at least one bucket;
+	// DrainsSkipped counts passes the dirtiness cursor elided;
+	// BucketsMerged totals nonzero lane buckets folded.
+	Drains        uint64
+	DrainsSkipped uint64
+	BucketsMerged uint64
+}
+
+// Stats snapshots the counters.
+func (c *ShardCounters) Stats() ShardStats {
+	return ShardStats{
+		Drains:        c.drains.Load(),
+		DrainsSkipped: c.drainsSkipped.Load(),
+		BucketsMerged: c.bucketsMerged.Load(),
+	}
+}
