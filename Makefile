@@ -1,6 +1,7 @@
 GO ?= go
 BENCH_OUT ?= bench_results.txt
 SCALING_OUT ?= bench_scaling.txt
+TELEMETRY_OUT ?= bench_telemetry.txt
 
 # Hot-path benchmarks whose numbers back the concurrency claims in
 # DESIGN.md. -cpu 1,4 shows the parallel path's scaling; -count=5 gives
@@ -12,11 +13,12 @@ HOT_BENCH = BenchmarkPipelinePerPacket|BenchmarkProcessBatch|BenchmarkProcessPar
 SCALING_BENCH = BenchmarkProcessParallelModes|BenchmarkShardDrain
 
 .PHONY: all check vet build test race race-concurrency chaos bench bench-allocs \
-	bench-full bench-scaling bench-smoke bench-compare clean
+	bench-full bench-scaling bench-smoke bench-telemetry bench-telemetry-smoke \
+	bench-compare clean
 
 all: check
 
-check: vet build race chaos bench-smoke bench-allocs
+check: vet build race chaos bench-smoke bench-telemetry-smoke bench-allocs
 
 # chaos runs the control-channel fault-injection suite under -race: the
 # faultnet transport tests, the resilient-client recovery paths (timeouts,
@@ -75,6 +77,21 @@ bench-scaling:
 # shows up here as a compile error or a panic, not a slow number).
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(SCALING_BENCH)' -benchtime 64x -cpu 2 .
+
+# bench-telemetry proves the telemetry plane's hot-path overhead budget:
+# the telemetry=on pipeline must stay at 0 allocs/op and within 3% of
+# telemetry=off by median ns/op. bench_telemetry.txt is the committed
+# artifact; the benchcmp pass prints the off → on delta.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTelemetry' -count=5 -cpu 1 -benchmem . | tee $(TELEMETRY_OUT)
+	$(GO) run ./cmd/benchcmp -pair 'telemetry=off:telemetry=on' $(TELEMETRY_OUT)
+
+# bench-telemetry-smoke is the check-gate pass: a short run that fails on
+# any allocation in the telemetry=on hot path (bit-rot catches, not
+# timing), plus the same benchcmp plumbing.
+bench-telemetry-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTelemetry' -benchtime 4096x -cpu 1 -benchmem . | \
+		awk '/telemetry=on/ && $$(NF-1) != 0 { print "telemetry=on allocates:", $$0; bad = 1 } { print } END { exit bad }'
 
 # bench-compare diffs two saved benchmark outputs by median ns/op:
 #   make bench OLD=...        # or bench-scaling, with BENCH_OUT/SCALING_OUT

@@ -19,6 +19,7 @@ import (
 	"flymon/internal/packet"
 	"flymon/internal/sdm"
 	"flymon/internal/sketch"
+	"flymon/internal/telemetry"
 	"flymon/internal/trace"
 )
 
@@ -117,6 +118,40 @@ func BenchmarkPipelinePerPacket(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctrl.Process(&tr.Packets[i&4095])
+	}
+}
+
+// BenchmarkPipelineTelemetry measures the telemetry plane's tax on the
+// per-packet fast path: the identical loaded pipeline and trace as
+// BenchmarkPipelinePerPacket, once without a registry and once with one
+// attached. The telemetry=on variant must stay at 0 allocs/op and within
+// 3% of telemetry=off (compare with cmd/benchcmp -pair, see
+// `make bench-telemetry`).
+func BenchmarkPipelineTelemetry(b *testing.B) {
+	for _, tele := range []bool{false, true} {
+		name := "telemetry=off"
+		cfg := controlplane.Config{Groups: 9, Buckets: 65536, BitWidth: 32}
+		if tele {
+			name = "telemetry=on"
+			cfg.Telemetry = telemetry.NewRegistry()
+		}
+		b.Run(name, func(b *testing.B) {
+			ctrl := controlplane.NewController(cfg)
+			for g := 0; g < 9; g++ {
+				_, err := ctrl.AddTask(controlplane.TaskSpec{
+					Name: "t", Key: packet.KeyFiveTuple,
+					Attribute: controlplane.AttrFrequency, MemBuckets: 16384, D: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			tr := trace.Generate(trace.Config{Flows: 1000, Packets: 4096, Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctrl.Process(&tr.Packets[i&4095])
+			}
+		})
 	}
 }
 

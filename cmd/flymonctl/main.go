@@ -27,6 +27,7 @@ import (
 	"flymon/internal/controlplane"
 	"flymon/internal/packet"
 	"flymon/internal/rpc"
+	"flymon/internal/telemetry"
 )
 
 func main() {
@@ -106,7 +107,7 @@ global:
 	case "replay":
 		cmdReplay(client, args)
 	case "stats":
-		cmdStats(client)
+		cmdStats(client, args)
 	default:
 		fmt.Fprintf(os.Stderr, "flymonctl: unknown command %q\n", cmd)
 		usage()
@@ -145,7 +146,9 @@ commands:
   report                                  per-group occupancy (keys, rules, TCAM)
   gen          -flows N -packets N [-zipf S] [-seed N]   synthesize a workload
   replay       [-n N]                     push trace packets through the pipeline
-  stats                                   daemon counters
+  stats        [-metrics] [-events N]     daemon counters + telemetry report
+               -metrics dumps Prometheus text; -events N prints the last N
+               reconfiguration journal entries
 `)
 }
 
@@ -437,11 +440,71 @@ func cmdReplay(c *rpc.Client, args []string) {
 	fmt.Printf("replayed %d packets\n", done)
 }
 
-func cmdStats(c *rpc.Client) {
+func cmdStats(c *rpc.Client, args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	metrics := fs.Bool("metrics", false, "dump the full telemetry report as Prometheus text")
+	events := fs.Int("events", 0, "also print the last N reconfiguration journal events")
+	_ = fs.Parse(args)
 	s, err := c.Stats()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("packets processed: %d\ntrace loaded: %d packets\ntasks: %d\n",
 		s.PacketsProcessed, s.TracePackets, s.Tasks)
+	rep, err := c.Telemetry()
+	if err != nil {
+		fmt.Printf("telemetry: unavailable (%v)\n", err)
+		return
+	}
+	if *metrics {
+		telemetry.WriteMetricsReport(os.Stdout, rep)
+		return
+	}
+	dp, cp := rep.DataPlane, rep.ControlPlane
+	fmt.Printf("uptime: %v\n", time.Duration(rep.UptimeNs).Round(time.Second))
+	fmt.Printf("stages: C=%d I=%d P=%d O=%d (recirculated %d)\n",
+		dp.Stages.Compression, dp.Stages.Initialization, dp.Stages.Preparation,
+		dp.Stages.Operation, dp.Recirculated)
+	if len(dp.Rules) > 0 {
+		fmt.Printf("%-6s %-4s %-5s %-12s %s\n", "GROUP", "CMU", "TASK", "OP", "HITS")
+		for _, r := range dp.Rules {
+			fmt.Printf("%-6d %-4d %-5d %-12s %d\n", r.Group, r.CMU, r.Task, r.Op, r.Hits)
+		}
+	}
+	occ, buckets := 0, 0
+	var clamps uint64
+	for _, g := range dp.Registers {
+		occ += g.Occupied
+		buckets += g.Buckets
+		clamps += g.Clamps
+	}
+	if buckets > 0 {
+		fmt.Printf("registers: %d/%d buckets occupied (%.1f%%), %d clamp events\n",
+			occ, buckets, 100*float64(occ)/float64(buckets), clamps)
+	}
+	fmt.Printf("snapshot version: %d; reconfigurations: %d (journal holds %d, dropped %d)\n",
+		cp.SnapshotVersion, cp.EventsTotal, len(cp.Events), cp.EventsDropped)
+	if n := cp.MutationLatency.Count; n > 0 {
+		fmt.Printf("mutation latency: %d samples, mean %v\n",
+			n, (time.Duration(cp.MutationLatency.SumNs) / time.Duration(n)).Round(time.Microsecond))
+	}
+	if *events > 0 {
+		evs := cp.Events
+		if len(evs) > *events {
+			evs = evs[len(evs)-*events:]
+		}
+		for _, e := range evs {
+			status := "ok"
+			if !e.OK {
+				status = "FAILED: " + e.Err
+			}
+			detail := e.Detail
+			if detail != "" {
+				detail = " " + detail
+			}
+			fmt.Printf("  #%d %s task=%d%s v%d→v%d %v %s\n",
+				e.Seq, e.Kind, e.Task, detail, e.VersionBefore, e.VersionAfter,
+				time.Duration(e.LatencyNs).Round(time.Microsecond), status)
+		}
+	}
 }

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	flymond [-listen :9177] [-groups 9] [-buckets 65536] [-bitwidth 32]
-//	        [-mode accurate|efficient] [-workers N] [-sharded]
+//	flymond [-listen :9177] [-admin :9090] [-groups 9] [-buckets 65536]
+//	        [-bitwidth 32] [-mode accurate|efficient] [-workers N] [-sharded]
 //	        [-chaos-seed N -chaos-read-delay 5ms -chaos-write-delay 5ms
 //	         -chaos-reset-every N -chaos-corrupt-every N]
 //
@@ -14,6 +14,12 @@
 // resets, and corrupt frames on every accepted connection, from a seeded
 // deterministic plan. They exist so operators can rehearse exactly the
 // failures the resilient client claims to survive.
+//
+// The -admin flag opens the telemetry/debug HTTP listener: Prometheus
+// metrics on /metrics, the reconfiguration journal on /debug/events, and
+// the standard pprof handlers on /debug/pprof/. Telemetry itself is always
+// on (the registry also answers flymonctl's `stats` over the control
+// channel); -admin only controls the HTTP exposition.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,10 +36,12 @@ import (
 	"flymon/internal/controlplane"
 	"flymon/internal/faultnet"
 	"flymon/internal/rpc"
+	"flymon/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", ":9177", "control-channel listen address")
+	admin := flag.String("admin", "", "telemetry/debug HTTP listen address (/metrics, /debug/events, /debug/pprof/); empty = disabled")
 	groups := flag.Int("groups", 9, "CMU Groups in the pipeline (9 = full cross-stacked Tofino pipeline)")
 	spliced := flag.Int("spliced", 0, "additional Appendix-E groups reached by mirror+recirculation (max 3)")
 	buckets := flag.Int("buckets", 65536, "register buckets per CMU")
@@ -58,6 +67,7 @@ func main() {
 		log.Fatalf("flymond: unknown memory mode %q", *mode)
 	}
 
+	reg := telemetry.NewRegistry()
 	ctrl := controlplane.NewController(controlplane.Config{
 		Groups:        *groups,
 		SplicedGroups: *spliced,
@@ -67,8 +77,10 @@ func main() {
 		Mode:          memMode,
 		Workers:       *workers,
 		ShardedState:  *sharded,
+		Telemetry:     reg,
 	})
 	srv := rpc.NewServer(ctrl, log.Printf)
+	srv.SetTelemetry(reg)
 	plan := faultnet.Plan{
 		Seed:         *chaosSeed,
 		ReadDelay:    *chaosReadDelay,
@@ -99,10 +111,28 @@ func main() {
 	}
 	fmt.Printf("flymond: control channel on %s\n", addr)
 
+	var adminSrv *http.Server
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("flymond: admin listen %s: %v", *admin, err)
+		}
+		adminSrv = &http.Server{Handler: reg.Handler()}
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && err != http.ErrServerClosed {
+				log.Printf("flymond: admin: %v", err)
+			}
+		}()
+		fmt.Printf("flymond: telemetry on http://%s/metrics (journal: /debug/events, pprof: /debug/pprof/)\n", aln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("flymond: shutting down")
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
 	if err := srv.Close(); err != nil {
 		log.Printf("flymond: close: %v", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"flymon/internal/dataplane"
 	"flymon/internal/metrics"
 	"flymon/internal/packet"
+	"flymon/internal/telemetry"
 )
 
 // Task is a deployed measurement task.
@@ -75,6 +76,15 @@ type Controller struct {
 	procGate     sync.RWMutex
 	shardCtr     metrics.ShardCounters
 
+	// tele is the runtime telemetry registry (nil = telemetry off).
+	// version counts snapshot publications; retired is a short ring of
+	// recently retired snapshots still absorbing straggler telemetry
+	// flushes from pooled worker contexts — publishLocked and every
+	// telemetry fold settle the ring (telemetry.go).
+	tele    *telemetry.Registry
+	version uint64
+	retired []*core.Snapshot
+
 	tasks  map[int]*Task
 	nextID int
 
@@ -121,6 +131,14 @@ type Config struct {
 	// identical in either mode; sharded mode trades a drain pass per
 	// readout for a CAS-free packet path.
 	ShardedState bool
+
+	// Telemetry attaches a runtime telemetry registry: per-rule hit
+	// counters wired into every compiled snapshot, a journal entry plus a
+	// latency-histogram sample per reconfiguration, and register
+	// occupancy/saturation gauges folded on scrape (the controller
+	// registers itself as the registry's data-plane source). Nil keeps
+	// the data plane entirely uninstrumented.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultTCAMEntriesPerGroup is the preparation stage's TCAM share: half of
@@ -201,14 +219,38 @@ func NewController(cfg Config) *Controller {
 		pl.EnableSharding(c.shardWorkers)
 	}
 	c.ctxPool.New = func() any { return core.NewProcCtxUnique() }
+	c.tele = cfg.Telemetry
+	if c.tele != nil {
+		pl.SetTelemetry(c.tele)
+		c.tele.SetSource(c)
+	}
 	c.publishLocked()
 	return c
 }
 
 // publishLocked compiles the pipeline's current configuration and swaps in
-// the new snapshot. Callers hold c.mu (or are the constructor).
+// the new snapshot. Callers hold c.mu (or are the constructor). The
+// displaced snapshot joins the retired ring so its unsettled telemetry
+// counts are folded into the durable counters (telemetry.go).
 func (c *Controller) publishLocked() {
-	c.snap.Store(c.pipeline.Compile())
+	old := c.snap.Swap(c.pipeline.Compile())
+	c.version++
+	if c.tele == nil {
+		return
+	}
+	c.tele.SetVersion(c.version)
+	if old != nil {
+		c.retired = append(c.retired, old)
+	}
+	c.settleRetiredLocked()
+}
+
+// SnapshotVersion returns how many data-plane snapshots have been
+// published (every mutation republishes; the constructor publishes v1).
+func (c *Controller) SnapshotVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
 }
 
 // Republish recompiles and republishes the data-plane snapshot. The
@@ -217,7 +259,9 @@ func (c *Controller) publishLocked() {
 func (c *Controller) Republish() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	done := c.teleMutation("republish")
 	c.publishLocked()
+	done(0, "", nil)
 }
 
 // Pipeline exposes the data plane (the daemon feeds packets through it).
@@ -309,10 +353,17 @@ func (c *Controller) drainShards() {
 	if !c.sharded {
 		return
 	}
+	start := time.Now()
 	c.procGate.Lock()
 	n := c.pipeline.DrainShards()
 	c.procGate.Unlock()
 	c.shardCtr.RecordDrain(n)
+	if c.tele != nil {
+		// Includes the gate wait: a scrape's drain latency is the time a
+		// reader stalls behind in-flight batches, which is the number that
+		// matters operationally.
+		c.tele.DrainLatency.Observe(time.Since(start))
+	}
 }
 
 // quiesce blocks the sharded batch path for the duration of a mutation
@@ -333,7 +384,11 @@ func (c *Controller) drainGateHeld() {
 	if !c.sharded {
 		return
 	}
+	start := time.Now()
 	c.shardCtr.RecordDrain(c.pipeline.DrainShards())
+	if c.tele != nil {
+		c.tele.DrainLatency.Observe(time.Since(start))
+	}
 }
 
 // DrainShards folds every dirty register lane into shared state and
@@ -346,10 +401,14 @@ func (c *Controller) DrainShards() int {
 	if !c.sharded {
 		return 0
 	}
+	start := time.Now()
 	c.procGate.Lock()
 	n := c.pipeline.DrainShards()
 	c.procGate.Unlock()
 	c.shardCtr.RecordDrain(n)
+	if c.tele != nil {
+		c.tele.DrainLatency.Observe(time.Since(start))
+	}
 	return n
 }
 
@@ -419,7 +478,14 @@ func (c *Controller) AddTask(spec TaskSpec) (*Task, error) {
 	// A failed placement rolls back via Uninstall, which clears register
 	// lanes — quiesce so no batch writes them concurrently.
 	defer c.quiesce()()
-	return c.addTaskLocked(spec)
+	done := c.teleMutation("deploy")
+	t, err := c.addTaskLocked(spec)
+	tid := -1
+	if t != nil {
+		tid = t.ID
+	}
+	done(tid, spec.Name, err)
+	return t, err
 }
 
 func (c *Controller) addTaskLocked(spec TaskSpec) (*Task, error) {
@@ -713,7 +779,10 @@ func (c *Controller) RemoveTask(id int) error {
 	// freed partitions may be re-granted, so stale lane state must not
 	// survive. Quiesce the batch path for the duration.
 	defer c.quiesce()()
-	return c.removeTaskLocked(id)
+	done := c.teleMutation("remove")
+	err := c.removeTaskLocked(id)
+	done(id, "", err)
+	return err
 }
 
 func (c *Controller) removeTaskLocked(id int) error {
@@ -734,6 +803,11 @@ func (c *Controller) removeTaskLocked(id int) error {
 		}
 	}
 	delete(c.tasks, id)
+	// The task's per-rule counters go with it — a re-add (resize keeps the
+	// ID) re-registers fresh counters at the new coordinates.
+	if c.tele != nil {
+		c.tele.DropTask(id)
+	}
 	c.publishLocked()
 	return nil
 }
@@ -746,6 +820,8 @@ func (c *Controller) removeTaskLocked(id int) error {
 func (c *Controller) ResizeTask(id, newBuckets int) (old [][]uint32, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	done := c.teleMutation("resize")
+	defer func() { done(id, fmt.Sprintf("buckets=%d", newBuckets), err) }()
 	t, ok := c.tasks[id]
 	if !ok {
 		return nil, fmt.Errorf("controlplane: no task %d", id)
@@ -786,23 +862,29 @@ func (c *Controller) ResizeTask(id, newBuckets int) (old [][]uint32, err error) 
 func (c *Controller) FreezeTask(id int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	done := c.teleMutation("freeze")
 	locs := c.pipeline.Locate(id)
 	if len(locs) == 0 {
-		return fmt.Errorf("controlplane: no task %d", id)
+		err := fmt.Errorf("controlplane: no task %d", id)
+		done(id, "", err)
+		return err
 	}
 	for _, loc := range locs {
 		loc.Rule.Disabled = true
 	}
 	c.publishLocked()
+	done(id, "", nil)
 	return nil
 }
 
 // ThawTask re-enables a frozen task after verifying no live rule with
 // intersecting traffic now shares its CMUs (a task deployed into the
 // frozen task's traffic slice in the meantime makes thawing unsafe).
-func (c *Controller) ThawTask(id int) error {
+func (c *Controller) ThawTask(id int) (err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	done := c.teleMutation("thaw")
+	defer func() { done(id, "", err) }()
 	locs := c.pipeline.Locate(id)
 	if len(locs) == 0 {
 		return fmt.Errorf("controlplane: no task %d", id)
@@ -835,6 +917,14 @@ func (c *Controller) SplitTask(id int) (lo, hi *Task, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	defer c.quiesce()() // removal clears lanes
+	done := c.teleMutation("split")
+	defer func() {
+		detail := ""
+		if lo != nil && hi != nil {
+			detail = fmt.Sprintf("into=%d,%d", lo.ID, hi.ID)
+		}
+		done(id, detail, err)
+	}()
 	t, ok := c.tasks[id]
 	if !ok {
 		return nil, nil, fmt.Errorf("controlplane: no task %d", id)
@@ -1076,13 +1166,17 @@ func (c *Controller) ResetTaskCounters(id int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	defer c.quiesce()() // ClearRange zeroes lanes with plain stores
+	done := c.teleMutation("reset")
 	locs := c.pipeline.Locate(id)
 	if len(locs) == 0 {
-		return fmt.Errorf("controlplane: no task %d", id)
+		err := fmt.Errorf("controlplane: no task %d", id)
+		done(id, "", err)
+		return err
 	}
 	for _, loc := range locs {
 		loc.Group.CMU(loc.CMU).Register().ClearRange(loc.Rule.Mem.Base, loc.Rule.Mem.Buckets)
 	}
+	done(id, "", nil)
 	return nil
 }
 

@@ -311,6 +311,20 @@ type Context struct {
 	// a rule to the lane only when its op is exactly mergeable.
 	Shard int32
 
+	// Tele, when the owning ProcCtx is armed for a telemetry-enabled
+	// snapshot, aliases the worker's pending per-rule hit accumulators
+	// (plain counts, flushed in batches into the striped registry counters;
+	// see ProcCtx.teleFlush). Rules compiled with teleSlot >= 0 increment
+	// Tele[teleSlot] on execution; with telemetry off every slot is -1 and
+	// Tele stays nil.
+	Tele []uint64
+
+	// PrepDrops counts preparation-stage drops (coupon misses, interval
+	// gates) since the last telemetry flush. It increments unconditionally —
+	// one plain add on the already-rare drop path — and is only collected
+	// when telemetry is armed.
+	PrepDrops uint64
+
 	// rng drives probabilistic execution, deterministic per pipeline.
 	rng uint64
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"flymon/internal/packet"
+	"flymon/internal/telemetry"
 )
 
 // rngSeed is the xorshift seed every fresh per-worker context starts from,
@@ -28,6 +29,16 @@ type ProcCtx struct {
 	// hashes caches the distinct (mask, polynomial) digests of the current
 	// packet, indexed by the snapshot's hash table.
 	hashes []uint32
+
+	// Telemetry scratch (telemetry.go): the snapshot the accumulators are
+	// armed for, the pending per-rule hit counts Ctx.Tele aliases, pending
+	// packet/recirculation counts, and the worker's counter stripe. All
+	// context-local; teleFlush moves them into the shared striped counters.
+	teleSnap    *Snapshot
+	tele        []uint64
+	telePend    uint32
+	teleRecPend uint32
+	stripe      uint32
 }
 
 // NewProcCtx returns a fresh worker context with the deterministic seed.
@@ -54,7 +65,9 @@ func NewProcCtxUnique() *ProcCtx {
 	if z == 0 {
 		z = rngSeed
 	}
-	return &ProcCtx{Ctx: Context{rng: z, Shard: -1}}
+	// The same splitmix output spreads unique contexts over the telemetry
+	// counter stripes, so pool workers rarely share a counter cache line.
+	return &ProcCtx{Ctx: Context{rng: z, Shard: -1}, stripe: uint32(z)}
 }
 
 // reset re-arms the context for a new packet (or a recirculated copy: a
@@ -97,6 +110,14 @@ type Pipeline struct {
 	packets      atomic.Uint64
 	recirculated atomic.Uint64
 	pc           *ProcCtx
+
+	// tele, when set, makes Compile attach telemetry to every snapshot:
+	// durable per-rule hit counters, derived-counter lists, and digest
+	// multipliers. Nil keeps the compiled path telemetry-free (teleSlot -1
+	// everywhere). Set before the first Compile; the interpretive
+	// Process/ProcessCtx path is not instrumented — the controller always
+	// processes through snapshots.
+	tele *telemetry.Registry
 }
 
 // NewPipeline builds a pipeline of n default-geometry CMU Groups.
@@ -112,6 +133,14 @@ func NewPipeline(n int) *Pipeline {
 func NewPipelineWith(groups ...*Group) *Pipeline {
 	return &Pipeline{groups: groups, pc: NewProcCtx()}
 }
+
+// SetTelemetry attaches a telemetry registry: every subsequent Compile
+// wires per-rule hit counters and packet/digest accounting into the
+// snapshot it produces. Passing nil detaches.
+func (pl *Pipeline) SetTelemetry(reg *telemetry.Registry) { pl.tele = reg }
+
+// Telemetry returns the attached registry (nil when telemetry is off).
+func (pl *Pipeline) Telemetry() *telemetry.Registry { return pl.tele }
 
 // Groups returns the number of groups.
 func (pl *Pipeline) Groups() int { return len(pl.groups) }

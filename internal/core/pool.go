@@ -23,7 +23,7 @@ import (
 type WorkerPool struct {
 	jobs    chan poolJob
 	workers int
-	sharded bool // workers own register lanes (ctx.Shard = worker index)
+	sharded bool         // workers own register lanes (ctx.Shard = worker index)
 	started atomic.Int64 // worker goroutines ever started; stays == workers
 	close   sync.Once
 }
@@ -68,6 +68,9 @@ func (p *WorkerPool) run(id int) {
 		for i := range j.seg {
 			j.snap.Process(pc, &j.seg[i])
 		}
+		// Flush pending telemetry before releasing the batch so counts are
+		// scrape-exact once the caller's Process returns.
+		pc.teleFlush()
 		j.wg.Done()
 	}
 }

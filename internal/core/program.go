@@ -222,6 +222,13 @@ type compiledRule struct {
 	// and no rule in the snapshot consumes the result bus — see
 	// mergeable.go.
 	sharded bool
+
+	// teleSlot indexes the worker's pending-hit accumulator (Context.Tele)
+	// for this rule, or -1 when the rule needs no per-execution count:
+	// telemetry is off, or the compiler proved the rule executes for every
+	// packet reaching its pass (first in program, match-all, unsampled) and
+	// derives its hits from the snapshot packet counter instead.
+	teleSlot int32
 }
 
 // compileRule flattens one enabled rule against its CMU's register and its
@@ -229,6 +236,7 @@ type compiledRule struct {
 // the bus-consumer scan: false pins every rule to the shared CAS path.
 func compileRule(r *Rule, reg *dataplane.Register, unitHash []int, allowShard bool) compiledRule {
 	cr := compiledRule{
+		teleSlot:  -1,
 		match:     compileMatch(r.Filter),
 		key:       compileSel(r.Key, unitHash),
 		p1:        compileParam(r.P1, unitHash),
@@ -265,6 +273,9 @@ func compileRule(r *Rule, reg *dataplane.Register, unitHash []int, allowShard bo
 // mergeable rules executed by a lane-owning worker, which take the plain
 // sharded path and are reduced at readout.
 func (r *compiledRule) exec(ctx *Context, hashes []uint32) {
+	if r.teleSlot >= 0 {
+		ctx.Tele[r.teleSlot]++
+	}
 	addr := r.key.resolve(hashes)
 	var index uint32
 	if r.shifted {
@@ -281,6 +292,7 @@ func (r *compiledRule) exec(ctx *Context, hashes []uint32) {
 		var drop bool
 		p1, p2, drop = r.prep.apply(ctx, p1, p2)
 		if drop {
+			ctx.PrepDrops++
 			return
 		}
 	}

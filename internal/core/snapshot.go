@@ -3,9 +3,11 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"flymon/internal/hashing"
 	"flymon/internal/packet"
+	"flymon/internal/telemetry"
 )
 
 // Snapshot is an immutable compiled view of a pipeline's current runtime
@@ -62,6 +64,23 @@ type Snapshot struct {
 	// shared CAS path. Diagnostics for operators comparing modes.
 	shardedRules  int
 	fallbackRules int
+
+	// Telemetry wiring (telemetry.go), present only when the pipeline had a
+	// registry attached at Compile time. telePkts/teleRec hold the packets
+	// this snapshot processed that have not yet been settled into durable
+	// counters; teleSlots are the live-counted rules (indexed by
+	// compiledRule.teleSlot); teleMain/teleSpl list the derived rules whose
+	// hits equal the (recirculated) packet count; teleDigMain/teleDigSpl
+	// are the compile-time digests-per-packet multipliers.
+	teleOn      bool
+	teleReg     *telemetry.Registry
+	telePkts    atomic.Uint64
+	teleRec     atomic.Uint64
+	teleSlots   []*telemetry.RuleCounter
+	teleMain    []*telemetry.RuleCounter
+	teleSpl     []*telemetry.RuleCounter
+	teleDigMain int
+	teleDigSpl  int
 }
 
 type snapHash struct {
@@ -107,7 +126,7 @@ func (pl *Pipeline) Compile() *Snapshot {
 		}
 	}
 
-	compile := func(g *Group) (snapGroup, bool) {
+	compile := func(gi int, g *Group, splicedGroup bool) (snapGroup, bool) {
 		live := false
 		for _, c := range g.cmus {
 			for _, r := range c.rules {
@@ -145,7 +164,7 @@ func (pl *Pipeline) Compile() *Snapshot {
 			unitHash[ui] = hi
 		}
 		var sg snapGroup
-		for _, c := range g.cmus {
+		for ci, c := range g.cmus {
 			var sc snapCMU
 			for _, r := range c.rules {
 				if r.Disabled {
@@ -157,6 +176,33 @@ func (pl *Pipeline) Compile() *Snapshot {
 				} else {
 					s.fallbackRules++
 				}
+				if pl.tele != nil {
+					// First-match semantics make a match-all, unsampled rule
+					// at program position 0 execute for every packet of its
+					// pass: its hits are derived from the snapshot packet
+					// counter instead of counted per execution. ci is the
+					// CMU's real pipeline position — compiled-out CMUs must
+					// not shift the telemetry coordinates.
+					derived := len(sc.prog) == 0 && cr.match.kind == matchAll && !cr.probGated
+					rc := pl.tele.Rule(
+						telemetry.RuleKey{Group: gi, CMU: ci, Task: r.TaskID},
+						telemetry.RuleMeta{
+							Op:      r.Op.String(),
+							Prep:    cr.hasPrep,
+							Spliced: splicedGroup,
+							Sharded: cr.sharded,
+							Derived: derived,
+						})
+					switch {
+					case !derived:
+						cr.teleSlot = int32(len(s.teleSlots))
+						s.teleSlots = append(s.teleSlots, rc)
+					case splicedGroup:
+						s.teleSpl = append(s.teleSpl, rc)
+					default:
+						s.teleMain = append(s.teleMain, rc)
+					}
+				}
 				sc.prog = append(sc.prog, cr)
 			}
 			if len(sc.prog) > 0 {
@@ -166,14 +212,14 @@ func (pl *Pipeline) Compile() *Snapshot {
 		return sg, true
 	}
 
-	for _, g := range pl.groups {
-		if sg, ok := compile(g); ok {
+	for gi, g := range pl.groups {
+		if sg, ok := compile(gi, g, false); ok {
 			s.groups = append(s.groups, sg)
 		}
 	}
 	s.nMainMasks, s.nMainHashes = len(s.masks), len(s.hashes)
-	for _, g := range pl.spliced {
-		sg, ok := compile(g)
+	for si, g := range pl.spliced {
+		sg, ok := compile(len(pl.groups)+si, g, true)
 		if !ok {
 			continue
 		}
@@ -183,6 +229,12 @@ func (pl *Pipeline) Compile() *Snapshot {
 				s.splicedMatch = append(s.splicedMatch, sg.cmus[ci].prog[ri].match)
 			}
 		}
+	}
+	if pl.tele != nil {
+		s.teleOn = true
+		s.teleReg = pl.tele
+		s.teleDigMain = s.nMainHashes
+		s.teleDigSpl = len(s.hashes) - s.nMainHashes
 	}
 	return s
 }
@@ -199,6 +251,9 @@ func (s *Snapshot) ShardedRules() (sharded, fallback int) {
 // sizes (the first call grows it).
 func (s *Snapshot) Process(pc *ProcCtx, p *packet.Packet) {
 	s.pl.packets.Add(1)
+	if s.teleOn {
+		pc.teleTick(s)
+	}
 	pc.reset(p)
 	s.digest(pc, p, 0, s.nMainMasks, 0, s.nMainHashes)
 	for gi := range s.groups {
@@ -209,6 +264,9 @@ func (s *Snapshot) Process(pc *ProcCtx, p *packet.Packet) {
 	}
 	// The mirrored copy re-enters the pipeline: a fresh PHV.
 	s.pl.recirculated.Add(1)
+	if s.teleOn {
+		pc.teleRecPend++
+	}
 	pc.reset(p)
 	s.digest(pc, p, s.nMainMasks, len(s.masks), s.nMainHashes, len(s.hashes))
 	for gi := range s.spliced {
@@ -277,6 +335,7 @@ func (s *Snapshot) ProcessBatch(ps []packet.Packet) {
 	for i := range ps {
 		s.Process(pc, &ps[i])
 	}
+	pc.teleFlush() // counts are scrape-exact at the batch boundary
 }
 
 // newParallelCtx builds the per-chunk worker contexts ProcessParallel
@@ -321,6 +380,7 @@ func (s *Snapshot) ProcessParallel(ps []packet.Packet, workers int) {
 			for i := range seg {
 				s.Process(pc, &seg[i])
 			}
+			pc.teleFlush() // counts are durable before the batch returns
 		}(ps[lo:hi])
 	}
 	wg.Wait()

@@ -100,6 +100,15 @@ type Register struct {
 	accesses uint64
 	_        [cacheLineBytes - 8]byte
 
+	// clamps counts Cond-ADD saturation events: updates whose sum exceeded
+	// the bucket width and were clamped to the mask. A saturating register
+	// is the hardware signal that a task's buckets are too narrow (or its
+	// traffic share too hot) — the telemetry plane exposes it per CMU.
+	// Clamping is rare, so both update paths count it with one interlocked
+	// add on its own padded line.
+	clamps uint64
+	_      [cacheLineBytes - 8]byte
+
 	shards []regShard
 	// drainedSeq is the ShardSeq value the last MarkDrained recorded; the
 	// control plane's drain skips registers whose cursor has not moved.
@@ -187,12 +196,13 @@ func (r *Register) Execute(op StatefulOp, index uint32, p1, p2 uint32) uint32 {
 // Never mix concurrently with Apply or with control-plane readout.
 func (r *Register) ApplySeq(op StatefulOp, index uint32, p1, p2 uint32) (result, old uint32) {
 	r.accesses++
-	return applyPlain(r.buckets, r.mask, op, index, p1, p2)
+	return r.applyPlain(r.buckets, op, index, p1, p2)
 }
 
 // applyPlain is the shared plain (non-atomic) read-modify-write kernel
-// behind ApplySeq and ShardApply.
-func applyPlain(buckets []uint32, mask uint32, op StatefulOp, index, p1, p2 uint32) (result, old uint32) {
+// behind ApplySeq and ShardApply; buckets selects the base array or a lane.
+func (r *Register) applyPlain(buckets []uint32, op StatefulOp, index, p1, p2 uint32) (result, old uint32) {
+	mask := r.mask
 	i := index & uint32(len(buckets)-1)
 	cur := buckets[i]
 	switch op {
@@ -203,6 +213,7 @@ func applyPlain(buckets []uint32, mask uint32, op StatefulOp, index, p1, p2 uint
 		next := cur + (p1 & mask)
 		if next > mask || next < cur {
 			next = mask
+			atomic.AddUint64(&r.clamps, 1)
 		}
 		buckets[i] = next
 		return next, cur
@@ -249,10 +260,15 @@ func (r *Register) Apply(op StatefulOp, index uint32, p1, p2 uint32) (result, ol
 				return 0, cur
 			}
 			next := cur + p1m
+			clamped := false
 			if next > r.mask || next < cur {
 				next = r.mask
+				clamped = true
 			}
 			if atomic.CompareAndSwapUint32(b, cur, next) {
+				if clamped {
+					atomic.AddUint64(&r.clamps, 1)
+				}
 				return next, cur
 			}
 		}
@@ -293,6 +309,26 @@ func (r *Register) Apply(op StatefulOp, index uint32, p1, p2 uint32) (result, ol
 	default:
 		panic(fmt.Sprintf("dataplane: unknown stateful op %d", op))
 	}
+}
+
+// Clamps returns the number of Cond-ADD saturation clamp events observed on
+// either update path (lane drains fold through Apply, so drain-induced
+// saturation counts too).
+func (r *Register) Clamps() uint64 { return atomic.LoadUint64(&r.clamps) }
+
+// Occupancy returns the number of non-zero base buckets — the register's
+// fill gauge. Lane state is not scanned: drain the lanes first for an exact
+// figure on a sharded register (the controller's telemetry fold does).
+// Bucket loads are atomic, so Occupancy may overlap concurrent writers; the
+// result is then a point-in-time approximation, as with any live gauge.
+func (r *Register) Occupancy() int {
+	n := 0
+	for i := range r.buckets {
+		if atomic.LoadUint32(&r.buckets[i]) != 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Read returns bucket i without counting a data-plane access (control-plane
@@ -400,7 +436,7 @@ func (r *Register) Mask() uint32 { return r.mask }
 func (r *Register) ShardApply(shard int, op StatefulOp, index, p1, p2 uint32) (result, old uint32) {
 	sh := &r.shards[shard]
 	sh.accesses++
-	return applyPlain(sh.lane, r.mask, op, index, p1, p2)
+	return r.applyPlain(sh.lane, op, index, p1, p2)
 }
 
 // MergeValues folds two bucket values under a mergeable op's reduction:

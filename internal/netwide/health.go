@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"flymon/internal/telemetry"
 )
 
 // SwitchState classifies a remote switch's control-channel reachability.
@@ -55,6 +57,9 @@ type healthTracker struct {
 	downAfter int
 	now       func() time.Time
 	entries   []SwitchHealth
+	// tele, when set, counts state *transitions* (not per-op outcomes):
+	// a switch flapping healthy↔down shows up as a high transition rate.
+	tele *telemetry.FleetStats
 }
 
 func newHealthTracker(n, downAfter int, addrs []string) *healthTracker {
@@ -76,21 +81,33 @@ func (t *healthTracker) record(i int, err error) {
 		return
 	}
 	e := &t.entries[i]
+	was := e.State
 	if err == nil {
 		e.State = SwitchHealthy
 		e.ConsecutiveFailures = 0
 		e.LastError = ""
 		e.LastSuccess = t.now()
+	} else {
+		e.ConsecutiveFailures++
+		e.TotalFailures++
+		e.LastError = err.Error()
+		e.LastFailure = t.now()
+		if e.ConsecutiveFailures >= t.downAfter {
+			e.State = SwitchDown
+		} else {
+			e.State = SwitchDegraded
+		}
+	}
+	if t.tele == nil || e.State == was {
 		return
 	}
-	e.ConsecutiveFailures++
-	e.TotalFailures++
-	e.LastError = err.Error()
-	e.LastFailure = t.now()
-	if e.ConsecutiveFailures >= t.downAfter {
-		e.State = SwitchDown
-	} else {
-		e.State = SwitchDegraded
+	switch e.State {
+	case SwitchHealthy:
+		t.tele.ToHealthy.Add(1)
+	case SwitchDegraded:
+		t.tele.ToDegraded.Add(1)
+	case SwitchDown:
+		t.tele.ToDown.Add(1)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"flymon/internal/packet"
 	"flymon/internal/rpc"
 	"flymon/internal/sketch"
+	"flymon/internal/telemetry"
 )
 
 // FleetOptions tunes the remote fleet's failure behavior.
@@ -29,6 +30,10 @@ type FleetOptions struct {
 	// DownAfter consecutive failures mark a switch Down (default 3; the
 	// first failure already marks it Degraded).
 	DownAfter int
+	// Telemetry, when set, counts fan-outs, per-switch operation failures,
+	// partial merges, and health-state transitions (normally a Registry's
+	// Fleet section). nil = uninstrumented.
+	Telemetry *telemetry.FleetStats
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
@@ -76,11 +81,13 @@ func NewRemoteFleetOptions(clients []*rpc.Client, cfg controlplane.Config, opts 
 	for i, c := range clients {
 		addrs[i] = c.Addr()
 	}
+	h := newHealthTracker(len(clients), opts.DownAfter, addrs)
+	h.tele = opts.Telemetry
 	return &RemoteFleet{
 		clients: clients,
 		mirror:  controlplane.NewController(cfg),
 		opts:    opts,
-		health:  newHealthTracker(len(clients), opts.DownAfter, addrs),
+		health:  h,
 		taskIDs: make(map[string]int),
 	}
 }
@@ -95,6 +102,9 @@ func (f *RemoteFleet) Health() []SwitchHealth { return f.health.snapshot() }
 // fanOut runs op on every switch concurrently and collects per-switch
 // errors, bounded by OpTimeout. Late completions still record health.
 func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error {
+	if f.opts.Telemetry != nil {
+		f.opts.Telemetry.FanOuts.Add(1)
+	}
 	type result struct {
 		i   int
 		err error
@@ -103,6 +113,9 @@ func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error 
 	for i, c := range f.clients {
 		go func(i int, c *rpc.Client) {
 			err := op(i, c)
+			if err != nil && f.opts.Telemetry != nil {
+				f.opts.Telemetry.OpFailures.Add(1)
+			}
 			f.health.record(i, err)
 			ch <- result{i, err}
 		}(i, c)
@@ -291,6 +304,10 @@ func (f *RemoteFleet) mergedRemoteRows(name string, combine func(dst, src []uint
 	}
 	if merged == nil {
 		return nil, 0, report, &PartialFailureError{Op: "read", Task: name, Failed: errs, Total: len(f.clients)}
+	}
+	if len(errs) > 0 && f.opts.Telemetry != nil {
+		// A degraded-mode merge went through without every switch.
+		f.opts.Telemetry.PartialMerges.Add(1)
 	}
 	return merged, id, report, nil
 }

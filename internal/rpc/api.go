@@ -26,6 +26,7 @@ const (
 	MethodLoadTrace     = "load_trace"
 	MethodReplay        = "replay"
 	MethodStats         = "stats"
+	MethodTelemetry     = "telemetry"
 	MethodPing          = "ping"
 	// MethodDebugPanic is an operator fault drill: the handler panics on
 	// purpose so deployments can verify the daemon's panic containment

@@ -43,6 +43,10 @@ type breaker struct {
 	threshold int           // consecutive failures to open
 	cooldown  time.Duration // open → half-open delay
 	now       func() time.Time
+	// onTransition, when set, observes every state *change* (called under
+	// b.mu with the new state — keep it non-blocking). The telemetry layer
+	// hangs its transition counters here.
+	onTransition func(BreakerState)
 
 	state    BreakerState
 	failures int
@@ -52,6 +56,18 @@ type breaker struct {
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
 	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// setState moves the breaker to st, notifying the transition hook only on
+// an actual change. Callers hold b.mu.
+func (b *breaker) setState(st BreakerState) {
+	if b.state == st {
+		return
+	}
+	b.state = st
+	if b.onTransition != nil {
+		b.onTransition(st)
+	}
 }
 
 // allow reports whether a call may proceed. In the open state it fails
@@ -65,7 +81,7 @@ func (b *breaker) allow() error {
 		return nil
 	default: // BreakerOpen
 		if b.now().Sub(b.openedAt) >= b.cooldown {
-			b.state = BreakerHalfOpen
+			b.setState(BreakerHalfOpen)
 			return nil
 		}
 		return fmt.Errorf("%w (endpoint failing since %d consecutive errors, last: %v)",
@@ -77,7 +93,7 @@ func (b *breaker) allow() error {
 func (b *breaker) success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = BreakerClosed
+	b.setState(BreakerClosed)
 	b.failures = 0
 	b.lastErr = nil
 }
@@ -90,7 +106,7 @@ func (b *breaker) failure(err error) {
 	b.failures++
 	b.lastErr = err
 	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
-		b.state = BreakerOpen
+		b.setState(BreakerOpen)
 		b.openedAt = b.now()
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"flymon/internal/controlplane"
 	"flymon/internal/packet"
+	"flymon/internal/telemetry"
 )
 
 // Options tunes the client's resilience behavior. The zero value of any
@@ -43,6 +44,10 @@ type Options struct {
 	// Dialer overrides the transport dial, letting tests inject a
 	// fault-wrapped connection (see internal/faultnet.Dialer). nil = TCP.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Telemetry, when set, receives per-method request/failure/retry/
+	// timeout counts and breaker-transition counts from this client
+	// (normally a Registry's RPCClient side). nil = uninstrumented.
+	Telemetry *telemetry.RPCStats
 }
 
 // DefaultOptions are the resilience defaults applied by Dial.
@@ -119,6 +124,7 @@ var idempotentMethods = map[string]bool{
 	MethodResources:     true,
 	MethodReport:        true,
 	MethodStats:         true,
+	MethodTelemetry:     true,
 }
 
 // drainLimit bounds how many stale (lower-ID) responses one call will
@@ -140,7 +146,8 @@ type Client struct {
 	closed bool
 	rng    *rand.Rand
 
-	brk *breaker
+	brk  *breaker
+	tele *telemetry.RPCStats
 }
 
 // Dial connects to a FlyMon daemon with DefaultOptions.
@@ -160,6 +167,19 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		opts: opts,
 		rng:  rand.New(rand.NewSource(seed)),
 		brk:  newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		tele: opts.Telemetry,
+	}
+	if tele := opts.Telemetry; tele != nil {
+		c.brk.onTransition = func(st BreakerState) {
+			switch st {
+			case BreakerOpen:
+				tele.Breaker.Open.Add(1)
+			case BreakerHalfOpen:
+				tele.Breaker.HalfOpen.Add(1)
+			case BreakerClosed:
+				tele.Breaker.Closed.Add(1)
+			}
+		}
 	}
 	conn, err := opts.Dialer(addr, opts.DialTimeout)
 	if err != nil {
@@ -244,6 +264,9 @@ func (c *Client) call(method string, params, result any) error {
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			if c.tele != nil {
+				c.tele.Endpoint(method).Retries.Add(1)
+			}
 			c.backoff(attempt - 1)
 		}
 		err := c.callOnce(method, params, result)
@@ -263,9 +286,23 @@ func (c *Client) call(method string, params, result any) error {
 // callOnce runs a single round trip over the current (or a fresh)
 // connection. Any transport failure tears the connection down so the next
 // attempt starts from a clean stream.
-func (c *Client) callOnce(method string, params, result any) error {
+func (c *Client) callOnce(method string, params, result any) (err error) {
 	if err := c.brk.allow(); err != nil {
 		return err
+	}
+	if c.tele != nil {
+		ep := c.tele.Endpoint(method)
+		ep.Requests.Add(1)
+		defer func() {
+			if err == nil {
+				return
+			}
+			ep.Failures.Add(1)
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				ep.Timeouts.Add(1)
+			}
+		}()
 	}
 	fail := func(err error) error {
 		c.teardown()
@@ -461,5 +498,13 @@ func (c *Client) Replay(n int) (int, error) {
 func (c *Client) Stats() (StatsResult, error) {
 	var r StatsResult
 	err := c.call(MethodStats, nil, &r)
+	return r, err
+}
+
+// Telemetry fetches the daemon's full telemetry report (errors if the
+// daemon runs without a telemetry registry).
+func (c *Client) Telemetry() (telemetry.Report, error) {
+	var r telemetry.Report
+	err := c.call(MethodTelemetry, nil, &r)
 	return r, err
 }

@@ -13,6 +13,7 @@ import (
 
 	"flymon/internal/controlplane"
 	"flymon/internal/packet"
+	"flymon/internal/telemetry"
 	"flymon/internal/trace"
 )
 
@@ -33,6 +34,11 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// tele, when set, counts per-method requests/failures and recovered
+	// handler panics (the registry's RPCServer side) and serves the
+	// MethodTelemetry scrape.
+	tele *telemetry.Registry
 }
 
 // NewServer wraps a controller. logf may be nil (silent).
@@ -42,6 +48,11 @@ func NewServer(ctrl *controlplane.Controller, logf func(string, ...any)) *Server
 	}
 	return &Server{ctrl: ctrl, closed: make(chan struct{}), logf: logf, conns: make(map[net.Conn]struct{})}
 }
+
+// SetTelemetry attaches a telemetry registry: the server counts every
+// dispatch into the registry's RPCServer stats and answers MethodTelemetry
+// with full reports. Call before Serve.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) { s.tele = reg }
 
 // Listen binds addr ("host:port"; ":0" for an ephemeral port) and starts
 // serving. It returns the bound address.
@@ -150,11 +161,23 @@ func (s *Server) serveConn(conn net.Conn) {
 
 func (s *Server) dispatch(req *Request) (resp *Response) {
 	resp = &Response{ID: req.ID}
+	if s.tele != nil {
+		ep := s.tele.RPCServer.Endpoint(req.Method)
+		ep.Requests.Add(1)
+		defer func() {
+			if resp.Error != "" {
+				ep.Failures.Add(1)
+			}
+		}()
+	}
 	// One malformed request must not crash the whole daemon: a handler
 	// panic becomes an error Response on this connection and a log line.
 	defer func() {
 		if r := recover(); r != nil {
 			s.logf("rpc: panic in %s handler: %v", req.Method, r)
+			if s.tele != nil {
+				s.tele.RPCServer.Panics.Add(1)
+			}
 			resp.Result = nil
 			resp.Error = fmt.Sprintf("rpc: internal error handling %s: %v", req.Method, r)
 		}
@@ -404,6 +427,12 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 			TracePackets:     tl,
 			Tasks:            len(s.ctrl.Tasks()),
 		}, nil
+
+	case MethodTelemetry:
+		if s.tele == nil {
+			return nil, fmt.Errorf("rpc: daemon runs without telemetry (start it with a registry)")
+		}
+		return s.tele.Report(), nil
 
 	case MethodDebugPanic:
 		panic("operator-requested fault drill")

@@ -1,0 +1,56 @@
+// Package telemetry is the runtime observability plane: striped data-plane
+// counters folded on read, a bounded reconfiguration journal, alloc-free
+// latency histograms, RPC/fleet health counters, and the Prometheus/pprof
+// exposition endpoints flymond serves.
+//
+// The package deliberately imports nothing but the standard library so every
+// layer (core, controlplane, rpc, netwide, cmd) can depend on it without
+// cycles. Hot-path instrumentation follows the same discipline as the
+// register lanes in internal/dataplane: writers touch per-worker state
+// (context-local accumulators flushed into cache-line-padded stripes) and
+// only the read side pays for a coherent fold.
+package telemetry
+
+import "sync/atomic"
+
+// CounterStripes is the number of independent cache lines a Counter spreads
+// its increments over. Power of two so the stripe pick is a mask, sized for
+// the worker counts the pool actually runs (GOMAXPROCS workers hash onto 16
+// lines with few collisions; a collision only costs a shared cache line, not
+// correctness).
+const CounterStripes = 16
+
+type counterStripe struct {
+	v atomic.Uint64
+	_ [56]byte // pad to a 64-byte line so neighbouring stripes never false-share
+}
+
+// Counter is a monotonically increasing counter striped across
+// CounterStripes cache lines. Writers pick a stripe (per-worker, any value —
+// it is reduced mod CounterStripes) and Add there; Load folds all stripes.
+// Writes are wait-free atomic adds on uncontended lines; Load is O(stripes)
+// and intended for scrape/query frequency, not the packet path.
+type Counter struct {
+	s [CounterStripes]counterStripe
+}
+
+// Inc adds 1 on the given stripe.
+func (c *Counter) Inc(stripe uint32) {
+	c.s[stripe%CounterStripes].v.Add(1)
+}
+
+// Add adds n on the given stripe.
+func (c *Counter) Add(stripe uint32, n uint64) {
+	c.s[stripe%CounterStripes].v.Add(n)
+}
+
+// Load folds every stripe into the counter's current total. It is safe
+// against concurrent writers; the result is a consistent lower bound (adds
+// landing mid-fold may or may not be included, as with any live counter).
+func (c *Counter) Load() uint64 {
+	var t uint64
+	for i := range c.s {
+		t += c.s[i].v.Load()
+	}
+	return t
+}

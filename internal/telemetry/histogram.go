@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBuckets is the fixed bucket count of a Histogram: log2-of-
+// nanoseconds buckets, so bucket i holds observations in [2^(i-1), 2^i) ns
+// (bucket 0 holds <= 1 ns) and bucket 31 absorbs everything >= 2^30 ns
+// (~1.07 s). That span covers every latency this repo measures — a register
+// drain is microseconds, a full republish milliseconds — in 32 words with no
+// allocation and no configuration.
+const HistogramBuckets = 32
+
+// Histogram is a fixed-size, alloc-free latency histogram with power-of-two
+// nanosecond buckets. Observe is a pair of atomic adds; Snapshot folds the
+// buckets for exposition. The zero value is ready to use.
+type Histogram struct {
+	buckets [HistogramBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+}
+
+// bucketIndex maps a duration to its log2 bucket.
+func bucketIndex(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns) - 1) // ceil(log2(ns))
+	if i >= HistogramBuckets {
+		return HistogramBuckets - 1
+	}
+	return i
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d.Nanoseconds()))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistogramSnapshot is a plain-value copy of a Histogram, serializable over
+// the control channel and renderable as Prometheus cumulative buckets
+// (BucketUpperNs(i) gives bucket i's inclusive upper bound).
+type HistogramSnapshot struct {
+	Count   uint64                   `json:"count"`
+	SumNs   uint64                   `json:"sum_ns"`
+	Buckets [HistogramBuckets]uint64 `json:"buckets"`
+}
+
+// Snapshot folds the histogram into a plain value.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	return s
+}
+
+// BucketUpperNs returns the inclusive upper bound, in nanoseconds, of
+// histogram bucket i (2^i ns; the last bucket is unbounded and reported as
+// +Inf by the Prometheus writer).
+func BucketUpperNs(i int) uint64 { return uint64(1) << uint(i) }

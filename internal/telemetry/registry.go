@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RuleKey identifies one installed rule by its physical placement: pipeline
+// group, CMU within the group, and the owning task. The same task can own
+// rules in several CMUs (a D-row sketch) and a CMU can host rules of many
+// tasks, so all three coordinates are needed.
+type RuleKey struct {
+	Group int `json:"group"`
+	CMU   int `json:"cmu"`
+	Task  int `json:"task"`
+}
+
+// RuleMeta is what the compiler knew about the rule when it last installed
+// it — enough for a scrape to label the counter without reaching back into
+// the pipeline.
+type RuleMeta struct {
+	Op      string `json:"op"`      // stateful operation name (CondADD, MAX, ...)
+	Prep    bool   `json:"prep"`    // has a preparation-stage transform
+	Spliced bool   `json:"spliced"` // lives in a recirculation-fed group
+	Sharded bool   `json:"sharded"` // routed to per-worker register lanes
+	Derived bool   `json:"derived"` // hits derived from the snapshot packet counter
+}
+
+// RuleCounter is the durable hit counter for one rule. It survives snapshot
+// recompiles: the compiler re-attaches the same counter (by RuleKey) to each
+// new snapshot, so counts accumulate across reconfigurations for as long as
+// the task lives.
+//
+// Two write paths feed it. Rules that need per-execution counting add into
+// the striped Counter (via context-local accumulators flushed in batches).
+// Rules the compiler proved execute for *every* (recirculated) packet —
+// first in their CMU program, match-all, not probability-gated — skip
+// per-execution work entirely; their hits are settled in bulk from the
+// snapshot's packet counter when the snapshot retires (Settle).
+type RuleCounter struct {
+	Key  RuleKey  `json:"key"`
+	Meta RuleMeta `json:"meta"`
+
+	hits    Counter
+	settled atomic.Uint64
+}
+
+// Add records n live hits on the given stripe.
+func (rc *RuleCounter) Add(stripe uint32, n uint64) { rc.hits.Add(stripe, n) }
+
+// Settle folds n derived hits (from a retiring snapshot's packet counter)
+// into the durable total.
+func (rc *RuleCounter) Settle(n uint64) {
+	if n != 0 {
+		rc.settled.Add(n)
+	}
+}
+
+// Total returns the rule's accumulated hits: striped live counts plus
+// settled derived counts.
+func (rc *RuleCounter) Total() uint64 { return rc.hits.Load() + rc.settled.Load() }
+
+// LiveSample is the not-yet-settled contribution of the currently published
+// snapshot, read without quiescing the data plane: its packet counters plus
+// the derived-rule lists they stand in for. The fold adds Packets to every
+// counter in Derived and Recirculated to every counter in DerivedSpliced.
+type LiveSample struct {
+	Packets        uint64
+	Recirculated   uint64
+	Digests        uint64 // compression-stage digests implied by the counts
+	Derived        []*RuleCounter
+	DerivedSpliced []*RuleCounter
+}
+
+// DataPlaneSource is implemented by the controller: it quiesces what must be
+// quiesced (draining register lanes, settling retired snapshots) and folds
+// the data-plane section of a Report. The Registry calls it at scrape time
+// when one is attached; without a source the Registry reports settled
+// counters only.
+type DataPlaneSource interface {
+	TelemetryDataPlane() DataPlane
+}
+
+// RuleStat is one rule's folded counter in a report.
+type RuleStat struct {
+	RuleKey
+	Op      string `json:"op"`
+	Prep    bool   `json:"prep,omitempty"`
+	Spliced bool   `json:"spliced,omitempty"`
+	Sharded bool   `json:"sharded,omitempty"`
+	Hits    uint64 `json:"hits"`
+}
+
+// RegisterGauge is one CMU register's occupancy/saturation gauge set.
+type RegisterGauge struct {
+	Group    int    `json:"group"`
+	CMU      int    `json:"cmu"`
+	Buckets  int    `json:"buckets"`
+	BitWidth int    `json:"bit_width"`
+	Occupied int    `json:"occupied"` // non-zero buckets at scrape time
+	Clamps   uint64 `json:"clamps"`   // CondADD saturation clamp events
+	Accesses uint64 `json:"accesses"` // stateful operations applied
+	Lanes    int    `json:"lanes"`    // sharded write lanes (0 = shared CAS)
+}
+
+// StageStats counts activity per CMU stage: Compression digests computed,
+// Initialization-stage rule executions, Preparation-stage transforms run,
+// and stateful Operations committed (initializations minus prep drops).
+type StageStats struct {
+	Compression    uint64 `json:"compression"`
+	Initialization uint64 `json:"initialization"`
+	Preparation    uint64 `json:"preparation"`
+	Operation      uint64 `json:"operation"`
+}
+
+// DataPlane is the data-plane section of a Report.
+type DataPlane struct {
+	Packets       uint64          `json:"packets"`
+	Recirculated  uint64          `json:"recirculated"`
+	Stages        StageStats      `json:"stages"`
+	Rules         []RuleStat      `json:"rules,omitempty"`
+	Registers     []RegisterGauge `json:"registers,omitempty"`
+	ShardedRules  int             `json:"sharded_rules"`
+	FallbackRules int             `json:"fallback_rules"`
+}
+
+// ControlPlane is the control-plane section of a Report.
+type ControlPlane struct {
+	SnapshotVersion uint64            `json:"snapshot_version"`
+	Events          []Event           `json:"events,omitempty"`
+	EventsTotal     uint64            `json:"events_total"`
+	EventsDropped   uint64            `json:"events_dropped"`
+	MutationLatency HistogramSnapshot `json:"mutation_latency"`
+	DrainLatency    HistogramSnapshot `json:"drain_latency"`
+}
+
+// Report is a full scrape of the registry, serializable over the control
+// channel (flymonctl stats fetches one per switch) and renderable as
+// Prometheus text (WriteMetrics).
+type Report struct {
+	UptimeNs     int64        `json:"uptime_ns"`
+	DataPlane    DataPlane    `json:"data_plane"`
+	ControlPlane ControlPlane `json:"control_plane"`
+	RPCClient    RPCReport    `json:"rpc_client"`
+	RPCServer    RPCReport    `json:"rpc_server"`
+	Fleet        FleetReport  `json:"fleet"`
+}
+
+// Registry is the root object every layer hangs its instruments off. One
+// registry serves one daemon (or one test); it is passed through
+// controlplane.Config, rpc server/client options, and netwide FleetOptions.
+// The zero value is not usable — call NewRegistry.
+type Registry struct {
+	start time.Time
+
+	mu    sync.Mutex
+	rules map[RuleKey]*RuleCounter
+	order []RuleKey
+
+	digests   atomic.Uint64 // settled compression-stage digest count
+	prepDrops Counter       // preparation-stage drops (coupon miss, interval gate)
+	version   atomic.Uint64 // current snapshot version, mirrored by the controller
+
+	Journal         *Journal
+	MutationLatency Histogram
+	DrainLatency    Histogram
+
+	RPCClient RPCStats
+	RPCServer RPCStats
+	Fleet     FleetStats
+
+	srcMu  sync.Mutex
+	source DataPlaneSource
+}
+
+// NewRegistry builds an empty registry with a DefaultJournalSize journal.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:   time.Now(),
+		rules:   make(map[RuleKey]*RuleCounter),
+		Journal: NewJournal(DefaultJournalSize),
+	}
+}
+
+// Rule returns the durable counter for key, creating it on first install and
+// refreshing its metadata (op/prep/sharded can change when a task is
+// reconfigured in place).
+func (r *Registry) Rule(key RuleKey, meta RuleMeta) *RuleCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rc := r.rules[key]
+	if rc == nil {
+		rc = &RuleCounter{Key: key}
+		r.rules[key] = rc
+		r.order = append(r.order, key)
+	}
+	rc.Meta = meta
+	return rc
+}
+
+// DropRule forgets a rule's counter (the task was removed). Hits recorded so
+// far disappear from subsequent reports; per-task counters do not outlive
+// their task, matching how hardware rule counters free with the rule.
+func (r *Registry) DropRule(key RuleKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.rules[key]; !ok {
+		return
+	}
+	delete(r.rules, key)
+	for i, k := range r.order {
+		if k == key {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// DropTask forgets every rule counter the task owns, across all groups and
+// CMUs — the removal path's bulk DropRule.
+func (r *Registry) DropTask(task int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.order[:0]
+	for _, k := range r.order {
+		if k.Task == task {
+			delete(r.rules, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	r.order = kept
+}
+
+// PrepDrops is the striped preparation-stage drop counter (flushed by the
+// data-plane contexts alongside rule hits).
+func (r *Registry) PrepDrops() *Counter { return &r.prepDrops }
+
+// SettleDigests folds n compression-stage digests from a retiring snapshot.
+func (r *Registry) SettleDigests(n uint64) {
+	if n != 0 {
+		r.digests.Add(n)
+	}
+}
+
+// SetVersion records the current snapshot version.
+func (r *Registry) SetVersion(v uint64) { r.version.Store(v) }
+
+// Version returns the last recorded snapshot version.
+func (r *Registry) Version() uint64 { return r.version.Load() }
+
+// SetSource attaches the data-plane folder (normally the controller).
+func (r *Registry) SetSource(s DataPlaneSource) {
+	r.srcMu.Lock()
+	r.source = s
+	r.srcMu.Unlock()
+}
+
+// FoldDataPlane builds the rule/stage section of a DataPlane from the
+// durable counters plus a live (unsettled) sample of the published snapshot.
+// The caller — normally the controller, holding whatever quiescence it wants
+// — fills in packets, registers, and sharding totals afterwards.
+func (r *Registry) FoldDataPlane(live LiveSample) DataPlane {
+	liveMain := make(map[*RuleCounter]bool, len(live.Derived))
+	for _, rc := range live.Derived {
+		liveMain[rc] = true
+	}
+	liveSpl := make(map[*RuleCounter]bool, len(live.DerivedSpliced))
+	for _, rc := range live.DerivedSpliced {
+		liveSpl[rc] = true
+	}
+
+	r.mu.Lock()
+	counters := make([]*RuleCounter, 0, len(r.order))
+	for _, k := range r.order {
+		counters = append(counters, r.rules[k])
+	}
+	r.mu.Unlock()
+
+	var dp DataPlane
+	drops := r.prepDrops.Load()
+	for _, rc := range counters {
+		hits := rc.Total()
+		if liveMain[rc] {
+			hits += live.Packets
+		} else if liveSpl[rc] {
+			hits += live.Recirculated
+		}
+		dp.Rules = append(dp.Rules, RuleStat{
+			RuleKey: rc.Key,
+			Op:      rc.Meta.Op,
+			Prep:    rc.Meta.Prep,
+			Spliced: rc.Meta.Spliced,
+			Sharded: rc.Meta.Sharded,
+			Hits:    hits,
+		})
+		dp.Stages.Initialization += hits
+		if rc.Meta.Prep {
+			dp.Stages.Preparation += hits
+		}
+	}
+	dp.Stages.Compression = r.digests.Load() + live.Digests
+	// Operations committed = initializations minus preparation-stage drops
+	// (a dropped packet ran C, I and P but never reached the register).
+	dp.Stages.Operation = dp.Stages.Initialization - drops
+	return dp
+}
+
+// Report assembles a full scrape. With a DataPlaneSource attached the
+// data-plane section is folded under the controller's quiescence; otherwise
+// it reflects settled counters only.
+func (r *Registry) Report() Report {
+	r.srcMu.Lock()
+	src := r.source
+	r.srcMu.Unlock()
+	var dp DataPlane
+	if src != nil {
+		dp = src.TelemetryDataPlane()
+	} else {
+		dp = r.FoldDataPlane(LiveSample{})
+	}
+	return Report{
+		UptimeNs:  time.Since(r.start).Nanoseconds(),
+		DataPlane: dp,
+		ControlPlane: ControlPlane{
+			SnapshotVersion: r.version.Load(),
+			Events:          r.Journal.Events(),
+			EventsTotal:     r.Journal.Total(),
+			EventsDropped:   r.Journal.Dropped(),
+			MutationLatency: r.MutationLatency.Snapshot(),
+			DrainLatency:    r.DrainLatency.Snapshot(),
+		},
+		RPCClient: r.RPCClient.Snapshot(),
+		RPCServer: r.RPCServer.Snapshot(),
+		Fleet:     r.Fleet.Snapshot(),
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// EndpointStats counts the outcomes of one RPC method. The fields are plain
+// atomics (not striped Counters): the control channel handles requests, not
+// packets, so a shared cache line per method is plenty.
+type EndpointStats struct {
+	Requests atomic.Uint64 // attempts that reached the wire (passed the breaker)
+	Failures atomic.Uint64 // attempts that returned an error
+	Retries  atomic.Uint64 // extra attempts after the first (client side only)
+	Timeouts atomic.Uint64 // failures classified as deadline expiry
+}
+
+// BreakerCounters counts circuit-breaker transitions *into* each state.
+type BreakerCounters struct {
+	Open     atomic.Uint64
+	HalfOpen atomic.Uint64
+	Closed   atomic.Uint64
+}
+
+// RPCStats aggregates per-endpoint counters for one side of the control
+// channel (a client or a server). Endpoint lazily creates the per-method
+// stats; everything after that is lock-free.
+type RPCStats struct {
+	Breaker BreakerCounters
+	Panics  atomic.Uint64 // handler panics recovered into error responses (server side)
+
+	mu  sync.Mutex
+	eps map[string]*EndpointStats
+}
+
+// Endpoint returns the stats for a method, creating them on first use.
+func (s *RPCStats) Endpoint(method string) *EndpointStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eps == nil {
+		s.eps = make(map[string]*EndpointStats)
+	}
+	ep := s.eps[method]
+	if ep == nil {
+		ep = &EndpointStats{}
+		s.eps[method] = ep
+	}
+	return ep
+}
+
+// EndpointSnapshot is the plain-value form of one method's counters.
+type EndpointSnapshot struct {
+	Method   string `json:"method"`
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	Retries  uint64 `json:"retries"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// RPCReport is the serializable form of an RPCStats.
+type RPCReport struct {
+	Endpoints       []EndpointSnapshot `json:"endpoints,omitempty"`
+	BreakerOpen     uint64             `json:"breaker_open"`
+	BreakerHalfOpen uint64             `json:"breaker_half_open"`
+	BreakerClosed   uint64             `json:"breaker_closed"`
+	Panics          uint64             `json:"panics,omitempty"`
+}
+
+// Snapshot folds the per-endpoint counters, sorted by method name for
+// stable rendering.
+func (s *RPCStats) Snapshot() RPCReport {
+	r := RPCReport{
+		BreakerOpen:     s.Breaker.Open.Load(),
+		BreakerHalfOpen: s.Breaker.HalfOpen.Load(),
+		BreakerClosed:   s.Breaker.Closed.Load(),
+		Panics:          s.Panics.Load(),
+	}
+	s.mu.Lock()
+	methods := make([]string, 0, len(s.eps))
+	for m := range s.eps {
+		methods = append(methods, m)
+	}
+	eps := make([]*EndpointStats, 0, len(methods))
+	sort.Strings(methods)
+	for _, m := range methods {
+		eps = append(eps, s.eps[m])
+	}
+	s.mu.Unlock()
+	for i, m := range methods {
+		ep := eps[i]
+		r.Endpoints = append(r.Endpoints, EndpointSnapshot{
+			Method:   m,
+			Requests: ep.Requests.Load(),
+			Failures: ep.Failures.Load(),
+			Retries:  ep.Retries.Load(),
+			Timeouts: ep.Timeouts.Load(),
+		})
+	}
+	return r
+}
+
+// FleetStats counts network-wide fan-out health: how often RemoteFleet
+// queries went out, failed per switch, merged partially, and how each
+// switch's health classification moved.
+type FleetStats struct {
+	FanOuts       atomic.Uint64 // fleet-wide operations issued
+	OpFailures    atomic.Uint64 // per-switch operation failures inside fan-outs
+	PartialMerges atomic.Uint64 // degraded-mode merges that proceeded without every switch
+	ToHealthy     atomic.Uint64 // health transitions into each state
+	ToDegraded    atomic.Uint64
+	ToDown        atomic.Uint64
+}
+
+// FleetReport is the serializable form of FleetStats.
+type FleetReport struct {
+	FanOuts       uint64 `json:"fan_outs"`
+	OpFailures    uint64 `json:"op_failures"`
+	PartialMerges uint64 `json:"partial_merges"`
+	ToHealthy     uint64 `json:"to_healthy"`
+	ToDegraded    uint64 `json:"to_degraded"`
+	ToDown        uint64 `json:"to_down"`
+}
+
+// Snapshot folds the fleet counters into a plain value.
+func (f *FleetStats) Snapshot() FleetReport {
+	return FleetReport{
+		FanOuts:       f.FanOuts.Load(),
+		OpFailures:    f.OpFailures.Load(),
+		PartialMerges: f.PartialMerges.Load(),
+		ToHealthy:     f.ToHealthy.Load(),
+		ToDegraded:    f.ToDegraded.Load(),
+		ToDown:        f.ToDown.Load(),
+	}
+}
