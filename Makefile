@@ -2,6 +2,7 @@ GO ?= go
 BENCH_OUT ?= bench_results.txt
 SCALING_OUT ?= bench_scaling.txt
 TELEMETRY_OUT ?= bench_telemetry.txt
+REPLAY_OUT ?= bench_replay.txt
 
 # Hot-path benchmarks whose numbers back the concurrency claims in
 # DESIGN.md. -cpu 1,4 shows the parallel path's scaling; -count=5 gives
@@ -14,11 +15,12 @@ SCALING_BENCH = BenchmarkProcessParallelModes|BenchmarkShardDrain
 
 .PHONY: all check vet build test race race-concurrency chaos bench bench-allocs \
 	bench-full bench-scaling bench-smoke bench-telemetry bench-telemetry-smoke \
-	bench-compare clean
+	bench-replay bench-replay-smoke bench-compare clean
 
 all: check
 
-check: vet build race chaos bench-smoke bench-telemetry-smoke bench-allocs
+check: vet build race chaos bench-smoke bench-telemetry-smoke bench-replay-smoke \
+	bench-allocs
 
 # chaos runs the control-channel fault-injection suite under -race: the
 # faultnet transport tests, the resilient-client recovery paths (timeouts,
@@ -58,9 +60,11 @@ bench:
 	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -count=5 -cpu 1,4 -benchmem . | tee $(BENCH_OUT)
 
 # bench-allocs runs the alloc-regression gates: the compiled hot path must
-# stay at zero heap allocations per packet.
+# stay at zero heap allocations per packet, and the mmap replay path must
+# stay at zero allocations per batch once steady (TestReplayerNextZeroAlloc).
 bench-allocs:
-	$(GO) test -count=1 -run 'ZeroAlloc' -v ./internal/core/ ./internal/hashing/
+	$(GO) test -count=1 -run 'ZeroAlloc' -v ./internal/core/ ./internal/hashing/ \
+		./internal/mmtrace/
 
 # bench-scaling runs the register-mode scaling suite across core counts
 # with the fixed trace seed baked into bench_test.go: 5 samples per mode
@@ -92,6 +96,24 @@ bench-telemetry:
 bench-telemetry-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineTelemetry' -benchtime 4096x -cpu 1 -benchmem . | \
 		awk '/telemetry=on/ && $$(NF-1) != 0 { print "telemetry=on allocates:", $$0; bad = 1 } { print } END { exit bad }'
+
+# bench-replay measures sustained trace-ingestion throughput on a
+# 10M-packet trace: the seed reader path vs streaming ReadBatch vs the
+# zero-copy mmap+ring path, at pure ingest and under the 9-task load.
+# 5 samples per variant; the benchcmp pass prints the reader → mmap delta
+# per task load (negative = mmap faster). bench_replay.txt is the committed
+# artifact backing the ingestion numbers in DESIGN.md §14.
+bench-replay:
+	FLYMON_REPLAY_PACKETS=10000000 $(GO) test -run '^$$' -bench 'BenchmarkReplayIngest' \
+		-count=5 -cpu 1 -benchmem -timeout 0 . | tee $(REPLAY_OUT)
+	$(GO) run ./cmd/benchcmp -pair 'engine=reader:engine=mmap' $(REPLAY_OUT)
+
+# bench-replay-smoke is the check-gate pass: one pass over a 50k-packet
+# trace per engine to catch bit-rot in the replay harness (a broken engine
+# shows up as an error or a packet-count mismatch, not a slow number).
+bench-replay-smoke:
+	FLYMON_REPLAY_PACKETS=50000 $(GO) test -run '^$$' -bench 'BenchmarkReplayIngest' \
+		-benchtime 1x -cpu 1 .
 
 # bench-compare diffs two saved benchmark outputs by median ns/op:
 #   make bench OLD=...        # or bench-scaling, with BENCH_OUT/SCALING_OUT

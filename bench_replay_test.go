@@ -1,0 +1,100 @@
+package flymon
+
+// BenchmarkReplayIngest backs the trace-ingestion numbers in DESIGN.md §14:
+// the seed reader path (ReadAll → ProcessParallel) against the streaming
+// ReadBatch path and the zero-copy mmap+ring path, at pure ingest (tasks=0,
+// isolating the ingestion machinery) and under the 9-task measurement load
+// used by the throughput experiment. One op = one full pass over the shared
+// trace; the pkts/s metric is the sustained ingest rate.
+//
+// The trace size defaults to 1M packets so `go test -bench ReplayIngest`
+// stays quick; `make bench-replay` sets FLYMON_REPLAY_PACKETS=10000000 for
+// the committed bench_replay.txt artifact (the ISSUE's ≥10M-packet run).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"flymon/internal/experiments"
+	"flymon/internal/trace"
+)
+
+var replayTrace struct {
+	once    sync.Once
+	path    string
+	packets int
+	err     error
+}
+
+// replayTracePath writes the benchmark trace once per process and returns
+// its path and frame count. Size comes from FLYMON_REPLAY_PACKETS.
+func replayTracePath(b *testing.B) (string, int) {
+	b.Helper()
+	replayTrace.once.Do(func() {
+		n := 1_000_000
+		if s := os.Getenv("FLYMON_REPLAY_PACKETS"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				replayTrace.err = fmt.Errorf("bad FLYMON_REPLAY_PACKETS %q", s)
+				return
+			}
+			n = v
+		}
+		dir, err := os.MkdirTemp("", "flymon-bench-replay-")
+		if err != nil {
+			replayTrace.err = err
+			return
+		}
+		path := filepath.Join(dir, "replay.fmt")
+		tr := trace.Generate(trace.Config{Flows: 10_000, Packets: n, Seed: 42})
+		f, err := os.Create(path)
+		if err != nil {
+			replayTrace.err = err
+			return
+		}
+		w, err := trace.NewWriter(f)
+		if err == nil {
+			err = w.WriteTrace(tr)
+		}
+		if err == nil {
+			err = w.Flush()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		replayTrace.path, replayTrace.packets, replayTrace.err = path, n, err
+	})
+	if replayTrace.err != nil {
+		b.Fatal(replayTrace.err)
+	}
+	return replayTrace.path, replayTrace.packets
+}
+
+func BenchmarkReplayIngest(b *testing.B) {
+	path, packets := replayTracePath(b)
+	for _, engine := range []experiments.ReplayEngine{
+		experiments.EngineReader, experiments.EngineReadBatch, experiments.EngineMmap,
+	} {
+		for _, tasks := range []int{0, 9} {
+			b.Run(fmt.Sprintf("engine=%s/tasks=%d", engine, tasks), func(b *testing.B) {
+				opt := experiments.ReplayOptions{
+					Paths:  []string{path},
+					Engine: engine,
+					Tasks:  tasks,
+				}
+				b.SetBytes(int64(packets) * trace.RecordSize)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.Replay(opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(packets)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+			})
+		}
+	}
+}

@@ -6,8 +6,15 @@
 //
 //	flymond [-listen :9177] [-admin :9090] [-groups 9] [-buckets 65536]
 //	        [-bitwidth 32] [-mode accurate|efficient] [-workers N] [-sharded]
+//	        [-replay trace.fmt[,more.fmt] [-replay-loop]]
 //	        [-chaos-seed N -chaos-read-delay 5ms -chaos-write-delay 5ms
 //	         -chaos-reset-every N -chaos-corrupt-every N]
+//
+// The -replay flag puts the daemon in soak mode: the named traces are
+// mmapped and replayed through the data plane (via the zero-copy span
+// ring, internal/mmtrace) while the control channel keeps serving —
+// reconfigurations land mid-replay, and /metrics exposes replay progress
+// and ring occupancy. -replay-loop replays until shutdown.
 //
 // The -chaos-* flags wrap the control channel in the fault-injecting
 // transport (internal/faultnet) for resilience drills: delays, connection
@@ -35,6 +42,7 @@ import (
 
 	"flymon/internal/controlplane"
 	"flymon/internal/faultnet"
+	"flymon/internal/mmtrace"
 	"flymon/internal/rpc"
 	"flymon/internal/telemetry"
 )
@@ -50,6 +58,8 @@ func main() {
 	mode := flag.String("mode", "accurate", "memory allocation mode: accurate or efficient")
 	workers := flag.Int("workers", 0, "parallel batch workers and register lanes (0 = GOMAXPROCS)")
 	sharded := flag.Bool("sharded", false, "sharded register state: mergeable ops write per-worker plain-store lanes, reduced on query")
+	replay := flag.String("replay", "", "soak mode: replay these comma-separated FLYMTRC traces through the data plane while serving the control channel")
+	replayLoop := flag.Bool("replay-loop", false, "loop the -replay traces until shutdown instead of replaying once")
 	chaosSeed := flag.Int64("chaos-seed", 0, "fault-injection seed (0 with other chaos flags = seed 1)")
 	chaosReadDelay := flag.Duration("chaos-read-delay", 0, "max injected delay per control-channel read")
 	chaosWriteDelay := flag.Duration("chaos-write-delay", 0, "max injected delay per control-channel write")
@@ -126,10 +136,65 @@ func main() {
 		fmt.Printf("flymond: telemetry on http://%s/metrics (journal: /debug/events, pprof: /debug/pprof/)\n", aln.Addr())
 	}
 
+	// Soak mode: replay traces through the data plane in the background
+	// while the control channel stays live — reconfigurations issued via
+	// flymonctl take effect mid-replay at batch granularity, exercising
+	// exactly the on-the-fly property under sustained load. The replayer
+	// registers with telemetry, so /metrics shows ring occupancy and stall
+	// counters while it runs.
+	var replayer *mmtrace.Replayer
+	replayDone := make(chan struct{})
+	if *replay != "" {
+		var traces []*mmtrace.Trace
+		for _, path := range strings.Split(*replay, ",") {
+			t, err := mmtrace.Open(path)
+			if err != nil {
+				if t == nil {
+					log.Fatalf("flymond: replay: %v", err)
+				}
+				log.Printf("flymond: replay: warning: %s: %v (replaying the intact prefix)", path, err)
+			}
+			traces = append(traces, t)
+		}
+		passes := 1
+		if *replayLoop {
+			passes = -1
+		}
+		var err error
+		replayer, err = mmtrace.NewReplayer(mmtrace.ReplayConfig{
+			Traces:  traces,
+			Workers: ctrl.Workers(),
+			Passes:  passes,
+		})
+		if err != nil {
+			log.Fatalf("flymond: replay: %v", err)
+		}
+		reg.SetReplaySource(replayer)
+		replayer.Start()
+		fmt.Printf("flymond: replaying %d trace(s) (loop=%v)\n", len(traces), *replayLoop)
+		go func() {
+			defer close(replayDone)
+			ctrl.ProcessSource(replayer)
+			reg.ClearReplaySource(replayer)
+			for _, t := range traces {
+				t.Close()
+			}
+			st := replayer.Stats()
+			fmt.Printf("flymond: replay finished: %d packets (ring stalls push=%d pop=%d)\n",
+				st.Packets, st.Ring.PushStalls, st.Ring.PopStalls)
+		}()
+	} else {
+		close(replayDone)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("flymond: shutting down")
+	if replayer != nil {
+		replayer.Stop()
+		<-replayDone
+	}
 	if adminSrv != nil {
 		adminSrv.Close()
 	}

@@ -2,41 +2,97 @@
 // format): packet/flow counts, duration, and heavy-tail statistics — the
 // quick look an operator takes before sizing measurement tasks.
 //
+// Files are mmapped when the platform allows (internal/mmtrace) and
+// streamed through trace.Reader.ReadBatch otherwise; either way the
+// summary is computed incrementally from a small reusable batch, so a
+// multi-gigabyte trace never needs to fit in memory twice. A file that
+// ends mid-record is summarized up to the damage, with a warning naming
+// the truncated record.
+//
 // Usage:
 //
 //	tracedump trace.fmt [more.fmt ...]
 package main
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
+	"flymon/internal/mmtrace"
+	"flymon/internal/packet"
 	"flymon/internal/trace"
 )
+
+const batchSize = 4096
 
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: tracedump <trace.fmt> [...]")
 		os.Exit(2)
 	}
+	buf := make([]packet.Packet, batchSize)
 	for _, path := range os.Args[1:] {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatalf("tracedump: %v", err)
-		}
-		r, err := trace.NewReader(f)
-		if err != nil {
-			f.Close()
-			log.Fatalf("tracedump: %s: %v", path, err)
-		}
-		tr, err := r.ReadAll()
-		f.Close()
+		sum, err := summarize(path, buf)
 		if err != nil {
 			log.Fatalf("tracedump: %s: %v", path, err)
 		}
 		fmt.Printf("== %s ==\n", path)
-		trace.Summarize(tr).Render(os.Stdout)
+		sum.Render(os.Stdout)
 		fmt.Println()
+	}
+}
+
+// summarize prefers the mmap fast path and falls back to the streaming
+// reader when the file cannot be mapped or even opened by mmtrace (e.g. a
+// non-regular file). Truncation is a warning, not an error: the intact
+// prefix is still worth summarizing.
+func summarize(path string, buf []packet.Packet) (trace.Summary, error) {
+	t, err := mmtrace.Open(path)
+	if err != nil && t == nil {
+		if errors.Is(err, trace.ErrBadMagic) {
+			return trace.Summary{}, err
+		}
+		return summarizeStream(path, buf)
+	}
+	defer t.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracedump: warning: %s: %v (summarizing the intact prefix)\n", path, err)
+	}
+	acc := trace.NewSummarizer()
+	for off := 0; off < t.Frames(); off += len(buf) {
+		n, _ := t.DecodeBatch(off, buf)
+		acc.Add(buf[:n])
+	}
+	return acc.Summary(), nil
+}
+
+func summarizeStream(path string, buf []packet.Packet) (trace.Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Summary{}, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return trace.Summary{}, err
+	}
+	acc := trace.NewSummarizer()
+	for {
+		n, err := r.ReadBatch(buf)
+		acc.Add(buf[:n])
+		if err == io.EOF {
+			return acc.Summary(), nil
+		}
+		if err != nil {
+			var te *trace.TruncatedError
+			if errors.As(err, &te) {
+				fmt.Fprintf(os.Stderr, "tracedump: warning: %s: %v (summarizing the intact prefix)\n", path, err)
+				return acc.Summary(), nil
+			}
+			return trace.Summary{}, err
+		}
 	}
 }

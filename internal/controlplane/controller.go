@@ -323,6 +323,23 @@ func (c *Controller) ProcessParallel(ps []packet.Packet, workers int) {
 	pool.Process(snap, ps, workers)
 }
 
+// ProcessSource drains a pull-based packet source (the mmap replay ring,
+// internal/mmtrace) through the controller's persistent worker pool,
+// returning when the source is exhausted. Every worker reloads the
+// RCU-published snapshot per batch, so task deploys, freezes, and resizes
+// issued mid-replay take effect at the next batch boundary — replay
+// behaves exactly like live traffic under on-the-fly reconfiguration. In
+// sharded mode each batch holds the procGate shared, so drains and
+// queries interleave with a long replay instead of stalling behind it.
+func (c *Controller) ProcessSource(src core.BatchSource) {
+	pool := c.workerPool()
+	var gate *sync.RWMutex
+	if c.sharded {
+		gate = &c.procGate
+	}
+	pool.ProcessSource(c.snap.Load, src, gate)
+}
+
 // workerPool returns the controller's persistent pool, starting it on
 // first use (Config.Workers workers, lane-owning in sharded mode).
 func (c *Controller) workerPool() *core.WorkerPool {

@@ -31,7 +31,25 @@ type WorkerPool struct {
 type poolJob struct {
 	snap *Snapshot
 	seg  []packet.Packet
+	// Source-drain jobs (ProcessSource) set src and load instead of
+	// snap/seg: the worker pulls batches from src until exhaustion,
+	// reloading the snapshot per batch so on-the-fly reconfiguration stays
+	// visible mid-replay. gate, when non-nil, is held shared around each
+	// batch (the sharded engine's procGate: drains need lane exclusivity).
+	src  BatchSource
+	load func() *Snapshot
+	gate *sync.RWMutex
 	wg   *sync.WaitGroup
+}
+
+// BatchSource feeds pool workers packet batches — the pull-side contract
+// of the replay path (internal/mmtrace.Replayer implements it over an
+// mmap-backed span ring). Next returns the next batch for worker w, or nil
+// when the source is exhausted; the returned slice is owned by the source
+// and valid only until w's next call. Next must be safe for concurrent
+// calls with distinct w.
+type BatchSource interface {
+	Next(w int) []packet.Packet
 }
 
 // NewWorkerPool starts a pool of n long-lived workers (n <= 0 takes
@@ -65,6 +83,11 @@ func (p *WorkerPool) run(id int) {
 		pc.Ctx.Shard = int32(id)
 	}
 	for j := range p.jobs {
+		if j.src != nil {
+			p.drainSource(pc, id, j)
+			j.wg.Done()
+			continue
+		}
 		for i := range j.seg {
 			j.snap.Process(pc, &j.seg[i])
 		}
@@ -72,6 +95,31 @@ func (p *WorkerPool) run(id int) {
 		// scrape-exact once the caller's Process returns.
 		pc.teleFlush()
 		j.wg.Done()
+	}
+}
+
+// drainSource pulls batches from a source job until exhaustion. Each batch
+// runs against a freshly loaded snapshot under a shared gate acquisition,
+// so control-plane mutations (republish, drain, resize) interleave with a
+// long replay at batch granularity instead of waiting for the whole
+// stream.
+func (p *WorkerPool) drainSource(pc *ProcCtx, id int, j poolJob) {
+	for {
+		ps := j.src.Next(id)
+		if ps == nil {
+			return
+		}
+		if j.gate != nil {
+			j.gate.RLock()
+		}
+		snap := j.load()
+		for i := range ps {
+			snap.Process(pc, &ps[i])
+		}
+		pc.teleFlush()
+		if j.gate != nil {
+			j.gate.RUnlock()
+		}
 	}
 }
 
@@ -115,6 +163,21 @@ func (p *WorkerPool) Process(s *Snapshot, ps []packet.Packet, shards int) {
 		}
 		wg.Add(1)
 		p.jobs <- poolJob{snap: s, seg: ps[lo:hi], wg: &wg}
+	}
+	wg.Wait()
+}
+
+// ProcessSource runs every pool worker against src until it is exhausted,
+// then returns. load supplies the snapshot — reloaded per batch, so an RCU
+// republish mid-replay takes effect at the next batch boundary. gate, when
+// non-nil, is acquired shared around each batch (pass the controller's
+// procGate in sharded mode; nil otherwise). The call allocates only the
+// per-call WaitGroup: the steady-state batch loop is allocation-free.
+func (p *WorkerPool) ProcessSource(load func() *Snapshot, src BatchSource, gate *sync.RWMutex) {
+	var wg sync.WaitGroup
+	for i := 0; i < p.workers; i++ {
+		wg.Add(1)
+		p.jobs <- poolJob{src: src, load: load, gate: gate, wg: &wg}
 	}
 	wg.Wait()
 }

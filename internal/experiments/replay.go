@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/mmtrace"
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+// ReplayEngine selects the trace-ingestion path a replay measures.
+type ReplayEngine string
+
+const (
+	// EngineReader is the seed path: trace.Reader.ReadAll materializes the
+	// whole trace into memory, then one ProcessParallel call walks it. Its
+	// ingest cost is a full copy of the trace plus an allocation of the
+	// same size — the baseline the mmap path is measured against.
+	EngineReader ReplayEngine = "reader"
+	// EngineReadBatch streams through trace.Reader.ReadBatch into a small
+	// reusable scratch, feeding ProcessParallel batch by batch — the
+	// improved legacy path for non-seekable inputs.
+	EngineReadBatch ReplayEngine = "readbatch"
+	// EngineMmap is the zero-copy path: traces are mmapped, producers
+	// enqueue frame spans on the MPMC ring, and pool workers decode spans
+	// into per-worker scratch on the fly (internal/mmtrace).
+	EngineMmap ReplayEngine = "mmap"
+)
+
+// ReplayOptions parameterizes a replay run.
+type ReplayOptions struct {
+	Paths   []string     // trace files; >1 = one ring producer per file (mmap engine)
+	Engine  ReplayEngine // ingestion path (default mmap)
+	Workers int          // pool width (0 = GOMAXPROCS)
+	Sharded bool         // sharded register lanes (PR 4) instead of shared CAS
+	Tasks   int          // CMS load tasks to deploy (< 0 = 9; 0 = none, pure-ingest measurement)
+	Batch   int          // frames per span / per ReadBatch (default 512)
+	Ring    int          // ring capacity in spans (mmap engine; default 1024)
+	Loop    time.Duration // > 0: loop the trace for at least this long (steady state)
+	Verify  bool         // afterwards: replay sequentially and compare every register
+}
+
+// Replay replays trace files through a fully loaded pipeline with the
+// selected ingestion engine and reports sustained pkts/s. With Verify set
+// it then replays the same packets through a fresh controller with the
+// sequential, deterministic ProcessBatch and asserts every task register
+// is bit-identical — the sketch-equivalence guarantee the zero-copy path
+// must preserve.
+func Replay(opt ReplayOptions) (*Table, error) {
+	if len(opt.Paths) == 0 {
+		return nil, fmt.Errorf("replay: no trace files")
+	}
+	engine := opt.Engine
+	if engine == "" {
+		engine = EngineMmap
+	}
+	tasks := opt.Tasks
+	if tasks < 0 {
+		tasks = 9
+	}
+	batch := opt.Batch
+	if batch <= 0 {
+		batch = 512
+	}
+
+	ctrl := newReplayController(opt.Workers, opt.Sharded, tasks)
+	defer ctrl.Close()
+
+	var (
+		packets uint64
+		elapsed time.Duration
+		detail  string
+		err     error
+	)
+	switch engine {
+	case EngineMmap:
+		packets, elapsed, detail, err = replayMmap(ctrl, opt, batch)
+	case EngineReader:
+		packets, elapsed, err = replayReader(ctrl, opt)
+	case EngineReadBatch:
+		packets, elapsed, err = replayReadBatch(ctrl, opt, batch)
+	default:
+		return nil, fmt.Errorf("replay: unknown engine %q", engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pps := float64(packets) / elapsed.Seconds()
+
+	t := &Table{
+		Title:  "Trace replay — sustained ingest through the loaded pipeline",
+		Header: []string{"Engine", "Packets", "Elapsed", "Mpps"},
+		Rows: [][]string{{
+			string(engine), fmt.Sprintf("%d", packets),
+			elapsed.Round(time.Millisecond).String(), f2(pps / 1e6),
+		}},
+	}
+	if detail != "" {
+		t.Notes = append(t.Notes, detail)
+	}
+	mode := "shared-CAS registers"
+	if opt.Sharded {
+		mode = "sharded register lanes"
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d workers, %d CMS tasks, %s", ctrl.Workers(), tasks, mode))
+
+	if opt.Verify {
+		if err := verifyReplay(ctrl, opt, tasks); err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, "verify: register readouts bit-identical to sequential ProcessBatch replay")
+	}
+	return t, nil
+}
+
+// newReplayController mirrors the Throughput experiment's pipeline: 9
+// groups, 64 Ki buckets per CMU, one 3-row CMS per group up to tasks.
+func newReplayController(workers int, sharded bool, tasks int) *controlplane.Controller {
+	cfg := controlplane.Config{Groups: 9, Buckets: 65536, BitWidth: 32, Workers: workers}
+	cfg.ShardedState = sharded
+	ctrl := controlplane.NewController(cfg)
+	for i := 0; i < tasks; i++ {
+		if _, err := ctrl.AddTask(controlplane.TaskSpec{
+			Name: "load", Key: packet.KeyFiveTuple,
+			Attribute: controlplane.AttrFrequency, MemBuckets: 16384, D: 3,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return ctrl
+}
+
+// replayMmap runs the zero-copy engine: mmapped traces, span ring, pool
+// workers pulling via ProcessSource.
+func replayMmap(ctrl *controlplane.Controller, opt ReplayOptions, batch int) (uint64, time.Duration, string, error) {
+	traces := make([]*mmtrace.Trace, 0, len(opt.Paths))
+	defer func() {
+		for _, t := range traces {
+			t.Close()
+		}
+	}()
+	mappedAll := true
+	for _, path := range opt.Paths {
+		t, err := mmtrace.Open(path)
+		if err != nil {
+			if t == nil {
+				return 0, 0, "", fmt.Errorf("replay: %s: %w", path, err)
+			}
+			fmt.Fprintf(os.Stderr, "replay: warning: %s: %v (replaying the intact prefix)\n", path, err)
+		}
+		mappedAll = mappedAll && t.Mapped()
+		traces = append(traces, t)
+	}
+	passes := 1
+	if opt.Loop > 0 {
+		passes = -1
+	}
+	rep, err := mmtrace.NewReplayer(mmtrace.ReplayConfig{
+		Traces:    traces,
+		Workers:   ctrl.Workers(),
+		Batch:     batch,
+		RingSpans: opt.Ring,
+		Passes:    passes,
+	})
+	if err != nil {
+		return 0, 0, "", err
+	}
+	var stopTimer *time.Timer
+	if opt.Loop > 0 {
+		stopTimer = time.AfterFunc(opt.Loop, rep.Stop)
+	}
+	start := time.Now()
+	rep.Start()
+	ctrl.ProcessSource(rep)
+	elapsed := time.Since(start)
+	if stopTimer != nil {
+		stopTimer.Stop()
+	}
+	st := rep.Stats()
+	mapping := "mmap"
+	if !mappedAll {
+		mapping = "ReaderAt fallback"
+	}
+	detail := fmt.Sprintf("%s, %d producers, ring cap %d spans, stalls push=%d pop=%d",
+		mapping, len(traces), st.Ring.Cap, st.Ring.PushStalls, st.Ring.PopStalls)
+	return st.Packets, elapsed, detail, nil
+}
+
+// replayReader is the seed path: materialize everything, then process.
+// Loop mode repeats the whole cycle — including the re-read — because the
+// materialization is exactly the ingest cost being measured.
+func replayReader(ctrl *controlplane.Controller, opt ReplayOptions) (uint64, time.Duration, error) {
+	var packets uint64
+	start := time.Now()
+	for {
+		for _, path := range opt.Paths {
+			f, err := os.Open(path)
+			if err != nil {
+				return 0, 0, fmt.Errorf("replay: %w", err)
+			}
+			r, err := trace.NewReader(f)
+			if err != nil {
+				f.Close()
+				return 0, 0, fmt.Errorf("replay: %s: %v", path, err)
+			}
+			tr, err := r.ReadAll()
+			f.Close()
+			if err != nil {
+				return 0, 0, fmt.Errorf("replay: %s: %v", path, err)
+			}
+			ctrl.ProcessParallel(tr.Packets, ctrl.Workers())
+			packets += uint64(len(tr.Packets))
+		}
+		if opt.Loop <= 0 || time.Since(start) >= opt.Loop {
+			return packets, time.Since(start), nil
+		}
+	}
+}
+
+// replayReadBatch streams each file through Reader.ReadBatch into one
+// reusable scratch slab, processing batch by batch.
+func replayReadBatch(ctrl *controlplane.Controller, opt ReplayOptions, batch int) (uint64, time.Duration, error) {
+	buf := make([]packet.Packet, batch*maxInt(ctrl.Workers(), 1))
+	var packets uint64
+	start := time.Now()
+	for {
+		for _, path := range opt.Paths {
+			n, err := streamFile(ctrl, path, buf)
+			packets += n
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		if opt.Loop <= 0 || time.Since(start) >= opt.Loop {
+			return packets, time.Since(start), nil
+		}
+	}
+}
+
+func streamFile(ctrl *controlplane.Controller, path string, buf []packet.Packet) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("replay: %w", err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return 0, fmt.Errorf("replay: %s: %v", path, err)
+	}
+	var packets uint64
+	for {
+		n, err := r.ReadBatch(buf)
+		if n > 0 {
+			ctrl.ProcessParallel(buf[:n], ctrl.Workers())
+			packets += uint64(n)
+		}
+		if err == io.EOF {
+			return packets, nil
+		}
+		if err != nil {
+			return packets, fmt.Errorf("replay: %s: %v", path, err)
+		}
+	}
+}
+
+// verifyReplay replays opt.Paths once, sequentially and deterministically
+// (ProcessBatch on a fresh controller with the same task layout), and
+// compares every task's raw registers against ctrl's. A single differing
+// bucket fails the run. Loop-mode runs cannot verify (the pass count under
+// a deadline is not reproducible).
+func verifyReplay(ctrl *controlplane.Controller, opt ReplayOptions, tasks int) error {
+	if opt.Loop > 0 {
+		return fmt.Errorf("replay: -replay-verify requires a single-pass replay (no loop)")
+	}
+	ref := newReplayController(1, false, tasks)
+	defer ref.Close()
+	buf := make([]packet.Packet, 4096)
+	for _, path := range opt.Paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("replay: verify: %w", err)
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("replay: verify: %s: %v", path, err)
+		}
+		for {
+			n, err := r.ReadBatch(buf)
+			if n > 0 {
+				ref.ProcessBatch(buf[:n])
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// The replay engines process a truncated file's intact
+				// prefix; match that here.
+				fmt.Fprintf(os.Stderr, "replay: verify: %s: %v\n", path, err)
+				break
+			}
+		}
+		f.Close()
+	}
+	for _, task := range ctrl.Tasks() {
+		got, err := ctrl.ReadRegisters(task.ID)
+		if err != nil {
+			return fmt.Errorf("replay: verify: %w", err)
+		}
+		want, err := ref.ReadRegisters(task.ID)
+		if err != nil {
+			return fmt.Errorf("replay: verify: %w", err)
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("replay: verify: task %d: %d rows vs %d", task.ID, len(got), len(want))
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					return fmt.Errorf("replay: verify: task %d row %d bucket %d: got %d, want %d",
+						task.ID, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+package mmtrace
+
+import (
+	"encoding/binary"
+
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+// FrameView is a lazy view of one trace record: a window into the mapped
+// buffer that decodes individual fields only when asked. Tools that touch a
+// couple of fields per record (filters, samplers, tracedump's summary pass)
+// skip the cost of decoding the other seven; paths that need the whole
+// packet call Decode, which uses the exact codec trace.Reader uses, so both
+// ingestion paths are bit-identical by construction.
+//
+// A FrameView aliases its Trace's mapping and is invalid after Close.
+type FrameView []byte
+
+// SrcIP returns the record's source address.
+func (v FrameView) SrcIP() uint32 { return binary.LittleEndian.Uint32(v[0:]) }
+
+// DstIP returns the record's destination address.
+func (v FrameView) DstIP() uint32 { return binary.LittleEndian.Uint32(v[4:]) }
+
+// SrcPort returns the record's source port.
+func (v FrameView) SrcPort() uint16 { return binary.LittleEndian.Uint16(v[8:]) }
+
+// DstPort returns the record's destination port.
+func (v FrameView) DstPort() uint16 { return binary.LittleEndian.Uint16(v[10:]) }
+
+// Proto returns the record's IP protocol number.
+func (v FrameView) Proto() uint8 { return v[12] }
+
+// Size returns the record's packet length in bytes.
+func (v FrameView) Size() uint32 { return binary.LittleEndian.Uint32(v[16:]) }
+
+// TimestampNs returns the record's capture timestamp.
+func (v FrameView) TimestampNs() uint64 { return binary.LittleEndian.Uint64(v[20:]) }
+
+// QueueLength returns the record's switch queue depth.
+func (v FrameView) QueueLength() uint32 { return binary.LittleEndian.Uint32(v[28:]) }
+
+// QueueDelayNs returns the record's queueing delay.
+func (v FrameView) QueueDelayNs() uint32 { return binary.LittleEndian.Uint32(v[32:]) }
+
+// Decode materializes the full packet into p.
+func (v FrameView) Decode(p *packet.Packet) { trace.DecodeRecord(v, p) }

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package mmtrace
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes Open take the io.ReaderAt fallback on platforms without
+// a memory-mapping shim.
+var errNoMmap = errors.New("mmtrace: mmap not supported on this platform")
+
+func mapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func unmapFile(data []byte) error { return nil }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package mmtrace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared. An empty file maps to
+// an empty (non-nil) slice so the zero-frame trace works uniformly.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return []byte{}, nil
+	}
+	if size < 0 || size > int64(maxMapBytes) {
+		return nil, fmt.Errorf("mmtrace: trace size %d out of range", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmtrace: mmap: %w", err)
+	}
+	return data, nil
+}
+
+func unmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

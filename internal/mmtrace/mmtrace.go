@@ -1,0 +1,216 @@
+// Package mmtrace is FlyMon's zero-copy trace-ingestion layer: it maps
+// FLYMTRC trace files into memory and hands the compiled engine views into
+// the mapped buffer instead of materializing every packet up front.
+//
+// The legacy path (trace.Reader → ReadAll → []packet.Packet →
+// ProcessParallel) touches every byte three times — a bufio copy, a decode
+// into a freshly grown slice the size of the whole trace, and the engine's
+// walk over that slice — and its allocation of hundreds of megabytes per
+// replay is pure ingest overhead. Here a trace is mmapped (with a portable
+// io.ReaderAt fallback when mapping is unavailable), records are exposed as
+// lazy FrameViews over the mapped bytes, and batch decoding goes straight
+// from the page cache into small per-worker scratch slabs that stay
+// cache-resident — no intermediate buffer, no per-replay allocation, no GC
+// pressure proportional to trace size.
+//
+// On top of the mapping, a multi-producer/multi-consumer Ring (ring.go)
+// distributes frame ranges to the engine's persistent worker pool, and a
+// Replayer (replay.go) wires the two together as a core.BatchSource so
+// replay saturates the pool without per-batch channel or allocation
+// overhead.
+package mmtrace
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+// Trace is an immutable, random-access view of one FLYMTRC trace: the
+// record region of an mmapped file (or of a buffer the fallback path read).
+// All methods are safe for concurrent readers.
+type Trace struct {
+	// recs is the record region: whole records only, directly aliasing the
+	// mapped file when mapped is true.
+	recs   []byte
+	frames int
+	// raw is the full mapping handed back to munmap (nil when not mapped).
+	raw    []byte
+	mapped bool
+	// truncErr records a file that ends mid-record: the complete frames
+	// remain readable; DecodeBatch surfaces the error at the end of the
+	// stream, mirroring trace.Reader.
+	truncErr error
+}
+
+// Open maps the trace file at path. On platforms (or filesystems) where
+// mmap fails it falls back to reading the file through io.ReaderAt into
+// memory, so callers never need to care which path they got — Mapped
+// reports it for diagnostics.
+//
+// A file that ends in the middle of a record still opens: Open returns the
+// Trace over the complete frames together with a *trace.TruncatedError
+// (matching io.ErrUnexpectedEOF) naming the truncated record. Callers that
+// demand integrity treat the error as fatal; tools like tracedump warn and
+// keep the readable prefix.
+func Open(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mmtrace: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mmtrace: %w", err)
+	}
+	size := st.Size()
+	if data, err := mapFile(f, size); err == nil {
+		// The mapping outlives the descriptor; the file can be closed now.
+		f.Close()
+		t, terr := newTrace(data, true)
+		if t == nil {
+			unmapFile(data)
+			return nil, terr
+		}
+		return t, terr
+	}
+	defer f.Close()
+	return OpenReaderAt(f, size)
+}
+
+// OpenReaderAt is the portable fallback: it reads a trace of the given size
+// from r into memory and serves frames from that buffer. It costs one
+// allocation the size of the trace — the price of not having mmap — but
+// every downstream path (FrameView, DecodeBatch, the Ring) behaves
+// identically to the mapped case.
+func OpenReaderAt(r io.ReaderAt, size int64) (*Trace, error) {
+	if size < 0 || size > int64(maxMapBytes) {
+		return nil, fmt.Errorf("mmtrace: trace size %d out of range", size)
+	}
+	data := make([]byte, size)
+	if _, err := readFullAt(r, data); err != nil {
+		return nil, fmt.Errorf("mmtrace: reading trace: %w", err)
+	}
+	return NewFromBytes(data)
+}
+
+// NewFromBytes builds a Trace over an in-memory encoding (header included).
+// The buffer must not be mutated while the Trace is in use.
+func NewFromBytes(data []byte) (*Trace, error) {
+	return newTrace(data, false)
+}
+
+func newTrace(data []byte, mapped bool) (*Trace, error) {
+	if err := trace.ValidateHeader(data); err != nil {
+		return nil, err
+	}
+	body := data[trace.HeaderSize:]
+	frames := len(body) / trace.RecordSize
+	t := &Trace{
+		recs:   body[:frames*trace.RecordSize],
+		frames: frames,
+		raw:    data,
+		mapped: mapped,
+	}
+	if len(body)%trace.RecordSize != 0 {
+		t.truncErr = &trace.TruncatedError{Record: frames}
+		return t, t.truncErr
+	}
+	return t, nil
+}
+
+// maxMapBytes bounds a single trace mapping; far above any real trace, it
+// only guards against corrupt sizes on 32-bit builds.
+const maxMapBytes = 1 << 46
+
+// readFullAt fills b from r starting at offset 0, tolerating short reads.
+func readFullAt(r io.ReaderAt, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := r.ReadAt(b[n:], int64(n))
+		n += m
+		if err == io.EOF && n == len(b) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Frames returns the number of complete records in the trace.
+func (t *Trace) Frames() int { return t.frames }
+
+// Mapped reports whether the trace is served by an mmap (false = the
+// io.ReaderAt fallback buffered it in memory).
+func (t *Trace) Mapped() bool { return t.mapped }
+
+// Bytes returns the size of the record region in bytes.
+func (t *Trace) Bytes() int { return len(t.recs) }
+
+// Err returns the deferred truncation error (nil for a well-formed trace).
+func (t *Trace) Err() error { return t.truncErr }
+
+// At returns a lazy view of frame i. It aliases the mapped buffer: no
+// bytes are copied or decoded until a field accessor runs.
+func (t *Trace) At(i int) FrameView {
+	return FrameView(t.recs[i*trace.RecordSize : (i+1)*trace.RecordSize])
+}
+
+// DecodeBatch decodes up to len(dst) frames starting at frame `start` into
+// dst, reusing the caller-owned scratch, and returns the count. At the end
+// of the trace it returns io.EOF — or the *trace.TruncatedError when the
+// file ended mid-record — matching trace.Reader's streaming contract so the
+// two paths are drop-in interchangeable.
+func (t *Trace) DecodeBatch(start int, dst []packet.Packet) (int, error) {
+	if start >= t.frames {
+		return 0, t.eof()
+	}
+	n := t.frames - start
+	if n > len(dst) {
+		n = len(dst)
+	}
+	t.DecodeRange(start, dst[:n])
+	if n < len(dst) {
+		// The caller asked past the end: surface the stream end now, with
+		// the complete frames (mirrors Reader.ReadBatch's truncation case).
+		if t.truncErr != nil {
+			return n, t.truncErr
+		}
+		return n, nil
+	}
+	return n, nil
+}
+
+// DecodeRange decodes exactly len(dst) frames starting at `start` — the
+// replay hot path, with bounds established once per span rather than per
+// record. start and len(dst) must lie within Frames.
+func (t *Trace) DecodeRange(start int, dst []packet.Packet) {
+	b := t.recs[start*trace.RecordSize:]
+	for i := range dst {
+		trace.DecodeRecord(b[i*trace.RecordSize:], &dst[i])
+	}
+}
+
+func (t *Trace) eof() error {
+	if t.truncErr != nil {
+		return t.truncErr
+	}
+	return io.EOF
+}
+
+// Close releases the mapping (a no-op for in-memory traces). The Trace and
+// every FrameView derived from it are invalid afterwards.
+func (t *Trace) Close() error {
+	if !t.mapped || t.raw == nil {
+		t.raw, t.recs = nil, nil
+		return nil
+	}
+	raw := t.raw
+	t.raw, t.recs, t.mapped = nil, nil, false
+	return unmapFile(raw)
+}

@@ -1,0 +1,234 @@
+package mmtrace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flymon/internal/packet"
+)
+
+func openTestTrace(t *testing.T, n int) (*Trace, []packet.Packet) {
+	t.Helper()
+	ps := genPackets(n)
+	path, _ := writeTraceFile(t, ps)
+	tr, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr, ps
+}
+
+// TestReplayerDeliversEveryFrame drains a replayer with several concurrent
+// consumers and checks that every frame of every pass arrives exactly once
+// (tallied per frame index).
+func TestReplayerDeliversEveryFrame(t *testing.T) {
+	const frames, passes, workers = 10_000, 3, 4
+	tr, ps := openTestTrace(t, frames)
+	rep, err := NewReplayer(ReplayConfig{
+		Traces:  []*Trace{tr},
+		Workers: workers,
+		Batch:   64,
+		Passes:  passes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]atomic.Int32, frames)
+	rep.Start()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Spans are Batch-aligned and whole, so every delivered batch
+			// must be a span-aligned window of the reference slice; locate
+			// it by content and tally its frames.
+			for {
+				batch := rep.Next(w)
+				if batch == nil {
+					return
+				}
+				lo := findAlignedWindow(ps, batch, 64)
+				if lo < 0 {
+					t.Error("batch does not match any span-aligned window of the trace")
+					return
+				}
+				for i := range batch {
+					counts[lo+i].Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := rep.Packets(); got != frames*passes {
+		t.Fatalf("delivered %d packets, want %d", got, frames*passes)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != passes {
+			t.Fatalf("frame %d delivered %d times, want %d", i, c, passes)
+		}
+	}
+	if st := rep.Stats(); st.Producers != 0 {
+		t.Fatalf("producers still live: %d", st.Producers)
+	}
+}
+
+// findAlignedWindow locates batch within ps at a batch-size-aligned offset
+// (the only offsets the replayer emits).
+func findAlignedWindow(ps, batch []packet.Packet, align int) int {
+	for lo := 0; lo+len(batch) <= len(ps); lo += align {
+		match := true
+		for i := range batch {
+			if ps[lo+i] != batch[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return lo
+		}
+	}
+	return -1
+}
+
+// TestReplayerMultiTrace replays two traces (two ring producers) and
+// checks the combined delivery count.
+func TestReplayerMultiTrace(t *testing.T) {
+	trA, _ := openTestTrace(t, 3000)
+	trB, _ := openTestTrace(t, 2000)
+	rep, err := NewReplayer(ReplayConfig{
+		Traces:  []*Trace{trA, trB},
+		Workers: 2,
+		Batch:   128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start()
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				b := rep.Next(w)
+				if b == nil {
+					return
+				}
+				total.Add(uint64(len(b)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if total.Load() != 5000 {
+		t.Fatalf("delivered %d packets, want 5000", total.Load())
+	}
+}
+
+// TestReplayerStop ends a loop-mode replay: after Stop the consumers must
+// drain and Next must return nil on every worker — the goroutine-leak gate
+// for the producer side.
+func TestReplayerStop(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tr, _ := openTestTrace(t, 1000)
+	rep, err := NewReplayer(ReplayConfig{
+		Traces:  []*Trace{tr},
+		Workers: 2,
+		Batch:   64,
+		Passes:  -1, // loop forever
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep.Next(w) != nil {
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let it loop a few passes
+	rep.Stop()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumers did not drain after Stop")
+	}
+	if rep.Packets() < 1000 {
+		t.Fatalf("loop mode delivered only %d packets", rep.Packets())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after Stop: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReplayerNextZeroAlloc is the steady-state allocation gate: once the
+// replay is running, Next must not allocate.
+func TestReplayerNextZeroAlloc(t *testing.T) {
+	tr, _ := openTestTrace(t, 100_000)
+	rep, err := NewReplayer(ReplayConfig{
+		Traces:  []*Trace{tr},
+		Workers: 1,
+		Batch:   256,
+		Passes:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start()
+	defer func() {
+		rep.Stop()
+		for rep.Next(0) != nil {
+		}
+	}()
+	for i := 0; i < 16; i++ { // warm up
+		if rep.Next(0) == nil {
+			t.Fatal("replay ended during warmup")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if rep.Next(0) == nil {
+			t.Fatal("replay ended mid-measurement")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Next allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}
+
+func TestReplayerConfigValidation(t *testing.T) {
+	tr, _ := openTestTrace(t, 10)
+	if _, err := NewReplayer(ReplayConfig{Workers: 1}); err == nil {
+		t.Fatal("no traces accepted")
+	}
+	if _, err := NewReplayer(ReplayConfig{Traces: []*Trace{tr}}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	rep, err := NewReplayer(ReplayConfig{Traces: []*Trace{tr}, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start must panic")
+		}
+		for rep.Next(0) != nil {
+		}
+	}()
+	rep.Start()
+}

@@ -1,0 +1,170 @@
+package mmtrace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRingStress drives many producers and consumers through a small ring
+// (forcing wraparound and both stall paths) and verifies every span is
+// delivered exactly once. Run under -race this is the ring's memory-order
+// proof; the goroutine gate at the end asserts nothing leaks.
+func TestRingStress(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 5000
+	)
+	before := runtime.NumGoroutine()
+
+	r := NewRing(64) // small: guarantees full-ring stalls and wraparound
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			spans := make([]Span, 0, 7) // odd chunking exercises partial pushes
+			for i := 0; i < perProd; i++ {
+				spans = append(spans, Span{Src: int32(p), Lo: int64(i), Hi: int64(i + 1)})
+				if len(spans) == cap(spans) {
+					r.PushBatch(spans)
+					spans = spans[:0]
+				}
+			}
+			r.PushBatch(spans)
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		r.Close()
+	}()
+
+	var seen [producers][]int64
+	var mu sync.Mutex
+	var total atomic.Int64
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			dst := make([]Span, 5)
+			local := make([][]int64, producers)
+			for {
+				n := r.PopBatch(dst)
+				if n == 0 {
+					break
+				}
+				for _, s := range dst[:n] {
+					if s.Hi != s.Lo+1 {
+						t.Errorf("span corrupted: %+v", s)
+						return
+					}
+					local[s.Src] = append(local[s.Src], s.Lo)
+				}
+				total.Add(int64(n))
+			}
+			mu.Lock()
+			for p := range local {
+				seen[p] = append(seen[p], local[p]...)
+			}
+			mu.Unlock()
+		}()
+	}
+	cwg.Wait()
+
+	if got := total.Load(); got != producers*perProd {
+		t.Fatalf("consumed %d spans, want %d", got, producers*perProd)
+	}
+	for p := 0; p < producers; p++ {
+		marks := make([]bool, perProd)
+		for _, lo := range seen[p] {
+			if lo < 0 || lo >= perProd {
+				t.Fatalf("producer %d: span %d out of range", p, lo)
+			}
+			if marks[lo] {
+				t.Fatalf("producer %d: span %d delivered twice", p, lo)
+			}
+			marks[lo] = true
+		}
+		for i, ok := range marks {
+			if !ok {
+				t.Fatalf("producer %d: span %d never delivered", p, i)
+			}
+		}
+	}
+	st := r.Stats()
+	if st.Spans != producers*perProd {
+		t.Fatalf("ring counted %d spans, want %d", st.Spans, producers*perProd)
+	}
+	if st.Occupancy != 0 {
+		t.Fatalf("drained ring occupancy = %d", st.Occupancy)
+	}
+
+	// Goroutine-leak gate: everything the test started must exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRingCloseDrain(t *testing.T) {
+	r := NewRing(8)
+	r.PushBatch([]Span{{Lo: 1, Hi: 2}, {Lo: 2, Hi: 3}})
+	r.Close()
+	dst := make([]Span, 8)
+	if n := r.PopBatch(dst); n != 2 {
+		t.Fatalf("drained %d spans, want 2 before the closed signal", n)
+	}
+	if n := r.PopBatch(dst); n != 0 {
+		t.Fatalf("closed+empty ring returned %d spans", n)
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{0, 2}, {1, 2}, {2, 2}, {3, 4}, {700, 1024}} {
+		if got := NewRing(tc.ask).Cap(); got != tc.want {
+			t.Fatalf("NewRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRingBatchLargerThanCapacity(t *testing.T) {
+	r := NewRing(4)
+	spans := make([]Span, 10)
+	for i := range spans {
+		spans[i] = Span{Lo: int64(i), Hi: int64(i + 1)}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.PushBatch(spans) // must chunk, not deadlock on itself
+		r.Close()
+	}()
+	var got []Span
+	dst := make([]Span, 3)
+	for {
+		n := r.PopBatch(dst)
+		if n == 0 {
+			break
+		}
+		got = append(got, dst[:n]...)
+	}
+	<-done
+	if len(got) != len(spans) {
+		t.Fatalf("got %d spans, want %d", len(got), len(spans))
+	}
+	for i, s := range got {
+		if s.Lo != int64(i) {
+			t.Fatalf("span %d out of order: %+v", i, s)
+		}
+	}
+}

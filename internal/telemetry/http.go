@@ -116,6 +116,35 @@ func WriteMetricsReport(w io.Writer, rep Report) {
 	p("# TYPE flymon_fallback_rules gauge\n")
 	p("flymon_fallback_rules %d\n", dp.FallbackRules)
 
+	if rp := rep.Replay; rp != nil {
+		active := 0
+		if rp.Active {
+			active = 1
+		}
+		p("# HELP flymon_replay_active Whether a trace replay is currently attached.\n")
+		p("# TYPE flymon_replay_active gauge\n")
+		p("flymon_replay_active %d\n", active)
+		p("# HELP flymon_replay_packets_total Packets delivered to workers by the replay ring.\n")
+		p("# TYPE flymon_replay_packets_total counter\n")
+		p("flymon_replay_packets_total %d\n", rp.Packets)
+		p("# HELP flymon_replay_producers Producer goroutines still feeding the ring.\n")
+		p("# TYPE flymon_replay_producers gauge\n")
+		p("flymon_replay_producers %d\n", rp.Producers)
+		p("# HELP flymon_replay_ring_capacity Span capacity of the replay ring.\n")
+		p("# TYPE flymon_replay_ring_capacity gauge\n")
+		p("flymon_replay_ring_capacity %d\n", rp.RingCap)
+		p("# HELP flymon_replay_ring_occupancy Spans enqueued but not yet consumed.\n")
+		p("# TYPE flymon_replay_ring_occupancy gauge\n")
+		p("flymon_replay_ring_occupancy %d\n", rp.RingOccupancy)
+		p("# HELP flymon_replay_ring_spans_total Spans ever published to the ring.\n")
+		p("# TYPE flymon_replay_ring_spans_total counter\n")
+		p("flymon_replay_ring_spans_total %d\n", rp.RingSpans)
+		p("# HELP flymon_replay_ring_stalls_total Ring waits by side (push = ring full, pop = ring empty).\n")
+		p("# TYPE flymon_replay_ring_stalls_total counter\n")
+		p("flymon_replay_ring_stalls_total{side=\"push\"} %d\n", rp.PushStalls)
+		p("flymon_replay_ring_stalls_total{side=\"pop\"} %d\n", rp.PopStalls)
+	}
+
 	cp := rep.ControlPlane
 	p("# HELP flymon_snapshot_version Monotonic version of the published pipeline snapshot.\n")
 	p("# TYPE flymon_snapshot_version gauge\n")

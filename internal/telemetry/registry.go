@@ -145,6 +145,10 @@ type Report struct {
 	RPCClient    RPCReport    `json:"rpc_client"`
 	RPCServer    RPCReport    `json:"rpc_server"`
 	Fleet        FleetReport  `json:"fleet"`
+	// Replay is present once a trace replay has been attached
+	// (SetReplaySource); it stays after the replay ends, latched at the
+	// final counters.
+	Replay *ReplayReport `json:"replay,omitempty"`
 }
 
 // Registry is the root object every layer hangs its instruments off. One
@@ -172,6 +176,8 @@ type Registry struct {
 
 	srcMu  sync.Mutex
 	source DataPlaneSource
+
+	replay replayHook
 }
 
 // NewRegistry builds an empty registry with a DefaultJournalSize journal.
@@ -320,8 +326,13 @@ func (r *Registry) Report() Report {
 	} else {
 		dp = r.FoldDataPlane(LiveSample{})
 	}
+	var replay *ReplayReport
+	if rep, ok := r.replay.report(); ok {
+		replay = &rep
+	}
 	return Report{
 		UptimeNs:  time.Since(r.start).Nanoseconds(),
+		Replay:    replay,
 		DataPlane: dp,
 		ControlPlane: ControlPlane{
 			SnapshotVersion: r.version.Load(),

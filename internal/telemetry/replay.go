@@ -1,0 +1,70 @@
+package telemetry
+
+import "sync"
+
+// ReplayReport is the replay-ingestion section of a Report: how far a
+// trace replay has progressed and how the span ring between the mmap
+// producers and the pool workers is behaving. Occupancy near capacity
+// with push stalls means the sketch engine is the bottleneck; occupancy
+// near zero with pop stalls means ingestion is.
+type ReplayReport struct {
+	Active        bool   `json:"active"`
+	Packets       uint64 `json:"packets"`
+	Producers     int    `json:"producers"`
+	RingCap       int    `json:"ring_cap"`
+	RingOccupancy int    `json:"ring_occupancy"`
+	RingSpans     uint64 `json:"ring_spans"`
+	PushStalls    uint64 `json:"push_stalls"`
+	PopStalls     uint64 `json:"pop_stalls"`
+}
+
+// ReplaySource is implemented by the replay driver (mmtrace.Replayer); the
+// Registry polls it at scrape time while a replay is attached.
+type ReplaySource interface {
+	TelemetryReplay() ReplayReport
+}
+
+// replayHook holds the currently attached replay source. Detaching latches
+// the source's final report so post-replay scrapes still show totals.
+type replayHook struct {
+	mu    sync.Mutex
+	src   ReplaySource
+	final ReplayReport
+	ever  bool
+}
+
+func (h *replayHook) attach(s ReplaySource) {
+	h.mu.Lock()
+	h.src = s
+	h.ever = h.ever || s != nil
+	h.mu.Unlock()
+}
+
+func (h *replayHook) detach(s ReplaySource) {
+	h.mu.Lock()
+	if h.src == s && s != nil {
+		h.final = s.TelemetryReplay()
+		h.final.Active = false
+		h.src = nil
+	}
+	h.mu.Unlock()
+}
+
+func (h *replayHook) report() (ReplayReport, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.src != nil {
+		rep := h.src.TelemetryReplay()
+		rep.Active = true
+		return rep, true
+	}
+	return h.final, h.ever
+}
+
+// SetReplaySource attaches a live replay to the registry; /metrics gains
+// the flymon_replay_* family while it runs.
+func (r *Registry) SetReplaySource(s ReplaySource) { r.replay.attach(s) }
+
+// ClearReplaySource detaches s (if still attached), latching its final
+// counters so they survive into post-replay scrapes.
+func (r *Registry) ClearReplaySource(s ReplaySource) { r.replay.detach(s) }

@@ -1,0 +1,194 @@
+package trace_test
+
+// Cross-path conformance: the streaming trace.Reader and the mmap decoder
+// (internal/mmtrace) must be interchangeable — bit-identical packets from
+// the same bytes, and the same *trace.TruncatedError record index for the
+// same damage. The tests live in an external package so they can hold both
+// ends of the contract at once.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"flymon/internal/mmtrace"
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+// encodeTrace writes ps in the FLYMTRC format.
+func encodeTrace(t testing.TB, ps []packet.Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if err := w.WritePacket(&ps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readerPackets drains data through trace.Reader.ReadBatch, returning the
+// decoded packets and the terminal error (io.EOF for a clean end).
+func readerPackets(data []byte) ([]packet.Packet, error) {
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var out []packet.Packet
+	buf := make([]packet.Packet, 37) // deliberately odd batch size
+	for {
+		n, err := r.ReadBatch(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// mmapPackets decodes data through the mmtrace in-memory path (the same
+// code the mmap path runs), returning packets and the terminal error.
+func mmapPackets(data []byte) ([]packet.Packet, error) {
+	t, err := mmtrace.NewFromBytes(data)
+	if err != nil && t == nil {
+		return nil, err
+	}
+	var out []packet.Packet
+	buf := make([]packet.Packet, 37)
+	for off := 0; ; {
+		n, derr := t.DecodeBatch(off, buf)
+		out = append(out, buf[:n]...)
+		off += n
+		if derr != nil || n < len(buf) {
+			if derr == nil {
+				derr = t.Err()
+				if derr == nil {
+					derr = io.EOF
+				}
+			}
+			return out, derr
+		}
+	}
+}
+
+func TestTruncationConformance(t *testing.T) {
+	tr := trace.Generate(trace.Config{Flows: 8, Packets: 50, Seed: 31})
+	full := encodeTrace(t, tr.Packets)
+
+	// Every cut point: clean (record-aligned) and dirty (mid-record) ends,
+	// including the degenerate header-only and cut-header cases.
+	for cut := len(full); cut >= 0; cut-- {
+		data := full[:cut]
+		rp, rerr := readerPackets(data)
+		mp, merr := mmapPackets(data)
+		if cut < trace.HeaderSize {
+			// Both constructors must reject a short header.
+			if rerr == nil || merr == nil {
+				t.Fatalf("cut=%d: short header accepted (reader=%v mmap=%v)", cut, rerr, merr)
+			}
+			continue
+		}
+		if len(rp) != len(mp) {
+			t.Fatalf("cut=%d: reader decoded %d packets, mmap %d", cut, len(rp), len(mp))
+		}
+		for i := range rp {
+			if rp[i] != mp[i] {
+				t.Fatalf("cut=%d: packet %d differs between reader and mmap", cut, i)
+			}
+		}
+		body := cut - trace.HeaderSize
+		if body%trace.RecordSize == 0 {
+			if rerr != io.EOF || merr != io.EOF {
+				t.Fatalf("cut=%d: clean end must be io.EOF from both (reader=%v mmap=%v)", cut, rerr, merr)
+			}
+			continue
+		}
+		var rte, mte *trace.TruncatedError
+		if !errors.As(rerr, &rte) || !errors.As(merr, &mte) {
+			t.Fatalf("cut=%d: mid-record end must be TruncatedError from both (reader=%v mmap=%v)", cut, rerr, merr)
+		}
+		if !errors.Is(rerr, io.ErrUnexpectedEOF) || !errors.Is(merr, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: truncation must match io.ErrUnexpectedEOF", cut)
+		}
+		if rte.Record != mte.Record {
+			t.Fatalf("cut=%d: reader blames record %d, mmap blames record %d", cut, rte.Record, mte.Record)
+		}
+		if want := body / trace.RecordSize; rte.Record != want {
+			t.Fatalf("cut=%d: blamed record %d, want %d", cut, rte.Record, want)
+		}
+	}
+}
+
+// FuzzFrameViewEquivalence fuzzes raw byte streams into both ingestion
+// paths and requires identical packets, identical error classes, and —
+// for the frames both accept — field-level agreement between the lazy
+// FrameView accessors and the Reader's decoded packets.
+func FuzzFrameViewEquivalence(f *testing.F) {
+	tr := trace.Generate(trace.Config{Flows: 3, Packets: 5, Seed: 32})
+	valid := encodeTrace(f, tr.Packets)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-17])
+	f.Add(valid[:trace.HeaderSize])
+	f.Add([]byte("FLYMTRC\x01 garbage that is not a whole record"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rp, rerr := readerPackets(data)
+		mp, merr := mmapPackets(data)
+		if (rerr == nil) != (merr == nil) {
+			t.Fatalf("acceptance differs: reader=%v mmap=%v", rerr, merr)
+		}
+		if rerr != nil && merr != nil && len(data) >= trace.HeaderSize {
+			// Same class of failure: both clean EOF, or both truncated with
+			// the same record index, or both bad-magic.
+			switch {
+			case rerr == io.EOF || merr == io.EOF:
+				if rerr != merr {
+					t.Fatalf("EOF class differs: reader=%v mmap=%v", rerr, merr)
+				}
+			case errors.Is(rerr, io.ErrUnexpectedEOF) || errors.Is(merr, io.ErrUnexpectedEOF):
+				var rte, mte *trace.TruncatedError
+				if !errors.As(rerr, &rte) || !errors.As(merr, &mte) || rte.Record != mte.Record {
+					t.Fatalf("truncation differs: reader=%v mmap=%v", rerr, merr)
+				}
+			}
+		}
+		if len(rp) != len(mp) {
+			t.Fatalf("reader decoded %d packets, mmap %d", len(rp), len(mp))
+		}
+		for i := range rp {
+			if rp[i] != mp[i] {
+				t.Fatalf("packet %d differs", i)
+			}
+		}
+		// Lazy accessors agree with the eager decode, frame by frame.
+		mt, err := mmtrace.NewFromBytes(data)
+		if err != nil && mt == nil {
+			return
+		}
+		for i := 0; i < mt.Frames() && i < len(rp); i++ {
+			v := mt.At(i)
+			p := rp[i]
+			if v.SrcIP() != p.SrcIP || v.DstIP() != p.DstIP ||
+				v.SrcPort() != p.SrcPort || v.DstPort() != p.DstPort ||
+				v.Proto() != p.Proto || v.Size() != p.Size ||
+				v.TimestampNs() != p.TimestampNs ||
+				v.QueueLength() != p.QueueLength || v.QueueDelayNs() != p.QueueDelayNs {
+				t.Fatalf("frame %d: lazy accessors disagree with Reader decode", i)
+			}
+			var q packet.Packet
+			v.Decode(&q)
+			if q != p {
+				t.Fatalf("frame %d: FrameView.Decode disagrees with Reader decode", i)
+			}
+		}
+	})
+}

@@ -27,30 +27,62 @@ type Summary struct {
 // heavyThresholds are the per-flow packet counts Summarize tallies.
 var heavyThresholds = []uint64{64, 256, 1024, 4096}
 
-// Summarize scans the trace once and aggregates its Summary.
-func Summarize(t *Trace) Summary {
-	s := Summary{HeavyFlows: make(map[uint64]int)}
-	s.Packets = t.Len()
-	if s.Packets == 0 {
+// Summarizer accumulates a Summary incrementally, so streaming ingestion
+// paths (Reader.ReadBatch, the mmap decoder) can summarize a trace batch by
+// batch without materializing it in memory.
+type Summarizer struct {
+	packets int
+	bytes   uint64
+	flows   map[packet.CanonicalKey]uint64
+	srcs    map[uint32]bool
+	dsts    map[uint32]bool
+	minTS   uint64
+	maxTS   uint64
+}
+
+// NewSummarizer returns an empty accumulator.
+func NewSummarizer() *Summarizer {
+	return &Summarizer{
+		flows: make(map[packet.CanonicalKey]uint64),
+		srcs:  make(map[uint32]bool),
+		dsts:  make(map[uint32]bool),
+		minTS: ^uint64(0),
+	}
+}
+
+// Add folds a batch of packets into the accumulator.
+func (a *Summarizer) Add(ps []packet.Packet) {
+	for i := range ps {
+		p := &ps[i]
+		a.packets++
+		a.bytes += uint64(p.Size)
+		a.flows[packet.KeyFiveTuple.Extract(p)]++
+		a.srcs[p.SrcIP] = true
+		a.dsts[p.DstIP] = true
+		if p.TimestampNs < a.minTS {
+			a.minTS = p.TimestampNs
+		}
+		if p.TimestampNs > a.maxTS {
+			a.maxTS = p.TimestampNs
+		}
+	}
+}
+
+// Summary finalizes and returns the accumulated statistics. The accumulator
+// stays usable: more batches may be added and Summary called again.
+func (a *Summarizer) Summary() Summary {
+	s := Summary{Packets: a.packets, HeavyFlows: make(map[uint64]int)}
+	if a.packets == 0 {
 		return s
 	}
-	flows := make(map[packet.CanonicalKey]uint64)
-	srcs := make(map[uint32]bool)
-	dsts := make(map[uint32]bool)
-	for i := range t.Packets {
-		p := &t.Packets[i]
-		s.Bytes += uint64(p.Size)
-		flows[packet.KeyFiveTuple.Extract(p)]++
-		srcs[p.SrcIP] = true
-		dsts[p.DstIP] = true
-	}
-	s.DurationNs = t.Packets[s.Packets-1].TimestampNs - t.Packets[0].TimestampNs
-	s.Flows = len(flows)
-	s.SrcIPs = len(srcs)
-	s.DstIPs = len(dsts)
+	s.Bytes = a.bytes
+	s.DurationNs = a.maxTS - a.minTS
+	s.Flows = len(a.flows)
+	s.SrcIPs = len(a.srcs)
+	s.DstIPs = len(a.dsts)
 
-	counts := make([]uint64, 0, len(flows))
-	for _, c := range flows {
+	counts := make([]uint64, 0, len(a.flows))
+	for _, c := range a.flows {
 		counts = append(counts, c)
 		for _, th := range heavyThresholds {
 			if c >= th {
@@ -66,6 +98,13 @@ func Summarize(t *Trace) Summary {
 	}
 	s.Top10SharePct = 100 * float64(top10) / float64(s.Packets)
 	return s
+}
+
+// Summarize scans the trace once and aggregates its Summary.
+func Summarize(t *Trace) Summary {
+	a := NewSummarizer()
+	a.Add(t.Packets)
+	return a.Summary()
 }
 
 // Render writes the summary in human-readable form.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -278,7 +279,7 @@ func TestFormatTruncatedRecord(t *testing.T) {
 	w, _ := NewWriter(&buf)
 	_ = w.WriteTrace(tr)
 	_ = w.Flush()
-	trunc := buf.Bytes()[:buf.Len()-7] // cut mid-record
+	trunc := buf.Bytes()[:buf.Len()-7] // cut mid-record: record 9 is damaged
 	r, err := NewReader(bytes.NewReader(trunc))
 	if err != nil {
 		t.Fatal(err)
@@ -286,6 +287,115 @@ func TestFormatTruncatedRecord(t *testing.T) {
 	_, err = r.ReadAll()
 	if err == nil || err == io.EOF {
 		t.Fatalf("truncated stream must fail with a non-EOF error, got %v", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation error %v does not match io.ErrUnexpectedEOF", err)
+	}
+	var te *TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("truncation error %v is not a *TruncatedError", err)
+	}
+	if te.Record != 9 {
+		t.Fatalf("truncated record index = %d, want 9", te.Record)
+	}
+
+	// The per-record path must agree with the batch path.
+	r2, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p packet.Packet
+	var perr error
+	for {
+		if perr = r2.ReadPacket(&p); perr != nil {
+			break
+		}
+	}
+	var te2 *TruncatedError
+	if !errors.As(perr, &te2) || te2.Record != te.Record {
+		t.Fatalf("ReadPacket truncation = %v, ReadBatch truncation = %v; indexes must agree", perr, err)
+	}
+}
+
+func TestReadBatch(t *testing.T) {
+	tr := Generate(Config{Flows: 20, Packets: 1000, Seed: 13})
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.WriteTrace(tr)
+	_ = w.Flush()
+	encoded := buf.Bytes()
+
+	// Batch size that does not divide the trace: the tail batch is short
+	// with a nil error, and the following call returns (0, io.EOF).
+	r, err := NewReader(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]packet.Packet, 96)
+	var got []packet.Packet
+	for {
+		n, err := r.ReadBatch(dst)
+		if n > 0 {
+			got = append(got, dst[:n]...)
+		}
+		if err == io.EOF {
+			if n != 0 {
+				t.Fatalf("EOF with %d records; EOF must be bare", n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != tr.Len() {
+		t.Fatalf("ReadBatch streamed %d packets, want %d", len(got), tr.Len())
+	}
+	for i := range got {
+		if got[i] != tr.Packets[i] {
+			t.Fatalf("packet %d differs from the written trace", i)
+		}
+	}
+
+	// A batch larger than the remaining stream returns everything at once.
+	r2, _ := NewReader(bytes.NewReader(encoded))
+	big := make([]packet.Packet, 2*tr.Len())
+	n, err := r2.ReadBatch(big)
+	if n != tr.Len() || err != nil {
+		t.Fatalf("oversized batch = (%d, %v), want (%d, nil)", n, err, tr.Len())
+	}
+	if n, err := r2.ReadBatch(big); n != 0 || err != io.EOF {
+		t.Fatalf("drained reader = (%d, %v), want (0, io.EOF)", n, err)
+	}
+
+	// Empty destination is a no-op.
+	r3, _ := NewReader(bytes.NewReader(encoded))
+	if n, err := r3.ReadBatch(nil); n != 0 || err != nil {
+		t.Fatalf("nil batch = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestReadBatchTruncatedDeliversPrefix(t *testing.T) {
+	tr := Generate(Config{Flows: 5, Packets: 7, Seed: 14})
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.WriteTrace(tr)
+	_ = w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r, _ := NewReader(bytes.NewReader(trunc))
+	dst := make([]packet.Packet, 16)
+	n, err := r.ReadBatch(dst)
+	if n != 6 {
+		t.Fatalf("truncated batch delivered %d records, want the 6 intact ones", n)
+	}
+	var te *TruncatedError
+	if !errors.As(err, &te) || te.Record != 6 {
+		t.Fatalf("truncation error = %v, want TruncatedError{Record: 6}", err)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != tr.Packets[i] {
+			t.Fatalf("intact prefix record %d corrupted", i)
+		}
 	}
 }
 
