@@ -3,6 +3,7 @@ BENCH_OUT ?= bench_results.txt
 SCALING_OUT ?= bench_scaling.txt
 TELEMETRY_OUT ?= bench_telemetry.txt
 REPLAY_OUT ?= bench_replay.txt
+FRAMES_OUT ?= bench_frames.txt
 
 # Hot-path benchmarks whose numbers back the concurrency claims in
 # DESIGN.md. -cpu 1,4 shows the parallel path's scaling; -count=5 gives
@@ -15,12 +16,12 @@ SCALING_BENCH = BenchmarkProcessParallelModes|BenchmarkShardDrain
 
 .PHONY: all check vet build test race race-concurrency chaos bench bench-allocs \
 	bench-full bench-scaling bench-smoke bench-telemetry bench-telemetry-smoke \
-	bench-replay bench-replay-smoke bench-compare clean
+	bench-replay bench-replay-smoke bench-frames bench-frames-smoke bench-compare clean
 
 all: check
 
 check: vet build race chaos bench-smoke bench-telemetry-smoke bench-replay-smoke \
-	bench-allocs
+	bench-frames-smoke bench-allocs
 
 # chaos runs the control-channel fault-injection suite under -race: the
 # faultnet transport tests, the resilient-client recovery paths (timeouts,
@@ -64,7 +65,7 @@ bench:
 # stay at zero allocations per batch once steady (TestReplayerNextZeroAlloc).
 bench-allocs:
 	$(GO) test -count=1 -run 'ZeroAlloc' -v ./internal/core/ ./internal/hashing/ \
-		./internal/mmtrace/
+		./internal/mmtrace/ ./internal/controlplane/
 
 # bench-scaling runs the register-mode scaling suite across core counts
 # with the fixed trace seed baked into bench_test.go: 5 samples per mode
@@ -104,8 +105,8 @@ bench-telemetry-smoke:
 # per task load (negative = mmap faster). bench_replay.txt is the committed
 # artifact backing the ingestion numbers in DESIGN.md §14.
 bench-replay:
-	FLYMON_REPLAY_PACKETS=10000000 $(GO) test -run '^$$' -bench 'BenchmarkReplayIngest' \
-		-count=5 -cpu 1 -benchmem -timeout 0 . | tee $(REPLAY_OUT)
+	FLYMON_REPLAY_PACKETS=10000000 FLYMON_REPLAY_WARM=1 $(GO) test -run '^$$' \
+		-bench 'BenchmarkReplayIngest' -count=5 -cpu 1 -benchmem -timeout 0 . | tee $(REPLAY_OUT)
 	$(GO) run ./cmd/benchcmp -pair 'engine=reader:engine=mmap' $(REPLAY_OUT)
 
 # bench-replay-smoke is the check-gate pass: one pass over a 50k-packet
@@ -114,6 +115,25 @@ bench-replay:
 bench-replay-smoke:
 	FLYMON_REPLAY_PACKETS=50000 $(GO) test -run '^$$' -bench 'BenchmarkReplayIngest' \
 		-benchtime 1x -cpu 1 .
+
+# bench-frames measures the FrameView-native compiled engine against the
+# packet-decoding mmap path on the 10M-packet trace: 5 samples per variant,
+# page cache pre-warmed (FLYMON_REPLAY_WARM). The benchcmp pass prints the
+# mmap → frames delta per task load (negative = frames faster);
+# bench_frames.txt is the committed artifact backing DESIGN.md §15 and the
+# tentpole's >= 2x tasks=9 claim.
+bench-frames:
+	FLYMON_REPLAY_PACKETS=10000000 FLYMON_REPLAY_WARM=1 $(GO) test -run '^$$' \
+		-bench 'BenchmarkReplayIngest/engine=(mmap|frames)' -count=5 -cpu 1 -benchmem \
+		-timeout 0 . | tee $(FRAMES_OUT)
+	$(GO) run ./cmd/benchcmp -pair 'engine=mmap:engine=frames' $(FRAMES_OUT)
+
+# bench-frames-smoke is the check-gate pass: one short frames-engine run to
+# catch bit-rot in the vectorized path (a broken engine shows up as an
+# error or packet-count mismatch, not a slow number).
+bench-frames-smoke:
+	FLYMON_REPLAY_PACKETS=50000 $(GO) test -run '^$$' \
+		-bench 'BenchmarkReplayIngest/engine=frames' -benchtime 1x -cpu 1 .
 
 # bench-compare diffs two saved benchmark outputs by median ns/op:
 #   make bench OLD=...        # or bench-scaling, with BENCH_OUT/SCALING_OUT

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	flymon-bench [-scale small|full] [-seed N] [-workers N] [-sharded] [experiment ...]
-//	flymon-bench -replay trace.fmt[,trace2.fmt ...] [-replay-engine mmap|reader|readbatch]
+//	flymon-bench -replay trace.fmt[,trace2.fmt ...] [-replay-engine frames|mmap|reader|readbatch]
 //	             [-replay-loop 10s] [-replay-batch N] [-replay-ring N]
 //	             [-replay-tasks N] [-replay-verify] [-workers N] [-sharded]
 //
@@ -16,7 +16,9 @@
 // With -replay, the tool instead replays the given FLYMTRC trace files
 // through a fully loaded 9-group pipeline and reports sustained pkts/s.
 // The default engine mmaps the traces and feeds the worker pool through
-// the zero-copy span ring (internal/mmtrace); -replay-engine reader and
+// the zero-copy span ring (internal/mmtrace); -replay-engine frames runs
+// the spans through the FrameView-native compiled engine (batched digests
+// and grouped register updates, no packet materialization); reader and
 // readbatch select the legacy materialize-then-process and streaming
 // paths for comparison. -replay-loop keeps replaying for at least the
 // given duration (steady-state measurement); -replay-verify afterwards
@@ -43,7 +45,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	seriesDir := flag.String("series-dir", "", "also write fig12a's raw time series as .dat files into this directory")
 	replay := flag.String("replay", "", "replay these comma-separated FLYMTRC trace files instead of running experiments")
-	replayEngine := flag.String("replay-engine", "mmap", "replay ingestion engine: mmap, reader, or readbatch")
+	replayEngine := flag.String("replay-engine", "mmap", "replay ingestion engine: frames, mmap, reader, or readbatch")
 	replayLoop := flag.Duration("replay-loop", 0, "loop the replay for at least this long (steady-state mode)")
 	replayBatch := flag.Int("replay-batch", 0, "replay span/batch size in packets (0 = 512)")
 	replayRing := flag.Int("replay-ring", 0, "replay ring capacity in spans (0 = 1024)")
@@ -207,8 +209,10 @@ experiments:
 replay mode:
   flymon-bench -replay trace.fmt[,more.fmt]   replay traces through a loaded
     pipeline and report sustained pkts/s. -replay-engine picks the ingestion
-    path (mmap = zero-copy span ring; reader = materialize then process;
-    readbatch = streaming batches); -replay-loop runs steady-state for a
+    path (frames = FrameView-native compiled engine over the span ring, no
+    packet materialization; mmap = zero-copy span ring with per-worker
+    decode; reader = materialize then process; readbatch = streaming
+    batches); -replay-loop runs steady-state for a
     duration; -replay-verify asserts bit-identical registers vs a
     sequential replay. -workers and -sharded apply.
 `)

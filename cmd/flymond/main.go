@@ -174,7 +174,11 @@ func main() {
 		fmt.Printf("flymond: replaying %d trace(s) (loop=%v)\n", len(traces), *replayLoop)
 		go func() {
 			defer close(replayDone)
-			ctrl.ProcessSource(replayer)
+			// Frame-native drain: spans execute straight off the mmapped
+			// records; control-channel reconfigurations still land at span
+			// boundaries (an ineligible snapshot just falls back to
+			// per-frame decode inside the same call).
+			ctrl.ProcessFrameSource(replayer)
 			reg.ClearReplaySource(replayer)
 			for _, t := range traces {
 				t.Close()

@@ -281,14 +281,22 @@ func (c *Controller) Process(p *packet.Packet) {
 }
 
 // ProcessBatch pushes a packet slice through the data plane sequentially
-// on one fresh worker context, against one consistent snapshot. Identical
-// batches replay identically, and ProcessParallel(ps, 1) is bit-for-bit
-// equal to ProcessBatch(ps).
+// on one worker context, against one consistent snapshot. The context comes
+// from the controller's pool with its rng rewound to the fixed seed, so
+// identical batches replay identically — bit-for-bit what a fresh
+// NewProcCtx would compute — while the context's digest and telemetry
+// scratch stay warm across batches, keeping the per-batch path
+// allocation-free. ProcessParallel(ps, 1) is bit-for-bit equal to
+// ProcessBatch(ps).
 func (c *Controller) ProcessBatch(ps []packet.Packet) {
 	if len(ps) == 0 {
 		return
 	}
-	c.snap.Load().ProcessBatch(ps)
+	snap := c.snap.Load()
+	pc := c.ctxPool.Get().(*core.ProcCtx)
+	pc.Reseed()
+	snap.ProcessBatchCtx(pc, ps)
+	c.ctxPool.Put(pc)
 }
 
 // ProcessParallel shards a packet batch across the controller's persistent
@@ -308,11 +316,14 @@ func (c *Controller) ProcessParallel(ps []packet.Packet, workers int) {
 	if len(ps) == 0 {
 		return
 	}
-	snap := c.snap.Load()
 	if workers == 1 {
-		snap.ProcessBatch(ps)
+		// Same pooled-context sequential path as ProcessBatch: identical
+		// results, and no per-batch context allocation (the readbatch
+		// replay engine hits this arm once per batch on one-core hosts).
+		c.ProcessBatch(ps)
 		return
 	}
+	snap := c.snap.Load()
 	// Resolve the pool before taking the gate: workerPool may take c.mu,
 	// and the lock order is mu before procGate everywhere.
 	pool := c.workerPool()
@@ -338,6 +349,22 @@ func (c *Controller) ProcessSource(src core.BatchSource) {
 		gate = &c.procGate
 	}
 	pool.ProcessSource(c.snap.Load, src, gate)
+}
+
+// ProcessFrameSource drains a pull-based frame source through the worker
+// pool with the FrameView-native engine: spans of raw mmapped records
+// execute stage-at-a-time with no packet materialization, falling back to
+// per-frame decode only for snapshots the vectorizer rejects (spliced
+// groups, probabilistic rules). Reconfiguration, gating, and results are
+// identical to ProcessSource over the same frames — only the per-packet
+// decode and dispatch cost is gone.
+func (c *Controller) ProcessFrameSource(src core.FrameSource) {
+	pool := c.workerPool()
+	var gate *sync.RWMutex
+	if c.sharded {
+		gate = &c.procGate
+	}
+	pool.ProcessFrameSource(c.snap.Load, src, gate)
 }
 
 // workerPool returns the controller's persistent pool, starting it on

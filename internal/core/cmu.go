@@ -181,6 +181,15 @@ type Transform struct {
 // apply maps (p1, p2) under the transform; drop=true suppresses the
 // stateful operation for this packet.
 func (t Transform) apply(ctx *Context, p1, p2 uint32) (out1, out2 uint32, drop bool) {
+	return t.applyVals(p1, p2, ctx.PrevOld, ctx.PrevNewFlow)
+}
+
+// applyVals is apply with the context's result-bus inputs passed by value.
+// Transforms read nothing else from the Context, so the batch engine can
+// resolve prevOld/prevNew from its per-frame bus arrays and share this
+// kernel with the sequential path — the two stay equivalent by
+// construction.
+func (t Transform) applyVals(p1, p2, prevOld uint32, prevNew bool) (out1, out2 uint32, drop bool) {
 	switch t.Kind {
 	case TransformNone:
 		return p1, p2, false
@@ -207,16 +216,16 @@ func (t Transform) apply(ctx *Context, p1, p2 uint32) (out1, out2 uint32, drop b
 		}
 		return rank, p2, false
 	case TransformIntervalSub:
-		// ctx.PrevOld carries the previous arrival time read by the
-		// upstream CMU; ctx.PrevNew reports whether the Bloom-filter CMU
-		// classified the flow as new.
-		if ctx.PrevNewFlow {
+		// prevOld carries the previous arrival time read by the upstream
+		// CMU; prevNew reports whether the Bloom-filter CMU classified the
+		// flow as new.
+		if prevNew {
 			return 0, p2, false // new flow: interval initialised to 0
 		}
-		if p1 < ctx.PrevOld {
+		if p1 < prevOld {
 			return 0, p2, true
 		}
-		return p1 - ctx.PrevOld, p2, false
+		return p1 - prevOld, p2, false
 	case TransformZeroGate:
 		if p1 == 0 {
 			return t.IfZero, p2, false

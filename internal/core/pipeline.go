@@ -39,6 +39,12 @@ type ProcCtx struct {
 	telePend    uint32
 	teleRecPend uint32
 	stripe      uint32
+
+	// frames is the FrameView-native engine's stage-at-a-time scratch
+	// (frames.go); framePkt is the decode target of its per-packet fallback
+	// path. Both are cold until the first ProcessFrames call.
+	frames   frameScratch
+	framePkt packet.Packet
 }
 
 // NewProcCtx returns a fresh worker context with the deterministic seed.
@@ -69,6 +75,13 @@ func NewProcCtxUnique() *ProcCtx {
 	// counter stripes, so pool workers rarely share a counter cache line.
 	return &ProcCtx{Ctx: Context{rng: z, Shard: -1}, stripe: uint32(z)}
 }
+
+// Reseed rewinds the context's rng to the fixed deterministic seed. A
+// pooled context then behaves bit-identically to a fresh NewProcCtx — the
+// coin-flip stream restarts from the same point — while its grown scratch
+// buffers are retained, which is what makes the controller's sequential
+// batch path both deterministic and allocation-free.
+func (pc *ProcCtx) Reseed() { pc.Ctx.rng = rngSeed }
 
 // reset re-arms the context for a new packet (or a recirculated copy: a
 // fresh PHV), preserving the rng state.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"flymon/internal/mmtrace"
 	"flymon/internal/packet"
 )
 
@@ -40,6 +41,11 @@ type poolJob struct {
 	load func() *Snapshot
 	gate *sync.RWMutex
 	wg   *sync.WaitGroup
+	// Frame-drain jobs (ProcessFrameSource) set fsrc instead of src: the
+	// worker pulls raw frame spans and executes them through the
+	// FrameView-native engine (Snapshot.ProcessFrames), skipping packet
+	// materialization entirely.
+	fsrc FrameSource
 }
 
 // BatchSource feeds pool workers packet batches — the pull-side contract
@@ -50,6 +56,17 @@ type poolJob struct {
 // calls with distinct w.
 type BatchSource interface {
 	Next(w int) []packet.Packet
+}
+
+// FrameSource feeds pool workers raw trace spans — the zero-materialization
+// counterpart of BatchSource. NextFrames returns the trace and the frame
+// range [lo, hi) worker w should process next, or (nil, 0, 0) when the
+// source is exhausted. The returned trace is immutable and shared; the
+// range is exclusively w's. NextFrames must be safe for concurrent calls
+// with distinct w. internal/mmtrace.Replayer implements both contracts over
+// the same span ring.
+type FrameSource interface {
+	NextFrames(w int) (t *mmtrace.Trace, lo, hi int)
 }
 
 // NewWorkerPool starts a pool of n long-lived workers (n <= 0 takes
@@ -88,6 +105,11 @@ func (p *WorkerPool) run(id int) {
 			j.wg.Done()
 			continue
 		}
+		if j.fsrc != nil {
+			p.drainFrames(pc, id, j)
+			j.wg.Done()
+			continue
+		}
 		for i := range j.seg {
 			j.snap.Process(pc, &j.seg[i])
 		}
@@ -116,6 +138,29 @@ func (p *WorkerPool) drainSource(pc *ProcCtx, id int, j poolJob) {
 		for i := range ps {
 			snap.Process(pc, &ps[i])
 		}
+		pc.teleFlush()
+		if j.gate != nil {
+			j.gate.RUnlock()
+		}
+	}
+}
+
+// drainFrames is drainSource over raw frame spans: same batch-granular
+// snapshot reload and gate discipline, but the span executes through
+// Snapshot.ProcessFrames — the stage-at-a-time engine when the snapshot is
+// eligible, the per-frame decode fallback otherwise. Either way a mid-span
+// republish lands at the next span boundary with bit-identical results.
+func (p *WorkerPool) drainFrames(pc *ProcCtx, id int, j poolJob) {
+	for {
+		t, lo, hi := j.fsrc.NextFrames(id)
+		if t == nil {
+			return
+		}
+		if j.gate != nil {
+			j.gate.RLock()
+		}
+		snap := j.load()
+		snap.ProcessFrames(pc, t, lo, hi)
 		pc.teleFlush()
 		if j.gate != nil {
 			j.gate.RUnlock()
@@ -178,6 +223,19 @@ func (p *WorkerPool) ProcessSource(load func() *Snapshot, src BatchSource, gate 
 	for i := 0; i < p.workers; i++ {
 		wg.Add(1)
 		p.jobs <- poolJob{src: src, load: load, gate: gate, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// ProcessFrameSource is ProcessSource for a FrameSource: every worker
+// drains raw frame spans through the FrameView-native engine until the
+// source is exhausted. Snapshot reload and gate semantics are identical to
+// ProcessSource.
+func (p *WorkerPool) ProcessFrameSource(load func() *Snapshot, src FrameSource, gate *sync.RWMutex) {
+	var wg sync.WaitGroup
+	for i := 0; i < p.workers; i++ {
+		wg.Add(1)
+		p.jobs <- poolJob{fsrc: src, load: load, gate: gate, wg: &wg}
 	}
 	wg.Wait()
 }

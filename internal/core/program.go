@@ -229,6 +229,16 @@ type compiledRule struct {
 	// packet reaching its pass (first in program, match-all, unsampled) and
 	// derives its hits from the snapshot packet counter instead.
 	teleSlot int32
+
+	// fastAdd marks the frequency-sketch shape — an unconditional saturating
+	// add of a constant (OpCondAdd, constant p1, constant p2 at the
+	// saturation bound, no preparation stage and no bus production) — which
+	// the frame engine can run as one fetch-and-add per update with no
+	// witness traffic, provided nothing in the snapshot reads the result bus
+	// (Snapshot.busQuiet). fastAddFull additionally records a full-width
+	// register, the precondition for the shared-path ApplyAddBatch.
+	fastAdd     bool
+	fastAddFull bool
 }
 
 // compileRule flattens one enabled rule against its CMU's register and its
@@ -264,6 +274,11 @@ func compileRule(r *Rule, reg *dataplane.Register, unitHash []int, allowShard bo
 	default:
 		cr.addrMask = n - 1
 	}
+	cr.fastAdd = cr.op == dataplane.OpCondAdd &&
+		!cr.hasPrep && !cr.probGated && !cr.chainMin && !cr.detectNew &&
+		cr.p1.kind == ParamConst && cr.p2.kind == ParamConst &&
+		cr.p2.value&reg.Mask() == reg.Mask()
+	cr.fastAddFull = cr.fastAdd && reg.Mask() == ^uint32(0)
 	return cr
 }
 

@@ -65,6 +65,24 @@ type Snapshot struct {
 	shardedRules  int
 	fallbackRules int
 
+	// frameVec marks the snapshot eligible for the stage-at-a-time
+	// FrameView engine (frames.go): no live spliced groups (the mirror
+	// decision and recirculated pass are packet-at-a-time) and no
+	// probabilistically gated rules (the rng coin stream advances in strict
+	// packet order; a vectorized pass would reorder the flips and diverge
+	// from sequential replay). Ineligible snapshots still accept
+	// ProcessFrames — it falls back to decoding each frame and running the
+	// sequential path, so a mid-replay reconfiguration into an ineligible
+	// configuration only changes speed, never results.
+	frameVec bool
+
+	// busQuiet records that no enabled rule anywhere in the snapshot reads
+	// the cross-CMU result bus (same scan that authorizes sharding). The
+	// frame engine then skips the witness scatter entirely — every
+	// busRes/busOld/busMin/busNew write would be dead — and fastAdd rules
+	// drop to the witness-free fetch-and-add register path.
+	busQuiet bool
+
 	// Telemetry wiring (telemetry.go), present only when the pipeline had a
 	// registry attached at Compile time. telePkts/teleRec hold the packets
 	// this snapshot processed that have not yet been settled into durable
@@ -236,6 +254,17 @@ func (pl *Pipeline) Compile() *Snapshot {
 		s.teleDigMain = s.nMainHashes
 		s.teleDigSpl = len(s.hashes) - s.nMainHashes
 	}
+	s.busQuiet = allowShard
+	s.frameVec = len(s.spliced) == 0
+	for gi := range s.groups {
+		for ci := range s.groups[gi].cmus {
+			for ri := range s.groups[gi].cmus[ci].prog {
+				if s.groups[gi].cmus[ci].prog[ri].probGated {
+					s.frameVec = false
+				}
+			}
+		}
+	}
 	return s
 }
 
@@ -331,7 +360,16 @@ func (sc *snapCMU) process(ctx *Context, hashes []uint32) {
 // with one worker context. A fresh context is used per call, so replays
 // are deterministic.
 func (s *Snapshot) ProcessBatch(ps []packet.Packet) {
-	pc := NewProcCtx()
+	s.ProcessBatchCtx(NewProcCtx(), ps)
+}
+
+// ProcessBatchCtx is ProcessBatch with a caller-owned context — the
+// allocation-free sequential path for callers that pool contexts across
+// batches (the controller). For ProcessBatch's deterministic-replay
+// contract the caller must Reseed a recycled context first; without the
+// reseed the rng stream simply continues, which is what a pool that
+// interleaves batches from many callers wants.
+func (s *Snapshot) ProcessBatchCtx(pc *ProcCtx, ps []packet.Packet) {
 	for i := range ps {
 		s.Process(pc, &ps[i])
 	}

@@ -56,6 +56,21 @@ func (pc *ProcCtx) teleTick(s *Snapshot) {
 	}
 }
 
+// teleTickBatch accounts n packets at once — the batch engine's fold of n
+// teleTicks. The pending count crosses the flush cadence at most once per
+// call, so totals (the only thing the consistency contract promises) match
+// the per-packet path exactly once the worker quiesces at a batch
+// boundary.
+func (pc *ProcCtx) teleTickBatch(s *Snapshot, n int) {
+	if pc.teleSnap != s {
+		pc.teleArm(s)
+	}
+	pc.telePend += uint32(n)
+	if pc.telePend >= teleFlushEvery {
+		pc.teleFlush()
+	}
+}
+
 // teleArm flushes whatever the context owed the previous snapshot, then
 // sizes the pending-hit accumulators for s and aliases them into the PHV
 // context. The make only runs when a snapshot with more live-counted rules

@@ -1,0 +1,305 @@
+package dataplane
+
+import "sync/atomic"
+
+// Batched register application — the grouped-update half of the
+// FrameView-native engine. The packet-at-a-time paths (Apply/ShardApply)
+// pay an op-dispatch branch and a cold bucket line per update; here one
+// rule's updates for a whole frame span arrive together, so the op switch
+// is hoisted out of the loop and the target counter lines are prefetched
+// a fixed distance ahead of the read-modify-write. Per-update semantics —
+// result/old pairs, clamp accounting, CAS linearizability — are identical
+// to issuing the same updates one at a time in slice order, which is what
+// keeps the batch engine bit-identical to sequential replay.
+
+// prefetchDist is how many updates ahead the batch loops touch the target
+// bucket line. At ~1 memory-latency worth of CAS work per update, 8 keeps
+// the line fill overlapped without running past typical span tails.
+const prefetchDist = 8
+
+// prefetch touches b with an atomic load. A plain blank-assigned load may
+// be dead-code-eliminated; atomic loads never are, and loading a bucket
+// that another writer owns is race-free by definition.
+func prefetch(b *uint32) { _ = atomic.LoadUint32(b) }
+
+// ApplyBatch performs one stateful operation per element of idx against the
+// shared buckets via the CAS path, writing the per-update (result, old)
+// witnesses into result/old. It is exactly equivalent to calling Apply for
+// each element in order: per-bucket updates linearize, clamp events count
+// once per saturating update, and the witnessed pairs are the committed
+// read-modify-writes. idx, p1, p2, result, old must share a length.
+func (r *Register) ApplyBatch(op StatefulOp, idx, p1, p2, result, old []uint32) {
+	n := len(idx)
+	if n == 0 {
+		return
+	}
+	buckets := r.buckets
+	bm := uint32(len(buckets) - 1)
+	mask := r.mask
+	var clamps uint64
+	switch op {
+	case OpCondAdd:
+		for k := 0; k < n; k++ {
+			if k+prefetchDist < n {
+				prefetch(&buckets[idx[k+prefetchDist]&bm])
+			}
+			b := &buckets[idx[k]&bm]
+			p1m, p2m := p1[k]&mask, p2[k]&mask
+			for {
+				cur := atomic.LoadUint32(b)
+				if cur >= p2m {
+					result[k], old[k] = 0, cur
+					break
+				}
+				next := cur + p1m
+				clamped := false
+				if next > mask || next < cur {
+					next = mask
+					clamped = true
+				}
+				if atomic.CompareAndSwapUint32(b, cur, next) {
+					if clamped {
+						clamps++
+					}
+					result[k], old[k] = next, cur
+					break
+				}
+			}
+		}
+	case OpMax:
+		for k := 0; k < n; k++ {
+			if k+prefetchDist < n {
+				prefetch(&buckets[idx[k+prefetchDist]&bm])
+			}
+			b := &buckets[idx[k]&bm]
+			v := p1[k] & mask
+			for {
+				cur := atomic.LoadUint32(b)
+				if cur >= v {
+					result[k], old[k] = 0, cur
+					break
+				}
+				if atomic.CompareAndSwapUint32(b, cur, v) {
+					result[k], old[k] = v, cur
+					break
+				}
+			}
+		}
+	case OpAndOr:
+		for k := 0; k < n; k++ {
+			if k+prefetchDist < n {
+				prefetch(&buckets[idx[k+prefetchDist]&bm])
+			}
+			b := &buckets[idx[k]&bm]
+			for {
+				cur := atomic.LoadUint32(b)
+				next := cur
+				if p2[k] == 0 {
+					next &= p1[k] & mask
+				} else {
+					next |= p1[k] & mask
+				}
+				if atomic.CompareAndSwapUint32(b, cur, next) {
+					result[k], old[k] = next, cur
+					break
+				}
+			}
+		}
+	case OpXor:
+		for k := 0; k < n; k++ {
+			if k+prefetchDist < n {
+				prefetch(&buckets[idx[k+prefetchDist]&bm])
+			}
+			b := &buckets[idx[k]&bm]
+			for {
+				cur := atomic.LoadUint32(b)
+				next := cur ^ (p1[k] & mask)
+				if atomic.CompareAndSwapUint32(b, cur, next) {
+					result[k], old[k] = next, cur
+					break
+				}
+			}
+		}
+	case OpNone:
+		for k := 0; k < n; k++ {
+			result[k], old[k] = 0, atomic.LoadUint32(&buckets[idx[k]&bm])
+		}
+	default:
+		// Match Apply's contract for unknown ops.
+		r.Apply(op, idx[0], p1[0], p2[0])
+	}
+	if clamps != 0 {
+		atomic.AddUint64(&r.clamps, clamps)
+	}
+}
+
+// ApplyAddBatch is the saturating-add specialization of ApplyBatch for the
+// shape every frequency sketch compiles to: OpCondAdd with a constant
+// increment and the threshold at the saturation bound. The caller must
+// guarantee a full-width register (mask == ^0) — then the ceiling test
+// `cur >= p2` can only fire at the saturated value, and the CAS loop
+// collapses to one fetch-and-add per update, with a repair store on the
+// (astronomically rare) 32-bit wrap that restores Apply's clamp semantics:
+// first wrap clamps the bucket to ^0 and counts one clamp event; updates
+// against an already-saturated bucket change nothing and count nothing.
+// Single-writer streams are bit-identical to calling Apply per element;
+// concurrent writers linearize per update exactly as the CAS path does
+// (clamp accounting under a *concurrent* wrap may attribute events to a
+// different interleaving — unreachable without 2^32 increments to one
+// bucket between drains).
+func (r *Register) ApplyAddBatch(idx []uint32, p1 uint32) {
+	n := len(idx)
+	if n == 0 {
+		return
+	}
+	buckets := r.buckets
+	bm := uint32(len(buckets) - 1)
+	var clamps uint64
+	for k := 0; k < n; k++ {
+		if k+prefetchDist < n {
+			prefetch(&buckets[idx[k+prefetchDist]&bm])
+		}
+		b := &buckets[idx[k]&bm]
+		next := atomic.AddUint32(b, p1)
+		if next < p1 && p1 != 0 { // wrapped past 2^32
+			old := next - p1
+			atomic.StoreUint32(b, ^uint32(0))
+			if old != ^uint32(0) {
+				clamps++ // first saturation; re-adds to ^0 are no-ops
+			}
+		}
+	}
+	if clamps != 0 {
+		atomic.AddUint64(&r.clamps, clamps)
+	}
+}
+
+// ShardApplyAddBatch is ApplyAddBatch against a private lane: a plain
+// saturating-add loop with the increment hoisted, valid for any register
+// width (the lane tolerates exactly one writer, so no fetch-and-add trick
+// is needed). Accounting matches calling ShardApply(OpCondAdd, i, p1, ^0)
+// per element: one access per update, one clamp per saturating update,
+// saturated buckets untouched.
+func (r *Register) ShardApplyAddBatch(shard int, idx []uint32, p1 uint32) {
+	n := len(idx)
+	if n == 0 {
+		return
+	}
+	sh := &r.shards[shard]
+	sh.accesses += uint64(n)
+	lane := sh.lane
+	bm := uint32(len(lane) - 1)
+	mask := r.mask
+	p1 &= mask
+	var clamps uint64
+	for k := 0; k < n; k++ {
+		if k+prefetchDist < n {
+			prefetch(&lane[idx[k+prefetchDist]&bm])
+		}
+		i := idx[k] & bm
+		cur := lane[i]
+		if cur >= mask {
+			continue
+		}
+		next := cur + p1
+		if next > mask || next < cur {
+			next = mask
+			clamps++
+		}
+		lane[i] = next
+	}
+	if clamps != 0 {
+		atomic.AddUint64(&r.clamps, clamps)
+	}
+}
+
+// ShardApplyBatch is ApplyBatch against the given worker's private lane
+// with plain stores — the contention-free path for mergeable ops. The lane
+// tolerates exactly one writer, so the loops skip the CAS entirely; the
+// prefetch still uses an atomic load (self-owned data, race-free). Clamp
+// events and the lane's access counter account exactly as if ShardApply
+// had been called per element.
+func (r *Register) ShardApplyBatch(shard int, op StatefulOp, idx, p1, p2, result, old []uint32) {
+	n := len(idx)
+	if n == 0 {
+		return
+	}
+	sh := &r.shards[shard]
+	sh.accesses += uint64(n)
+	lane := sh.lane
+	bm := uint32(len(lane) - 1)
+	mask := r.mask
+	var clamps uint64
+	switch op {
+	case OpCondAdd:
+		for k := 0; k < n; k++ {
+			if k+prefetchDist < n {
+				prefetch(&lane[idx[k+prefetchDist]&bm])
+			}
+			i := idx[k] & bm
+			cur := lane[i]
+			if cur >= (p2[k] & mask) {
+				result[k], old[k] = 0, cur
+				continue
+			}
+			next := cur + (p1[k] & mask)
+			if next > mask || next < cur {
+				next = mask
+				clamps++
+			}
+			lane[i] = next
+			result[k], old[k] = next, cur
+		}
+	case OpMax:
+		for k := 0; k < n; k++ {
+			if k+prefetchDist < n {
+				prefetch(&lane[idx[k+prefetchDist]&bm])
+			}
+			i := idx[k] & bm
+			cur := lane[i]
+			v := p1[k] & mask
+			if cur >= v {
+				result[k], old[k] = 0, cur
+				continue
+			}
+			lane[i] = v
+			result[k], old[k] = v, cur
+		}
+	case OpAndOr:
+		for k := 0; k < n; k++ {
+			if k+prefetchDist < n {
+				prefetch(&lane[idx[k+prefetchDist]&bm])
+			}
+			i := idx[k] & bm
+			cur := lane[i]
+			next := cur
+			if p2[k] == 0 {
+				next &= p1[k] & mask
+			} else {
+				next |= p1[k] & mask
+			}
+			lane[i] = next
+			result[k], old[k] = next, cur
+		}
+	case OpXor:
+		for k := 0; k < n; k++ {
+			if k+prefetchDist < n {
+				prefetch(&lane[idx[k+prefetchDist]&bm])
+			}
+			i := idx[k] & bm
+			cur := lane[i]
+			next := cur ^ (p1[k] & mask)
+			lane[i] = next
+			result[k], old[k] = next, cur
+		}
+	case OpNone:
+		for k := 0; k < n; k++ {
+			result[k], old[k] = 0, lane[idx[k]&bm]
+		}
+	default:
+		r.applyPlain(lane, op, idx[0], p1[0], p2[0])
+	}
+	if clamps != 0 {
+		atomic.AddUint64(&r.clamps, clamps)
+	}
+}

@@ -1,0 +1,212 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestApplyBatchMatchesApply is the batched-update property test: for every
+// op, a random update stream applied through ApplyBatch must leave the
+// register — buckets, access and clamp counters — and the per-update
+// (result, old) witnesses bit-identical to applying the same stream one
+// call at a time. An 8-bit register keeps saturation (and its clamp
+// accounting) in play.
+func TestApplyBatchMatchesApply(t *testing.T) {
+	const buckets, n = 64, 4096
+	rng := rand.New(rand.NewSource(21))
+	for _, op := range []StatefulOp{OpNone, OpCondAdd, OpMax, OpAndOr, OpXor} {
+		t.Run(op.String(), func(t *testing.T) {
+			idx := make([]uint32, n)
+			p1 := make([]uint32, n)
+			p2 := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				idx[i] = uint32(rng.Intn(buckets))
+				p1[i] = uint32(rng.Intn(300))
+				switch {
+				case op == OpCondAdd && rng.Intn(4) == 0:
+					p2[i] = uint32(rng.Intn(64)) // low ceiling: exercises the cur >= p2 arm
+				case op == OpAndOr:
+					p2[i] = uint32(rng.Intn(2)) // both AND and OR branches
+				default:
+					p2[i] = ^uint32(0)
+				}
+			}
+
+			ref := NewRegister(buckets, 8)
+			wantRes := make([]uint32, n)
+			wantOld := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				wantRes[i], wantOld[i] = ref.Apply(op, idx[i], p1[i], p2[i])
+			}
+
+			got := NewRegister(buckets, 8)
+			gotRes := make([]uint32, n)
+			gotOld := make([]uint32, n)
+			got.ApplyBatch(op, idx, p1, p2, gotRes, gotOld)
+
+			for i := 0; i < n; i++ {
+				if gotRes[i] != wantRes[i] || gotOld[i] != wantOld[i] {
+					t.Fatalf("update %d: batch witnessed (%d,%d), sequential (%d,%d)",
+						i, gotRes[i], gotOld[i], wantRes[i], wantOld[i])
+				}
+			}
+			for b := uint32(0); b < buckets; b++ {
+				if got.Read(b) != ref.Read(b) {
+					t.Fatalf("bucket %d: batch %d, sequential %d", b, got.Read(b), ref.Read(b))
+				}
+			}
+			if got.Accesses() != ref.Accesses() {
+				t.Fatalf("accesses: batch %d, sequential %d", got.Accesses(), ref.Accesses())
+			}
+			if got.Clamps() != ref.Clamps() {
+				t.Fatalf("clamps: batch %d, sequential %d", got.Clamps(), ref.Clamps())
+			}
+		})
+	}
+}
+
+// TestShardApplyBatchMatchesShardApply: same property through a private
+// lane, including the lane drain back into shared state.
+func TestShardApplyBatchMatchesShardApply(t *testing.T) {
+	const buckets, n, shard = 64, 4096, 1
+	rng := rand.New(rand.NewSource(22))
+	for _, op := range []StatefulOp{OpCondAdd, OpMax, OpAndOr, OpXor} {
+		t.Run(op.String(), func(t *testing.T) {
+			idx := make([]uint32, n)
+			p1 := make([]uint32, n)
+			p2 := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				idx[i] = uint32(rng.Intn(buckets))
+				p1[i] = uint32(rng.Intn(300))
+				if op == OpAndOr {
+					p2[i] = uint32(rng.Intn(2))
+				} else {
+					p2[i] = ^uint32(0)
+				}
+			}
+
+			ref := NewRegister(buckets, 8)
+			ref.EnableSharding(2)
+			wantRes := make([]uint32, n)
+			wantOld := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				wantRes[i], wantOld[i] = ref.ShardApply(shard, op, idx[i], p1[i], p2[i])
+			}
+
+			got := NewRegister(buckets, 8)
+			got.EnableSharding(2)
+			gotRes := make([]uint32, n)
+			gotOld := make([]uint32, n)
+			got.ShardApplyBatch(shard, op, idx, p1, p2, gotRes, gotOld)
+
+			for i := 0; i < n; i++ {
+				if gotRes[i] != wantRes[i] || gotOld[i] != wantOld[i] {
+					t.Fatalf("update %d: batch witnessed (%d,%d), sequential (%d,%d)",
+						i, gotRes[i], gotOld[i], wantRes[i], wantOld[i])
+				}
+			}
+			ref.DrainRange(op, 0, buckets)
+			got.DrainRange(op, 0, buckets)
+			for b := uint32(0); b < buckets; b++ {
+				if got.Read(b) != ref.Read(b) {
+					t.Fatalf("bucket %d after drain: batch %d, sequential %d", b, got.Read(b), ref.Read(b))
+				}
+			}
+			if got.Accesses() != ref.Accesses() {
+				t.Fatalf("accesses: batch %d, sequential %d", got.Accesses(), ref.Accesses())
+			}
+			if got.Clamps() != ref.Clamps() {
+				t.Fatalf("clamps: batch %d, sequential %d", got.Clamps(), ref.Clamps())
+			}
+		})
+	}
+}
+
+// TestApplyAddBatchMatchesApply: the fetch-and-add specialization must be
+// bit-identical to Apply(OpCondAdd, i, p1, ^0) per element on a full-width
+// register — including at the 32-bit wrap, where the repair store must
+// reproduce Apply's clamp-to-saturation exactly once and leave later adds
+// against the saturated bucket as silent no-ops.
+func TestApplyAddBatchMatchesApply(t *testing.T) {
+	const buckets = 64
+	rng := rand.New(rand.NewSource(23))
+
+	t.Run("random", func(t *testing.T) {
+		const n = 4096
+		idx := make([]uint32, n)
+		for i := range idx {
+			idx[i] = uint32(rng.Intn(buckets))
+		}
+		for _, p1 := range []uint32{0, 1, 1500} {
+			ref := NewRegister(buckets, 32)
+			for _, i := range idx {
+				ref.Apply(OpCondAdd, i, p1, ^uint32(0))
+			}
+			got := NewRegister(buckets, 32)
+			got.ApplyAddBatch(idx, p1)
+			for b := uint32(0); b < buckets; b++ {
+				if got.Read(b) != ref.Read(b) {
+					t.Fatalf("p1=%d bucket %d: batch %d, sequential %d", p1, b, got.Read(b), ref.Read(b))
+				}
+			}
+			if got.Clamps() != ref.Clamps() {
+				t.Fatalf("p1=%d clamps: batch %d, sequential %d", p1, got.Clamps(), ref.Clamps())
+			}
+		}
+	})
+
+	t.Run("wrap", func(t *testing.T) {
+		// Large increments force a wrap: the first saturating update clamps
+		// and counts once; every later update is a no-op without a clamp.
+		idx := make([]uint32, 16) // all bucket 0
+		const p1 = 0x4000_0000
+		ref := NewRegister(buckets, 32)
+		for range idx {
+			ref.Apply(OpCondAdd, 0, p1, ^uint32(0))
+		}
+		got := NewRegister(buckets, 32)
+		got.ApplyAddBatch(idx, p1)
+		if got.Read(0) != ref.Read(0) || got.Read(0) != ^uint32(0) {
+			t.Fatalf("saturated bucket: batch %d, sequential %d, want %d", got.Read(0), ref.Read(0), ^uint32(0))
+		}
+		if got.Clamps() != ref.Clamps() || got.Clamps() != 1 {
+			t.Fatalf("clamps: batch %d, sequential %d, want exactly 1", got.Clamps(), ref.Clamps())
+		}
+	})
+}
+
+// TestShardApplyAddBatchMatchesShardApply: the lane add with hoisted
+// constants must match per-element ShardApply on a narrow register, where
+// saturation, clamp counting, and the access counter are all live.
+func TestShardApplyAddBatchMatchesShardApply(t *testing.T) {
+	const buckets, n, shard = 64, 8192, 1
+	rng := rand.New(rand.NewSource(24))
+	idx := make([]uint32, n)
+	for i := range idx {
+		idx[i] = uint32(rng.Intn(buckets))
+	}
+	for _, p1 := range []uint32{1, 7} {
+		ref := NewRegister(buckets, 8)
+		ref.EnableSharding(2)
+		for _, i := range idx {
+			ref.ShardApply(shard, OpCondAdd, i, p1, ^uint32(0))
+		}
+		got := NewRegister(buckets, 8)
+		got.EnableSharding(2)
+		got.ShardApplyAddBatch(shard, idx, p1)
+
+		ref.DrainRange(OpCondAdd, 0, buckets)
+		got.DrainRange(OpCondAdd, 0, buckets)
+		for b := uint32(0); b < buckets; b++ {
+			if got.Read(b) != ref.Read(b) {
+				t.Fatalf("p1=%d bucket %d after drain: batch %d, sequential %d", p1, b, got.Read(b), ref.Read(b))
+			}
+		}
+		if got.Accesses() != ref.Accesses() {
+			t.Fatalf("p1=%d accesses: batch %d, sequential %d", p1, got.Accesses(), ref.Accesses())
+		}
+		if got.Clamps() != ref.Clamps() {
+			t.Fatalf("p1=%d clamps: batch %d, sequential %d", p1, got.Clamps(), ref.Clamps())
+		}
+	}
+}

@@ -29,19 +29,25 @@ const (
 	// enqueue frame spans on the MPMC ring, and pool workers decode spans
 	// into per-worker scratch on the fly (internal/mmtrace).
 	EngineMmap ReplayEngine = "mmap"
+	// EngineFrames is the FrameView-native compiled engine: the same
+	// mmapped traces and span ring as EngineMmap, but workers execute raw
+	// record spans stage-at-a-time through Snapshot.ProcessFrames — batched
+	// digest kernels and grouped register updates, no packet
+	// materialization at all.
+	EngineFrames ReplayEngine = "frames"
 )
 
 // ReplayOptions parameterizes a replay run.
 type ReplayOptions struct {
-	Paths   []string     // trace files; >1 = one ring producer per file (mmap engine)
-	Engine  ReplayEngine // ingestion path (default mmap)
-	Workers int          // pool width (0 = GOMAXPROCS)
-	Sharded bool         // sharded register lanes (PR 4) instead of shared CAS
-	Tasks   int          // CMS load tasks to deploy (< 0 = 9; 0 = none, pure-ingest measurement)
-	Batch   int          // frames per span / per ReadBatch (default 512)
-	Ring    int          // ring capacity in spans (mmap engine; default 1024)
+	Paths   []string      // trace files; >1 = one ring producer per file (mmap engine)
+	Engine  ReplayEngine  // ingestion path (default mmap)
+	Workers int           // pool width (0 = GOMAXPROCS)
+	Sharded bool          // sharded register lanes (PR 4) instead of shared CAS
+	Tasks   int           // CMS load tasks to deploy (< 0 = 9; 0 = none, pure-ingest measurement)
+	Batch   int           // frames per span / per ReadBatch (default 512)
+	Ring    int           // ring capacity in spans (mmap engine; default 1024)
 	Loop    time.Duration // > 0: loop the trace for at least this long (steady state)
-	Verify  bool         // afterwards: replay sequentially and compare every register
+	Verify  bool          // afterwards: replay sequentially and compare every register
 }
 
 // Replay replays trace files through a fully loaded pipeline with the
@@ -78,7 +84,9 @@ func Replay(opt ReplayOptions) (*Table, error) {
 	)
 	switch engine {
 	case EngineMmap:
-		packets, elapsed, detail, err = replayMmap(ctrl, opt, batch)
+		packets, elapsed, detail, err = replayRing(ctrl, opt, batch, false)
+	case EngineFrames:
+		packets, elapsed, detail, err = replayRing(ctrl, opt, batch, true)
 	case EngineReader:
 		packets, elapsed, err = replayReader(ctrl, opt)
 	case EngineReadBatch:
@@ -134,9 +142,11 @@ func newReplayController(workers int, sharded bool, tasks int) *controlplane.Con
 	return ctrl
 }
 
-// replayMmap runs the zero-copy engine: mmapped traces, span ring, pool
-// workers pulling via ProcessSource.
-func replayMmap(ctrl *controlplane.Controller, opt ReplayOptions, batch int) (uint64, time.Duration, string, error) {
+// replayRing runs the span-ring engines over mmapped traces: pool workers
+// pull spans via ProcessSource (decode into per-worker packet scratch) or,
+// with frames set, via ProcessFrameSource (the FrameView-native compiled
+// engine, no packet materialization).
+func replayRing(ctrl *controlplane.Controller, opt ReplayOptions, batch int, frames bool) (uint64, time.Duration, string, error) {
 	traces := make([]*mmtrace.Trace, 0, len(opt.Paths))
 	defer func() {
 		for _, t := range traces {
@@ -175,7 +185,11 @@ func replayMmap(ctrl *controlplane.Controller, opt ReplayOptions, batch int) (ui
 	}
 	start := time.Now()
 	rep.Start()
-	ctrl.ProcessSource(rep)
+	if frames {
+		ctrl.ProcessFrameSource(rep)
+	} else {
+		ctrl.ProcessSource(rep)
+	}
 	elapsed := time.Since(start)
 	if stopTimer != nil {
 		stopTimer.Stop()

@@ -47,6 +47,8 @@ func TestReplayEnginesEquivalent(t *testing.T) {
 	}{
 		{"mmap", EngineMmap, false},
 		{"mmap-sharded", EngineMmap, true},
+		{"frames", EngineFrames, false},
+		{"frames-sharded", EngineFrames, true},
 		{"reader", EngineReader, false},
 		{"readbatch", EngineReadBatch, false},
 	} {

@@ -119,6 +119,12 @@ func (h Hasher) Sum(k packet.CanonicalKey) uint32 {
 	return fmix32(h.table.ChecksumKey(&k))
 }
 
+// SumKey is Sum over a caller-owned key, skipping the by-value copy — the
+// batch digest kernel hashes whole spans of pre-extracted keys in place.
+func (h Hasher) SumKey(k *packet.CanonicalKey) uint32 {
+	return fmix32(h.table.ChecksumKey(k))
+}
+
 // fmix32 is a 32-bit avalanche finalizer (MurmurHash3's), modeling the bit
 // scrambling of the hash distribution unit's output crossbar. Raw CRC32 is
 // GF(2)-linear, so low-entropy structured inputs (sequential ports,

@@ -46,3 +46,34 @@ func (v FrameView) QueueDelayNs() uint32 { return binary.LittleEndian.Uint32(v[3
 
 // Decode materializes the full packet into p.
 func (v FrameView) Decode(p *packet.Packet) { trace.DecodeRecord(v, p) }
+
+// ExtractMasked fills k with the record's masked canonical key — the
+// FrameView counterpart of packet.ExtractMasked, producing the identical
+// byte encoding straight from the record bytes with no packet.Packet in
+// between. k is caller-owned scratch and is fully overwritten, padding
+// included, so reuse across frames is safe. This is the batch digest
+// kernel's per-frame primitive (core.Snapshot.ProcessFrames).
+func (v FrameView) ExtractMasked(mask *[packet.NumFields]uint32, k *packet.CanonicalKey) {
+	_ = v[35] // one bounds check for every field read below
+	be32(k[0:4], v.SrcIP()&mask[packet.FieldSrcIP])
+	be32(k[4:8], v.DstIP()&mask[packet.FieldDstIP])
+	be16(k[8:10], uint16(uint32(v.SrcPort())&mask[packet.FieldSrcPort]))
+	be16(k[10:12], uint16(uint32(v.DstPort())&mask[packet.FieldDstPort]))
+	k[12] = uint8(uint32(v.Proto()) & mask[packet.FieldProto])
+	be32(k[13:17], uint32(v.TimestampNs()/1000)&mask[packet.FieldTimestamp])
+	k[17], k[18], k[19] = 0, 0, 0
+}
+
+// be32/be16 write the canonical key's big-endian field encoding (the same
+// layout packet.ExtractMasked emits).
+func be32(b []byte, x uint32) {
+	b[0] = byte(x >> 24)
+	b[1] = byte(x >> 16)
+	b[2] = byte(x >> 8)
+	b[3] = byte(x)
+}
+
+func be16(b []byte, x uint16) {
+	b[0] = byte(x >> 8)
+	b[1] = byte(x)
+}

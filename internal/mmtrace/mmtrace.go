@@ -161,6 +161,14 @@ func (t *Trace) At(i int) FrameView {
 	return FrameView(t.recs[i*trace.RecordSize : (i+1)*trace.RecordSize])
 }
 
+// Span returns the raw record bytes of frames [lo, hi) — hi-lo contiguous
+// RecordSize windows aliasing the mapped buffer. The FrameView-native
+// engine walks spans directly (core.Snapshot.ProcessFrames), so the only
+// per-frame memory traffic is the fields the compiled rules actually load.
+func (t *Trace) Span(lo, hi int) []byte {
+	return t.recs[lo*trace.RecordSize : hi*trace.RecordSize]
+}
+
 // DecodeBatch decodes up to len(dst) frames starting at frame `start` into
 // dst, reusing the caller-owned scratch, and returns the count. At the end
 // of the trace it returns io.EOF — or the *trace.TruncatedError when the

@@ -171,6 +171,22 @@ func (r *Replayer) Next(w int) []packet.Packet {
 	return s.buf[:n]
 }
 
+// NextFrames implements core.FrameSource: it claims the next span for
+// worker w and returns it as (trace, lo, hi) — no decoding, no packet
+// materialization. The FrameView-native engine executes straight over the
+// mapped record bytes. A nil trace means the replay is complete.
+// NextFrames and Next may be mixed freely (a mid-replay engine switch just
+// changes which form the next span is delivered in).
+func (r *Replayer) NextFrames(w int) (*Trace, int, int) {
+	s := &r.workers[w]
+	if r.ring.PopBatch(s.span[:]) == 0 {
+		return nil, 0, 0
+	}
+	sp := s.span[0]
+	r.packets.Add(uint64(sp.Hi - sp.Lo))
+	return r.traces[sp.Src], int(sp.Lo), int(sp.Hi)
+}
+
 // Stop asks the producers to finish their in-flight span chunk and close
 // the ring; consumers then drain naturally. Used by loop-mode replays
 // (Passes < 0) and signal handlers. Safe to call multiple times.
