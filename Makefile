@@ -14,13 +14,13 @@ HOT_BENCH = BenchmarkPipelinePerPacket|BenchmarkProcessBatch|BenchmarkProcessPar
 # on the heavy-hitter workload, plus the lane-drain cost.
 SCALING_BENCH = BenchmarkProcessParallelModes|BenchmarkShardDrain
 
-.PHONY: all check vet build test race race-concurrency chaos bench bench-allocs \
+.PHONY: all check vet build test race race-concurrency chaos chaos-liveness bench bench-allocs \
 	bench-full bench-scaling bench-smoke bench-telemetry bench-telemetry-smoke \
 	bench-replay bench-replay-smoke bench-frames bench-frames-smoke bench-compare clean
 
 all: check
 
-check: vet build race chaos bench-smoke bench-telemetry-smoke bench-replay-smoke \
+check: vet build race chaos chaos-liveness bench-smoke bench-telemetry-smoke bench-replay-smoke \
 	bench-frames-smoke bench-allocs
 
 # chaos runs the control-channel fault-injection suite under -race: the
@@ -32,6 +32,18 @@ check: vet build race chaos bench-smoke bench-telemetry-smoke bench-replay-smoke
 chaos:
 	$(GO) test -race -count=1 -timeout 300s \
 		-run 'Chaos|Fault|Breaker|Hung|Panic|Dispatch|Codec|Client|Reset|Corrupt|Truncat|Partial|Deterministic|Listener|Delays|ZeroPlan|TestFleet(Partial|Strict|Remove|OpTimeout|Deploy)' \
+		./internal/faultnet/ ./internal/rpc/ ./internal/netwide/
+
+# chaos-liveness runs the fast-failure fleet drills under -race: the pure
+# BFD-style session state machine, the liveness + reconciler end-to-end
+# drills (kill / restart / redeploy), the seeded fault matrix
+# (partition / asymmetric one-way partition / restart storm / flapping
+# link, seeds 1..3 via faultnet.Gate), the rpc client-vs-restarted-server
+# breaker path, and the directional-blackhole Gate semantics. Every drill
+# ends behind a goroutine-leak gate.
+chaos-liveness:
+	$(GO) test -race -count=1 -timeout 600s \
+		-run 'SessionSM|Liveness|Reconcil|Hello|Restart|Gate|Incarnation' \
 		./internal/faultnet/ ./internal/rpc/ ./internal/netwide/
 
 # race-concurrency is the focused -race run over the parallel-path tests

@@ -13,7 +13,7 @@
 // or may not have applied them — re-check with `list`).
 //
 // Commands: add, rm, resize, list, estimate, cardinality, contains,
-// distribution, resources, gen, replay, stats.
+// distribution, resources, gen, replay, stats, fleet.
 package main
 
 import (
@@ -25,6 +25,7 @@ import (
 
 	"flymon/internal/cli"
 	"flymon/internal/controlplane"
+	"flymon/internal/netwide"
 	"flymon/internal/packet"
 	"flymon/internal/rpc"
 	"flymon/internal/telemetry"
@@ -70,6 +71,14 @@ global:
 		os.Exit(2)
 	}
 	cmd, args := args[0], args[1:]
+
+	// fleet speaks to MANY daemons (its own -addrs list) and tolerates dead
+	// ones — that is its whole point — so it dispatches before the
+	// single-daemon dial below, which would die on the first dead address.
+	if cmd == "fleet" {
+		cmdFleet(addr, opts, args)
+		return
+	}
 
 	client, err := rpc.DialOptions(addr, opts)
 	if err != nil {
@@ -149,6 +158,10 @@ commands:
   stats        [-metrics] [-events N]     daemon counters + telemetry report
                -metrics dumps Prometheus text; -events N prints the last N
                reconfiguration journal entries
+  fleet        [-addrs a:9177,b:9177] [-tx 100ms] [-mult 3] [-watch 1s]
+               probe a fleet with BFD-style liveness sessions and print the
+               per-switch table (session state, detect time, failures,
+               observed/desired tasks); '*' marks a flap-damped session
 `)
 }
 
@@ -288,6 +301,105 @@ func cmdLoad(c *rpc.Client, args []string) {
 		fatal(err)
 	}
 	fmt.Printf("loaded %d packets\n", n)
+}
+
+// cmdFleet probes a fleet of daemons with real liveness sessions (the same
+// BFD-style machinery RemoteFleet runs) for a short observation window and
+// prints the per-switch health table. A dead daemon shows up as a down
+// session, not as a command failure.
+func cmdFleet(defaultAddr string, opts rpc.Options, args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	addrsFlag := fs.String("addrs", defaultAddr, "comma-separated daemon control-channel addresses")
+	tx := fs.Duration("tx", 100*time.Millisecond, "hello tx interval")
+	mult := fs.Int("mult", 3, "detection-time multiplier (detect = mult × tx)")
+	watch := fs.Duration("watch", 0, "keep observing, reprinting every interval (0 = one snapshot)")
+	_ = fs.Parse(args)
+
+	var addrs []string
+	for _, a := range strings.Split(*addrsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("fleet: no addresses"))
+	}
+	if opts.CallTimeout == 0 {
+		opts.CallTimeout = 2 * time.Second
+	}
+	opts.MaxRetries = -1 // the session machinery owns failure handling
+
+	m := netwide.NewLivenessManager(addrs, netwide.LivenessOptions{
+		TxInterval: *tx,
+		DetectMult: *mult,
+	})
+	m.Start()
+	defer m.Stop()
+
+	// Let the three-way handshakes complete plus one detect interval, so a
+	// dead daemon is already reported down in the first snapshot.
+	time.Sleep(time.Duration(*mult+2) * *tx)
+	for {
+		printFleet(m, opts)
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+		fmt.Println()
+	}
+}
+
+func printFleet(m *netwide.LivenessManager, opts rpc.Options) {
+	snaps := m.Snapshot()
+	// Observed task lists, over short-lived per-daemon connections; the
+	// desired set is approximated as the union across reachable daemons
+	// (the controller's mirror is not available to an offline CLI).
+	observed := make([]int, len(snaps))
+	union := make(map[int]bool)
+	for i, s := range snaps {
+		observed[i] = -1
+		if s.State != netwide.SessionUp {
+			continue
+		}
+		c, err := rpc.DialOptions(s.Addr, opts)
+		if err != nil {
+			continue
+		}
+		tasks, err := c.ListTasks()
+		c.Close()
+		if err != nil {
+			continue
+		}
+		observed[i] = len(tasks)
+		for _, t := range tasks {
+			union[t.ID] = true
+		}
+	}
+	fmt.Printf("%-22s %-8s %-8s %-6s %-12s %s\n", "ADDR", "SESSION", "DETECT", "FAILS", "LAST-CHANGE", "TASKS")
+	for i, s := range snaps {
+		sess := s.State.String()
+		if s.Damped {
+			sess += "*" // flap-damped: up but held out of service
+		}
+		change := "-"
+		if !s.LastTransition.IsZero() {
+			change = time.Since(s.LastTransition).Round(time.Millisecond).String()
+		}
+		tasks := "?"
+		if observed[i] >= 0 {
+			tasks = fmt.Sprintf("%d/%d", observed[i], len(union))
+		}
+		fmt.Printf("%-22s %-8s %-8s %-6d %-12s %s\n",
+			s.Addr, sess, s.DetectTime, s.ConsecutiveFailures, change, tasks)
+	}
+	if len(union) > 0 {
+		for i, s := range snaps {
+			if observed[i] >= 0 && observed[i] < len(union) {
+				fmt.Printf("fleet: switch %s is missing %d task(s) — a reconciler would re-deploy them\n",
+					s.Addr, len(union)-observed[i])
+			}
+		}
+	}
 }
 
 func cmdList(c *rpc.Client) {

@@ -6,7 +6,7 @@
 //
 //	flymond [-listen :9177] [-admin :9090] [-groups 9] [-buckets 65536]
 //	        [-bitwidth 32] [-mode accurate|efficient] [-workers N] [-sharded]
-//	        [-replay trace.fmt[,more.fmt] [-replay-loop]]
+//	        [-replay trace.fmt[,more.fmt] [-replay-loop]] [-hello-gc 2m]
 //	        [-chaos-seed N -chaos-read-delay 5ms -chaos-write-delay 5ms
 //	         -chaos-reset-every N -chaos-corrupt-every N]
 //
@@ -65,6 +65,7 @@ func main() {
 	chaosWriteDelay := flag.Duration("chaos-write-delay", 0, "max injected delay per control-channel write")
 	chaosResetEvery := flag.Int("chaos-reset-every", 0, "inject a connection reset every Nth I/O op (0 = never)")
 	chaosCorruptEvery := flag.Int("chaos-corrupt-every", 0, "corrupt every Nth response frame (0 = never)")
+	helloGC := flag.Duration("hello-gc", rpc.DefaultHelloGC, "drop controller liveness sessions idle this long (floored at 16× their advertised tx interval)")
 	flag.Parse()
 
 	var memMode controlplane.MemoryMode
@@ -91,6 +92,7 @@ func main() {
 	})
 	srv := rpc.NewServer(ctrl, log.Printf)
 	srv.SetTelemetry(reg)
+	srv.SetHelloGC(*helloGC)
 	plan := faultnet.Plan{
 		Seed:         *chaosSeed,
 		ReadDelay:    *chaosReadDelay,

@@ -532,6 +532,46 @@ func (c *Controller) AddTask(spec TaskSpec) (*Task, error) {
 	return t, err
 }
 
+// AddTaskAt deploys a task spec under a caller-chosen ID — the
+// reconciliation primitive: a fleet controller re-deploying a desired task
+// onto a restarted daemon must reproduce the exact ID its mirror assigned,
+// even when removals have left gaps in the sequence. The ID counter is
+// advanced past the pinned ID so later plain AddTask calls never collide,
+// which keeps a re-converged daemon's future assignments aligned with the
+// mirror's.
+func (c *Controller) AddTaskAt(id int, spec TaskSpec) (*Task, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if id <= 0 {
+		return nil, fmt.Errorf("controlplane: task ID %d must be positive", id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.quiesce()()
+	done := c.teleMutation("deploy")
+	if _, exists := c.tasks[id]; exists {
+		err := fmt.Errorf("controlplane: task %d already deployed", id)
+		done(id, spec.Name, err)
+		return nil, err
+	}
+	saved := c.nextID
+	c.nextID = id
+	t, err := c.addTaskLocked(spec)
+	if err != nil {
+		c.nextID = saved
+		done(id, spec.Name, err)
+		return nil, err
+	}
+	if id >= saved {
+		c.nextID = id + 1
+	} else {
+		c.nextID = saved
+	}
+	done(id, spec.Name, nil)
+	return t, nil
+}
+
 func (c *Controller) addTaskLocked(spec TaskSpec) (*Task, error) {
 	alg := spec.ChooseAlgorithm()
 	d := spec.D

@@ -27,6 +27,41 @@ import (
 // peer observes EOF/ECONNRESET.
 var ErrInjectedReset = errors.New("faultnet: injected connection reset")
 
+// Gate is a runtime-switchable partition control shared by every
+// connection whose Plan references it. Unlike the static fault schedule,
+// a Gate models *link state*: a drill flips it mid-run to partition, heal,
+// or flap a peer while traffic and liveness sessions keep running.
+//
+// The two directions are independent, which is the asymmetric (one-way)
+// partition mode: with only DropWrites set, a daemon still hears requests
+// but its answers vanish — the classic "I can hear you, you can't hear me"
+// failure that RPC-timeout health checks misclassify and BFD-style
+// sessions catch. Dropped writes report success to the writer (a true
+// blackhole, not a reset); dropped reads discard whatever arrives and keep
+// waiting, so the reader sees silence until its deadline fires.
+type Gate struct {
+	dropReads  atomic.Bool
+	dropWrites atomic.Bool
+}
+
+// SetDropReads blackholes (true) or heals (false) the read direction of
+// every connection wearing this gate.
+func (g *Gate) SetDropReads(v bool) { g.dropReads.Store(v) }
+
+// SetDropWrites blackholes (true) or heals (false) the write direction.
+func (g *Gate) SetDropWrites(v bool) { g.dropWrites.Store(v) }
+
+// Partition blackholes both directions; Heal restores both.
+func (g *Gate) Partition() { g.dropReads.Store(true); g.dropWrites.Store(true) }
+
+// Heal restores both directions.
+func (g *Gate) Heal() { g.dropReads.Store(false); g.dropWrites.Store(false) }
+
+// Dropped reports the current drop state (reads, writes).
+func (g *Gate) Dropped() (reads, writes bool) {
+	return g.dropReads.Load(), g.dropWrites.Load()
+}
+
 // Plan is a deterministic fault schedule. The zero value injects nothing.
 // Probabilities are per I/O operation; *Every fields fire on every Nth
 // operation (counted per connection, reads and writes separately), which
@@ -49,12 +84,17 @@ type Plan struct {
 	CorruptProb   float64 // flip one byte of the buffer before writing
 	CorruptEvery  int     // every Nth write (0 = never)
 	TruncateProb  float64 // write a strict prefix, then inject a reset
+
+	// Gate, when set, adds runtime-switchable directional blackholes on top
+	// of the static schedule (shared across every connection using this
+	// plan — flip it mid-test to partition/heal/flap the link).
+	Gate *Gate
 }
 
 func (p Plan) active() bool {
 	return p.ReadDelay > 0 || p.WriteDelay > 0 || p.ResetProb > 0 || p.ResetEvery > 0 ||
 		p.ResetAfterN > 0 || p.PartialWrites || p.CorruptProb > 0 || p.CorruptEvery > 0 ||
-		p.TruncateProb > 0
+		p.TruncateProb > 0 || p.Gate != nil
 }
 
 // Conn wraps a net.Conn with fault injection.
@@ -131,6 +171,19 @@ func (c *Conn) Read(b []byte) (int, error) {
 	if !c.plan.active() {
 		return c.Conn.Read(b)
 	}
+	if g := c.plan.Gate; g != nil && g.dropReads.Load() {
+		// Blackholed direction: whatever arrives is discarded, and the
+		// reader keeps waiting — it sees pure silence until its own
+		// deadline fires or the connection dies, exactly like a one-way
+		// partition. Healing mid-wait resumes delivery with the next frame
+		// (bytes discarded during the outage are lost, as on a real link).
+		scratch := make([]byte, 4096)
+		for g.dropReads.Load() {
+			if _, err := c.Conn.Read(scratch); err != nil {
+				return 0, err
+			}
+		}
+	}
 	c.mu.Lock()
 	delay, reset, _, _ := c.decide(false, len(b))
 	c.mu.Unlock()
@@ -150,6 +203,13 @@ func (c *Conn) Read(b []byte) (int, error) {
 func (c *Conn) Write(b []byte) (int, error) {
 	if !c.plan.active() {
 		return c.Conn.Write(b)
+	}
+	if g := c.plan.Gate; g != nil && g.dropWrites.Load() {
+		// Blackholed direction: report success without delivering — the
+		// peer never sees these bytes and no error surfaces to the writer
+		// (dropped bytes do not count toward ResetAfterN: they never
+		// crossed the link).
+		return len(b), nil
 	}
 	c.mu.Lock()
 	delay, reset, corrupt, truncateAt := c.decide(true, len(b))

@@ -205,3 +205,89 @@ func TestDeterministicFaultSequence(t *testing.T) {
 		}
 	}
 }
+
+func TestGateDropWritesIsOneWayBlackhole(t *testing.T) {
+	c, s := pipePair(t)
+	gate := &Gate{}
+	wc := WrapConn(c, Plan{Gate: gate}, 0)
+
+	// Healed gate: bytes flow.
+	if _, err := wc.Write([]byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := s.Read(buf); err != nil || string(buf[:n]) != "one\n" {
+		t.Fatalf("healed read = %q, %v", buf[:n], err)
+	}
+
+	// Dropped writes: the writer sees SUCCESS (a true blackhole, not a
+	// reset) but the peer sees silence until its deadline fires.
+	gate.SetDropWrites(true)
+	if n, err := wc.Write([]byte("two\n")); err != nil || n != 4 {
+		t.Fatalf("blackholed write = %d, %v; want reported success", n, err)
+	}
+	s.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, err := s.Read(buf); err == nil {
+		t.Fatalf("peer read %q through a blackholed direction", buf[:n])
+	} else if !errors.Is(err, io.EOF) && !isTimeout(err) {
+		t.Fatalf("peer read error = %v, want deadline", err)
+	}
+
+	// Healing restores delivery; the blackholed bytes stay lost.
+	gate.SetDropWrites(false)
+	if _, err := wc.Write([]byte("three\n")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := s.Read(buf); err != nil || string(buf[:n]) != "three\n" {
+		t.Fatalf("post-heal read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestGateDropReadsDiscardsUntilDeadline(t *testing.T) {
+	c, s := pipePair(t)
+	gate := &Gate{}
+	gate.SetDropReads(true)
+	wc := WrapConn(c, Plan{Gate: gate}, 0)
+
+	// The peer sends, but the blackholed reader discards and keeps
+	// waiting: its own deadline is what ends the wait.
+	if _, err := s.Write([]byte("lost\n")); err != nil {
+		t.Fatal(err)
+	}
+	wc.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := wc.Read(buf); err == nil {
+		t.Fatalf("read %q through a blackholed direction", buf[:n])
+	} else if !isTimeout(err) {
+		t.Fatalf("read error = %v, want deadline", err)
+	}
+
+	// Heal: the NEXT frame is delivered (the earlier one is gone).
+	gate.SetDropReads(false)
+	if _, err := s.Write([]byte("found\n")); err != nil {
+		t.Fatal(err)
+	}
+	wc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := wc.Read(buf); err != nil || string(buf[:n]) != "found\n" {
+		t.Fatalf("post-heal read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestGatePartitionAndHeal(t *testing.T) {
+	gate := &Gate{}
+	gate.Partition()
+	if r, w := gate.Dropped(); !r || !w {
+		t.Fatalf("partition: dropped = %v %v, want true true", r, w)
+	}
+	gate.Heal()
+	if r, w := gate.Dropped(); r || w {
+		t.Fatalf("heal: dropped = %v %v, want false false", r, w)
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

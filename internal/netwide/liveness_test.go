@@ -1,0 +1,193 @@
+package netwide
+
+import (
+	"testing"
+	"time"
+
+	"flymon/internal/rpc"
+)
+
+// The session state machine is pure: these tests drive it with an explicit
+// clock and never sleep.
+
+func smOptions() LivenessOptions {
+	return LivenessOptions{
+		TxInterval:    100 * time.Millisecond,
+		DetectMult:    3,
+		FlapThreshold: 3,
+		Seed:          1,
+	}.withDefaults()
+}
+
+func smClock() (func() time.Time, func(time.Duration)) {
+	t := time.Unix(1_700_000_000, 0)
+	return func() time.Time { return t }, func(d time.Duration) { t = t.Add(d) }
+}
+
+func TestSessionSMThreeWayHandshake(t *testing.T) {
+	sm := newSessionSM(smOptions())
+	now, tick := smClock()
+	if sm.state != SessionDown {
+		t.Fatalf("initial state = %v, want down", sm.state)
+	}
+
+	// Remote answers Down (it had never heard of us): we move to Init.
+	ev := sm.onReply(rpc.HelloStateDown, 7, 0, now())
+	if !ev.StateChanged || sm.state != SessionInit {
+		t.Fatalf("after remote down: state = %v (ev %+v), want init", sm.state, ev)
+	}
+	if ev.ReportedUp {
+		t.Fatal("init must not report up")
+	}
+
+	// Remote saw our Init and answers Up (or Init): we complete to Up.
+	tick(100 * time.Millisecond)
+	ev = sm.onReply(rpc.HelloStateUp, 7, 0, now())
+	if !ev.StateChanged || sm.state != SessionUp || !ev.ReportedUp {
+		t.Fatalf("after remote up: state = %v reported=%v, want up/true", sm.state, ev.ReportedUp)
+	}
+	if sm.transitions != 2 {
+		t.Fatalf("transitions = %d, want 2", sm.transitions)
+	}
+}
+
+func TestSessionSMDownPlusRemoteInitGoesUp(t *testing.T) {
+	sm := newSessionSM(smOptions())
+	now, _ := smClock()
+	// Receiving Init means the remote sees our hellos: Up directly.
+	ev := sm.onReply(rpc.HelloStateInit, 7, 0, now())
+	if sm.state != SessionUp || !ev.ReportedUp {
+		t.Fatalf("down + remote init: state = %v, want up", sm.state)
+	}
+	// But Down + remote Up stays Down: the peer must re-init first.
+	sm2 := newSessionSM(smOptions())
+	sm2.onReply(rpc.HelloStateUp, 7, 0, now())
+	if sm2.state != SessionDown {
+		t.Fatalf("down + remote up: state = %v, want down", sm2.state)
+	}
+}
+
+func upSession(t *testing.T, now func() time.Time) *sessionSM {
+	t.Helper()
+	sm := newSessionSM(smOptions())
+	sm.onReply(rpc.HelloStateDown, 7, 0, now())
+	sm.onReply(rpc.HelloStateInit, 7, 0, now())
+	if sm.state != SessionUp {
+		t.Fatalf("handshake did not reach up: %v", sm.state)
+	}
+	return sm
+}
+
+func TestSessionSMDetectTimeout(t *testing.T) {
+	opts := smOptions()
+	now, tick := smClock()
+	sm := upSession(t, now)
+
+	// Lost probes inside the detection interval do NOT flip the state:
+	// detection is time-based, so one dropped hello is not a false eject.
+	tick(opts.TxInterval)
+	if ev := sm.onFail(now()); ev.StateChanged || sm.state != SessionUp {
+		t.Fatalf("single lost probe flipped state to %v", sm.state)
+	}
+	if sm.fails != 1 {
+		t.Fatalf("fails = %d, want 1", sm.fails)
+	}
+
+	// Silence for the full detection interval declares Down and reports
+	// the detection latency (last good reply → declaration).
+	tick(2 * opts.TxInterval)
+	ev := sm.onFail(now())
+	if !ev.StateChanged || ev.To != SessionDown || sm.state != SessionDown {
+		t.Fatalf("after detect interval: state = %v (ev %+v), want down", sm.state, ev)
+	}
+	if want := opts.DetectTime(); ev.DetectionTime < want {
+		t.Fatalf("detection latency %v < configured detect time %v", ev.DetectionTime, want)
+	}
+	if !ev.ReportedChanged || ev.ReportedUp {
+		t.Fatalf("down must clear reported-up: %+v", ev)
+	}
+}
+
+func TestSessionSMRemoteDownResetsSession(t *testing.T) {
+	now, tick := smClock()
+	sm := upSession(t, now)
+	// The peer answering Down while we are Up means it reset (restart or
+	// session GC): restart the handshake.
+	tick(time.Millisecond)
+	ev := sm.onReply(rpc.HelloStateDown, 7, 0, now())
+	if sm.state != SessionDown || !ev.StateChanged {
+		t.Fatalf("up + remote down: state = %v, want down", sm.state)
+	}
+}
+
+func TestSessionSMIncarnationChangeUnmasksRestart(t *testing.T) {
+	now, tick := smClock()
+	sm := upSession(t, now)
+	// The daemon restarted BETWEEN probes and answers promptly from a fresh
+	// process: the changed incarnation tears the session down even though
+	// the reply itself looks healthy.
+	tick(time.Millisecond)
+	ev := sm.onReply(rpc.HelloStateUp, 9, 0, now())
+	if !ev.Restarted || sm.state != SessionDown {
+		t.Fatalf("incarnation change: restarted=%v state=%v, want true/down", ev.Restarted, sm.state)
+	}
+	if sm.incarnation != 9 {
+		t.Fatalf("incarnation = %d, want 9", sm.incarnation)
+	}
+}
+
+func TestSessionSMFlapDamping(t *testing.T) {
+	opts := smOptions()
+	now, tick := smClock()
+	sm := newSessionSM(opts)
+
+	// Flap the session FlapThreshold times inside the window: each round
+	// completes the handshake, then the peer resets (answers Down).
+	for i := 0; i < opts.FlapThreshold; i++ {
+		sm.onReply(rpc.HelloStateDown, 7, 0, now())
+		sm.onReply(rpc.HelloStateInit, 7, 0, now())
+		if sm.state != SessionUp {
+			t.Fatalf("flap %d: not up", i)
+		}
+		tick(opts.TxInterval)
+		sm.onReply(rpc.HelloStateDown, 7, 0, now()) // peer reset: down again
+		tick(opts.TxInterval)
+	}
+	// Come back up one more time: the session works, but it has flapped
+	// FlapThreshold times inside the window.
+	sm.onReply(rpc.HelloStateDown, 7, 0, now())
+	sm.onReply(rpc.HelloStateInit, 7, 0, now())
+
+	// The final Up is damped: state Up, but not reported.
+	if sm.state != SessionUp {
+		t.Fatalf("state = %v, want up", sm.state)
+	}
+	if !sm.damped(now()) || sm.reportedUp {
+		t.Fatalf("damped=%v reportedUp=%v, want true/false", sm.damped(now()), sm.reportedUp)
+	}
+
+	// Staying Up past the hold-down releases damping on the next round.
+	tick(opts.HoldDown)
+	ev := sm.onReply(rpc.HelloStateUp, 7, 0, now())
+	if !ev.ReportedUp || sm.damped(now()) {
+		t.Fatalf("after hold-down: reported=%v damped=%v, want true/false", ev.ReportedUp, sm.damped(now()))
+	}
+}
+
+func TestSessionSMSnapshotFields(t *testing.T) {
+	opts := smOptions()
+	now, tick := smClock()
+	sm := upSession(t, now)
+	tick(opts.TxInterval)
+	sm.onFail(now())
+	s := sm.snapshot(now())
+	if s.State != SessionUp || !s.ReportedUp || s.ConsecutiveFailures != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.DetectTime != opts.DetectTime() || s.Incarnation != 7 || s.Transitions != 2 {
+		t.Fatalf("snapshot detail = %+v", s)
+	}
+	if s.LastReply.IsZero() || s.LastTransition.IsZero() {
+		t.Fatalf("snapshot timestamps missing: %+v", s)
+	}
+}

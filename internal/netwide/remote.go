@@ -34,11 +34,21 @@ type FleetOptions struct {
 	// partial merges, and health-state transitions (normally a Registry's
 	// Fleet section). nil = uninstrumented.
 	Telemetry *telemetry.FleetStats
+	// Journal, when set, records fleet lifecycle events — switch ejects and
+	// rejoins, reconciler re-deploys — next to the controller's own
+	// reconfiguration journal. nil = unjournaled.
+	Journal *telemetry.Journal
+	// Clock overrides time.Now for health timestamps and liveness state
+	// machines (tests drive time without sleeping). nil = time.Now.
+	Clock func() time.Time
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
 	if o.DownAfter <= 0 {
 		o.DownAfter = 3
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
 	}
 	return o
 }
@@ -61,7 +71,17 @@ type RemoteFleet struct {
 	health  *healthTracker
 
 	mu      sync.Mutex
-	taskIDs map[string]int // mirror task ID (== remote IDs by construction)
+	taskIDs map[string]int                   // mirror task ID (== remote IDs by construction)
+	specs   map[string]controlplane.TaskSpec // desired spec per task, for reconciler re-deploys
+	// tombstones marks tasks whose Remove partially failed: the handle is
+	// kept (so manual retries work) but the reconciler must finish the
+	// removal instead of re-deploying the task. name → task ID.
+	tombstones map[string]int
+
+	liveness *LivenessManager
+	recon    *reconciler
+	reconMu  sync.Mutex // serializes Reconcile passes
+	stopOnce sync.Once
 }
 
 // NewRemoteFleet wraps daemon connections with default options (strict
@@ -83,12 +103,15 @@ func NewRemoteFleetOptions(clients []*rpc.Client, cfg controlplane.Config, opts 
 	}
 	h := newHealthTracker(len(clients), opts.DownAfter, addrs)
 	h.tele = opts.Telemetry
+	h.now = opts.Clock
 	return &RemoteFleet{
-		clients: clients,
-		mirror:  controlplane.NewController(cfg),
-		opts:    opts,
-		health:  h,
-		taskIDs: make(map[string]int),
+		clients:    clients,
+		mirror:     controlplane.NewController(cfg),
+		opts:       opts,
+		health:     h,
+		taskIDs:    make(map[string]int),
+		specs:      make(map[string]controlplane.TaskSpec),
+		tombstones: make(map[string]int),
 	}
 }
 
@@ -96,11 +119,129 @@ func NewRemoteFleetOptions(clients []*rpc.Client, cfg controlplane.Config, opts 
 func (f *RemoteFleet) Size() int { return len(f.clients) }
 
 // Health returns the per-switch health table (state, consecutive and
-// total failures, last error) built from every fleet operation so far.
+// total failures, last error, liveness session) built from every fleet
+// operation and hello round so far.
 func (f *RemoteFleet) Health() []SwitchHealth { return f.health.snapshot() }
+
+// journal records one fleet lifecycle event, if a journal is attached
+// (task 0 = fleet-level event not tied to one task).
+func (f *RemoteFleet) journal(kind string, task int, detail string, err error) {
+	if f.opts.Journal == nil {
+		return
+	}
+	ev := telemetry.Event{
+		Kind:   kind,
+		Task:   task,
+		Detail: detail,
+		OK:     err == nil,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	f.opts.Journal.Record(ev)
+}
+
+// StartLiveness attaches BFD-style keepalive sessions to every switch and
+// makes them the fleet's primary health signal: a switch whose session is
+// not reported-Up is ejected from fan-outs and merges without issuing an
+// RPC, and readmitted (with its op-failure residue cleared) the moment
+// the session is Up again. Call Stop to tear the sessions down.
+func (f *RemoteFleet) StartLiveness(opts LivenessOptions) {
+	if f.liveness != nil {
+		return
+	}
+	if opts.Clock == nil {
+		opts.Clock = f.opts.Clock
+	}
+	addrs := make([]string, len(f.clients))
+	for i, c := range f.clients {
+		addrs[i] = c.Addr()
+	}
+	m := NewLivenessManager(addrs, opts)
+	m.onEvent = f.onSessionEvent
+	f.liveness = m
+	m.Start()
+}
+
+// onSessionEvent folds one hello round's outcome into health, telemetry,
+// and the journal, and pokes the reconciler on rejoin.
+func (f *RemoteFleet) onSessionEvent(idx int, ev sessionEvent, snap SessionSnapshot) {
+	wasUp := false
+	if h := f.health.snapshot(); idx < len(h) {
+		wasUp = h[idx].SessionUp
+	}
+	f.health.setSession(idx, snap)
+	if tele := f.opts.Telemetry; tele != nil {
+		if ev.StateChanged {
+			switch ev.To {
+			case SessionUp:
+				tele.SessionToUp.Add(1)
+			case SessionInit:
+				tele.SessionToInit.Add(1)
+			case SessionDown:
+				tele.SessionToDown.Add(1)
+			}
+		}
+		if ev.DetectionTime > 0 {
+			tele.DetectionTime.Observe(ev.DetectionTime)
+		}
+		tele.SetSession(telemetry.SessionGauge{
+			Switch: idx,
+			Addr:   snap.Addr,
+			State:  snap.State.String(),
+			Up:     snap.ReportedUp,
+			Damped: snap.Damped,
+		})
+	}
+	if wasUp && !snap.ReportedUp {
+		if f.opts.Telemetry != nil {
+			f.opts.Telemetry.Ejects.Add(1)
+		}
+		detail := fmt.Sprintf("switch %d (%s): session %s", idx, snap.Addr, snap.State)
+		if ev.Restarted {
+			detail += " (daemon restarted)"
+		}
+		if snap.Damped {
+			detail += " (flap-damped)"
+		}
+		f.journal("eject", 0, detail, nil)
+	}
+	if !wasUp && snap.ReportedUp {
+		if f.opts.Telemetry != nil {
+			f.opts.Telemetry.Rejoins.Add(1)
+		}
+		f.journal("rejoin", 0, fmt.Sprintf("switch %d (%s): session up", idx, snap.Addr), nil)
+		f.pokeReconciler()
+	}
+}
+
+// Sessions returns the liveness sessions' current snapshots (nil when
+// liveness is not running).
+func (f *RemoteFleet) Sessions() []SessionSnapshot {
+	if f.liveness == nil {
+		return nil
+	}
+	return f.liveness.Snapshot()
+}
+
+// Stop tears down the liveness sessions and the reconciler, if running.
+// The RPC clients are the caller's and stay open.
+func (f *RemoteFleet) Stop() {
+	f.stopOnce.Do(func() {
+		if f.recon != nil {
+			f.recon.stop()
+		}
+		if f.liveness != nil {
+			f.liveness.Stop()
+		}
+	})
+}
 
 // fanOut runs op on every switch concurrently and collects per-switch
 // errors, bounded by OpTimeout. Late completions still record health.
+// Switches a liveness session has declared not-Up are ejected up front:
+// they fail immediately with a liveness error and no RPC is issued, so a
+// dead daemon costs a fleet query nothing (no timeout to wait out).
 func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error {
 	if f.opts.Telemetry != nil {
 		f.opts.Telemetry.FanOuts.Add(1)
@@ -109,8 +250,20 @@ func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error 
 		i   int
 		err error
 	}
+	errs := make(map[int]error)
+	seen := make(map[int]bool, len(f.clients))
 	ch := make(chan result, len(f.clients))
+	launched := 0
 	for i, c := range f.clients {
+		if reason, ok := f.health.ejected(i); ok {
+			errs[i] = fmt.Errorf("netwide: switch %d ejected (%s)", i, reason)
+			seen[i] = true
+			if f.opts.Telemetry != nil {
+				f.opts.Telemetry.OpFailures.Add(1)
+			}
+			continue
+		}
+		launched++
 		go func(i int, c *rpc.Client) {
 			err := op(i, c)
 			if err != nil && f.opts.Telemetry != nil {
@@ -126,9 +279,7 @@ func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error 
 		defer t.Stop()
 		timeout = t.C
 	}
-	errs := make(map[int]error)
-	seen := make(map[int]bool, len(f.clients))
-	for n := 0; n < len(f.clients); n++ {
+	for n := 0; n < launched; n++ {
 		select {
 		case r := <-ch:
 			seen[r.i] = true
@@ -210,7 +361,9 @@ func (f *RemoteFleet) Deploy(spec controlplane.TaskSpec) error {
 	}
 	f.mu.Lock()
 	f.taskIDs[spec.Name] = mt.ID
+	f.specs[spec.Name] = spec
 	f.mu.Unlock()
+	f.pokeReconciler()
 	return nil
 }
 
@@ -234,6 +387,13 @@ func (f *RemoteFleet) Remove(name string) error {
 		return err
 	})
 	if len(errs) > 0 {
+		// Tombstone the task: the handle stays (so a manual retry works)
+		// but the reconciler now knows to finish the removal on the
+		// stragglers instead of re-deploying the task onto the switches
+		// that did remove it.
+		f.mu.Lock()
+		f.tombstones[name] = id
+		f.mu.Unlock()
 		return &PartialFailureError{Op: "remove", Task: name, Failed: errs, Total: len(f.clients)}
 	}
 	f.mu.Lock()
@@ -242,6 +402,8 @@ func (f *RemoteFleet) Remove(name string) error {
 		return err
 	}
 	delete(f.taskIDs, name)
+	delete(f.specs, name)
+	delete(f.tombstones, name)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"fmt"
 	"time"
 
 	"flymon/internal/controlplane"
@@ -28,15 +29,76 @@ const (
 	MethodStats         = "stats"
 	MethodTelemetry     = "telemetry"
 	MethodPing          = "ping"
+	// MethodHello is the BFD-style liveness probe: a controller-side
+	// session sends its state at a configured tx interval and the daemon
+	// answers with its own, driving the Down/Init/Up three-way handshake
+	// (see internal/netwide liveness). Unlike MethodPing it carries session
+	// state, so both ends learn not just "reachable" but "the peer has seen
+	// my recent hellos" — and a restarted daemon is unmasked immediately by
+	// its fresh session state and changed incarnation.
+	MethodHello = "hello"
 	// MethodDebugPanic is an operator fault drill: the handler panics on
 	// purpose so deployments can verify the daemon's panic containment
 	// (the panic becomes an error Response; the daemon keeps serving).
 	MethodDebugPanic = "debug_panic"
 )
 
-// AddTaskParams carries a task spec.
+// AddTaskParams carries a task spec. WantID, when positive, pins the
+// assigned task ID (controlplane.AddTaskAt) — the reconciler's idempotent
+// re-deploy path, which must reproduce the mirror's ID on a restarted
+// daemon even across gaps left by removals.
 type AddTaskParams struct {
-	Spec controlplane.TaskSpec `json:"spec"`
+	Spec   controlplane.TaskSpec `json:"spec"`
+	WantID int                   `json:"want_id,omitempty"`
+}
+
+// Liveness session states on the wire (the BFD-style three-way handshake
+// values; AdminDown is not modeled — a closed session simply stops
+// probing).
+const (
+	HelloStateDown = 0
+	HelloStateInit = 1
+	HelloStateUp   = 2
+)
+
+// HelloStateString renders a wire-level session state.
+func HelloStateString(s int) string {
+	switch s {
+	case HelloStateDown:
+		return "down"
+	case HelloStateInit:
+		return "init"
+	case HelloStateUp:
+		return "up"
+	default:
+		return fmt.Sprintf("state(%d)", s)
+	}
+}
+
+// HelloParams is one liveness probe. Session is the sender's discriminator
+// (unique per session instance, so a restarted controller starts a fresh
+// handshake instead of inheriting stale daemon-side state); State is the
+// sender's current session state; TxIntervalNs advertises the sender's tx
+// cadence so the daemon can garbage-collect sessions that stopped probing.
+type HelloParams struct {
+	Session      string `json:"session"`
+	State        int    `json:"state"`
+	TxIntervalNs int64  `json:"tx_interval_ns,omitempty"`
+}
+
+// HelloResult answers a probe with the daemon's session state after
+// processing the received state (the other half of the three-way
+// handshake). Incarnation identifies this daemon process instance: it
+// changes when the daemon restarts, so a controller that sees a new
+// incarnation knows the daemon's tasks are gone even if the restart fell
+// between two probes. Tasks is the deployed task count — a cheap
+// convergence signal for fleet status displays.
+type HelloResult struct {
+	State       int   `json:"state"`
+	Incarnation int64 `json:"incarnation"`
+	UptimeNs    int64 `json:"uptime_ns"`
+	Tasks       int   `json:"tasks"`
+	Sessions    int   `json:"sessions"`
 }
 
 // TaskResult describes a deployed task.

@@ -371,10 +371,31 @@ func (c *Client) Ping() error {
 	return c.call(MethodPing, nil, &r)
 }
 
+// Hello sends one liveness probe carrying the local session's state and
+// returns the daemon's answer (its session state plus its process
+// incarnation). Hello is deliberately NOT in the idempotent-retry set:
+// the liveness state machine owns failure handling, and transparent
+// retries would distort its detection timing.
+func (c *Client) Hello(session string, state int, txInterval time.Duration) (HelloResult, error) {
+	var r HelloResult
+	err := c.call(MethodHello, HelloParams{
+		Session: session, State: state, TxIntervalNs: txInterval.Nanoseconds(),
+	}, &r)
+	return r, err
+}
+
 // AddTask deploys a measurement task.
 func (c *Client) AddTask(spec controlplane.TaskSpec) (TaskResult, error) {
 	var r TaskResult
 	err := c.call(MethodAddTask, AddTaskParams{Spec: spec}, &r)
+	return r, err
+}
+
+// AddTaskAt deploys a measurement task pinned to a specific task ID — the
+// reconciler's re-deploy primitive (the daemon refuses if the ID is taken).
+func (c *Client) AddTaskAt(id int, spec controlplane.TaskSpec) (TaskResult, error) {
+	var r TaskResult
+	err := c.call(MethodAddTask, AddTaskParams{Spec: spec, WantID: id}, &r)
 	return r, err
 }
 

@@ -10,12 +10,27 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"flymon/internal/controlplane"
 	"flymon/internal/packet"
 	"flymon/internal/telemetry"
 	"flymon/internal/trace"
 )
+
+// helloSession is the daemon-side half of one liveness session: the state
+// machine mirror of a controller's periodic Hello probes.
+type helloSession struct {
+	state    int
+	lastSeen time.Time
+	txNs     int64
+}
+
+// DefaultHelloGC is how long a daemon-side liveness session may go without
+// a probe before the session table forgets it (a controller that died or
+// abandoned the session). Sweeps happen lazily on incoming hellos.
+const DefaultHelloGC = 2 * time.Minute
 
 // Server exposes a controlplane.Controller over the control channel and
 // owns the daemon-side workload state (a loaded trace to replay).
@@ -25,6 +40,15 @@ type Server struct {
 	mu      sync.Mutex
 	tr      *trace.Trace
 	replays int
+
+	// Liveness: per-controller-session handshake state plus this process
+	// instance's identity. incarnation changes across restarts, which is
+	// how a controller learns its peer came back empty.
+	helloMu     sync.Mutex
+	hellos      map[string]*helloSession
+	helloGC     time.Duration
+	incarnation int64
+	started     time.Time
 
 	ln        net.Listener
 	closed    chan struct{}
@@ -41,12 +65,101 @@ type Server struct {
 	tele *telemetry.Registry
 }
 
+// incarnationSeq distinguishes servers created in the same process (tests
+// restart daemons in-process); combined with the start time it gives every
+// server instance a unique incarnation.
+var incarnationSeq atomic.Int64
+
 // NewServer wraps a controller. logf may be nil (silent).
 func NewServer(ctrl *controlplane.Controller, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{ctrl: ctrl, closed: make(chan struct{}), logf: logf, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		ctrl:        ctrl,
+		closed:      make(chan struct{}),
+		logf:        logf,
+		conns:       make(map[net.Conn]struct{}),
+		hellos:      make(map[string]*helloSession),
+		helloGC:     DefaultHelloGC,
+		incarnation: time.Now().UnixNano() + incarnationSeq.Add(1),
+		started:     time.Now(),
+	}
+}
+
+// SetHelloGC overrides how long daemon-side liveness sessions survive
+// without a probe (0 restores the default). Call before Serve.
+func (s *Server) SetHelloGC(d time.Duration) {
+	if d <= 0 {
+		d = DefaultHelloGC
+	}
+	s.helloGC = d
+}
+
+// Incarnation returns this server instance's identity value (the one
+// HelloResult reports).
+func (s *Server) Incarnation() int64 { return s.incarnation }
+
+// handleHello runs the daemon side of the BFD-style three-way handshake
+// for one received probe: fold the sender's state into this session's
+// state machine and answer with ours.
+//
+//	local Down + remote Down        → Init  (peer sees us; start coming up)
+//	local Down|Init + remote Init   → Up    (peer saw our hello — three-way done)
+//	local Init + remote Up          → Up
+//	local Up   + remote Down        → Down  (peer reset; restart the handshake)
+//	local Down + remote Up          → Down  (stale peer: it must re-init first)
+func (s *Server) handleHello(p HelloParams) HelloResult {
+	now := time.Now()
+	s.helloMu.Lock()
+	sess := s.hellos[p.Session]
+	if sess == nil {
+		sess = &helloSession{state: HelloStateDown}
+		s.hellos[p.Session] = sess
+		// Lazy GC: forget sessions whose controller stopped probing. The
+		// horizon is max(helloGC, a few advertised tx intervals) so slow
+		// sessions are not reaped between their own probes.
+		for id, other := range s.hellos {
+			horizon := s.helloGC
+			if adv := time.Duration(other.txNs) * 16; adv > horizon {
+				horizon = adv
+			}
+			if other != sess && now.Sub(other.lastSeen) > horizon {
+				delete(s.hellos, id)
+			}
+		}
+	}
+	sess.lastSeen = now
+	if p.TxIntervalNs > 0 {
+		sess.txNs = p.TxIntervalNs
+	}
+	switch p.State {
+	case HelloStateDown:
+		switch sess.state {
+		case HelloStateDown:
+			sess.state = HelloStateInit
+		case HelloStateUp:
+			sess.state = HelloStateDown
+		}
+	case HelloStateInit:
+		if sess.state != HelloStateUp {
+			sess.state = HelloStateUp
+		}
+	case HelloStateUp:
+		if sess.state == HelloStateInit {
+			sess.state = HelloStateUp
+		}
+	}
+	state := sess.state
+	nSessions := len(s.hellos)
+	s.helloMu.Unlock()
+	return HelloResult{
+		State:       state,
+		Incarnation: s.incarnation,
+		UptimeNs:    now.Sub(s.started).Nanoseconds(),
+		Tasks:       len(s.ctrl.Tasks()),
+		Sessions:    nSessions,
+	}
 }
 
 // SetTelemetry attaches a telemetry registry: the server counts every
@@ -213,12 +326,24 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 	case MethodPing:
 		return BoolResult{Value: true}, nil
 
+	case MethodHello:
+		p, err := decode[HelloParams](params)
+		if err != nil {
+			return nil, err
+		}
+		return s.handleHello(p), nil
+
 	case MethodAddTask:
 		p, err := decode[AddTaskParams](params)
 		if err != nil {
 			return nil, err
 		}
-		t, err := s.ctrl.AddTask(p.Spec)
+		var t *controlplane.Task
+		if p.WantID > 0 {
+			t, err = s.ctrl.AddTaskAt(p.WantID, p.Spec)
+		} else {
+			t, err = s.ctrl.AddTask(p.Spec)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -176,6 +176,53 @@ func WriteMetricsReport(w io.Writer, rep Report) {
 	p("flymon_fleet_health_transitions_total{to=\"healthy\"} %d\n", fl.ToHealthy)
 	p("flymon_fleet_health_transitions_total{to=\"degraded\"} %d\n", fl.ToDegraded)
 	p("flymon_fleet_health_transitions_total{to=\"down\"} %d\n", fl.ToDown)
+
+	p("# HELP flymon_fleet_session_transitions_total Liveness session state transitions.\n")
+	p("# TYPE flymon_fleet_session_transitions_total counter\n")
+	p("flymon_fleet_session_transitions_total{to=\"up\"} %d\n", fl.SessionToUp)
+	p("flymon_fleet_session_transitions_total{to=\"init\"} %d\n", fl.SessionToInit)
+	p("flymon_fleet_session_transitions_total{to=\"down\"} %d\n", fl.SessionToDown)
+	p("# HELP flymon_fleet_ejects_total Switches pulled from fan-outs/merges by liveness.\n")
+	p("# TYPE flymon_fleet_ejects_total counter\n")
+	p("flymon_fleet_ejects_total %d\n", fl.Ejects)
+	p("# HELP flymon_fleet_rejoins_total Switches readmitted after liveness recovery.\n")
+	p("# TYPE flymon_fleet_rejoins_total counter\n")
+	p("flymon_fleet_rejoins_total %d\n", fl.Rejoins)
+	p("# HELP flymon_fleet_reconcile_runs_total Desired-vs-observed anti-entropy passes.\n")
+	p("# TYPE flymon_fleet_reconcile_runs_total counter\n")
+	p("flymon_fleet_reconcile_runs_total %d\n", fl.ReconcileRuns)
+	p("# HELP flymon_fleet_redeploys_total Missing tasks re-deployed by the reconciler.\n")
+	p("# TYPE flymon_fleet_redeploys_total counter\n")
+	p("flymon_fleet_redeploys_total %d\n", fl.Redeploys)
+	p("# HELP flymon_fleet_reconcile_errors_total Per-switch reconcile failures.\n")
+	p("# TYPE flymon_fleet_reconcile_errors_total counter\n")
+	p("flymon_fleet_reconcile_errors_total %d\n", fl.ReconcileErrors)
+
+	if len(fl.Sessions) > 0 {
+		p("# HELP flymon_fleet_session_state Liveness session state per switch (0=down, 1=init, 2=up).\n")
+		p("# TYPE flymon_fleet_session_state gauge\n")
+		for _, s := range fl.Sessions {
+			v := 0
+			switch s.State {
+			case "init":
+				v = 1
+			case "up":
+				v = 2
+			}
+			p("flymon_fleet_session_state{switch=\"%d\",addr=\"%s\"} %d\n", s.Switch, s.Addr, v)
+		}
+		p("# HELP flymon_fleet_session_damped Whether flap damping is holding the switch out of service.\n")
+		p("# TYPE flymon_fleet_session_damped gauge\n")
+		for _, s := range fl.Sessions {
+			v := 0
+			if s.Damped {
+				v = 1
+			}
+			p("flymon_fleet_session_damped{switch=\"%d\",addr=\"%s\"} %d\n", s.Switch, s.Addr, v)
+		}
+	}
+
+	writeHistogram(p, "flymon_fleet_detection_seconds", "Liveness failure-detection latency (last good reply to Down).", fl.DetectionTime)
 }
 
 func writeHistogram(p func(string, ...any), name, help string, h HistogramSnapshot) {

@@ -100,9 +100,23 @@ func (s *RPCStats) Snapshot() RPCReport {
 	return r
 }
 
+// SessionGauge is one switch's liveness-session state at scrape time (the
+// per-switch label set of the flymon_fleet_session_state metric). State is
+// the session state name ("down"/"init"/"up"); Damped marks a session that
+// reached Up but is held out of service by flap damping.
+type SessionGauge struct {
+	Switch int    `json:"switch"`
+	Addr   string `json:"addr"`
+	State  string `json:"state"`
+	Up     bool   `json:"up"` // reported-Up: state Up and not damped
+	Damped bool   `json:"damped"`
+}
+
 // FleetStats counts network-wide fan-out health: how often RemoteFleet
-// queries went out, failed per switch, merged partially, and how each
-// switch's health classification moved.
+// queries went out, failed per switch, merged partially, how each switch's
+// health classification moved, and — once liveness sessions are attached —
+// the BFD-style session machinery: state transitions, ejects/rejoins,
+// detection latency, and the reconciler's anti-entropy work.
 type FleetStats struct {
 	FanOuts       atomic.Uint64 // fleet-wide operations issued
 	OpFailures    atomic.Uint64 // per-switch operation failures inside fan-outs
@@ -110,6 +124,33 @@ type FleetStats struct {
 	ToHealthy     atomic.Uint64 // health transitions into each state
 	ToDegraded    atomic.Uint64
 	ToDown        atomic.Uint64
+
+	// Liveness-session machinery.
+	SessionToUp   atomic.Uint64 // session state transitions into each state
+	SessionToInit atomic.Uint64
+	SessionToDown atomic.Uint64
+	Ejects        atomic.Uint64 // switches pulled from fan-outs/merges (reported-Up lost)
+	Rejoins       atomic.Uint64 // switches readmitted (reported-Up regained)
+	DetectionTime Histogram     // last good reply → Down detection latency
+
+	// Reconciler anti-entropy work.
+	ReconcileRuns   atomic.Uint64 // full desired-vs-observed passes
+	Redeploys       atomic.Uint64 // missing tasks re-deployed onto a switch
+	ReconcileErrors atomic.Uint64 // per-switch reconcile failures (unreachable, diverged)
+
+	mu       sync.Mutex
+	sessions map[int]SessionGauge
+}
+
+// SetSession publishes one switch's session gauge (overwriting the
+// previous value for that switch index).
+func (f *FleetStats) SetSession(g SessionGauge) {
+	f.mu.Lock()
+	if f.sessions == nil {
+		f.sessions = make(map[int]SessionGauge)
+	}
+	f.sessions[g.Switch] = g
+	f.mu.Unlock()
 }
 
 // FleetReport is the serializable form of FleetStats.
@@ -120,16 +161,47 @@ type FleetReport struct {
 	ToHealthy     uint64 `json:"to_healthy"`
 	ToDegraded    uint64 `json:"to_degraded"`
 	ToDown        uint64 `json:"to_down"`
+
+	SessionToUp     uint64            `json:"session_to_up"`
+	SessionToInit   uint64            `json:"session_to_init"`
+	SessionToDown   uint64            `json:"session_to_down"`
+	Ejects          uint64            `json:"ejects"`
+	Rejoins         uint64            `json:"rejoins"`
+	DetectionTime   HistogramSnapshot `json:"detection_time"`
+	ReconcileRuns   uint64            `json:"reconcile_runs"`
+	Redeploys       uint64            `json:"redeploys"`
+	ReconcileErrors uint64            `json:"reconcile_errors"`
+	Sessions        []SessionGauge    `json:"sessions,omitempty"`
 }
 
 // Snapshot folds the fleet counters into a plain value.
 func (f *FleetStats) Snapshot() FleetReport {
-	return FleetReport{
-		FanOuts:       f.FanOuts.Load(),
-		OpFailures:    f.OpFailures.Load(),
-		PartialMerges: f.PartialMerges.Load(),
-		ToHealthy:     f.ToHealthy.Load(),
-		ToDegraded:    f.ToDegraded.Load(),
-		ToDown:        f.ToDown.Load(),
+	r := FleetReport{
+		FanOuts:         f.FanOuts.Load(),
+		OpFailures:      f.OpFailures.Load(),
+		PartialMerges:   f.PartialMerges.Load(),
+		ToHealthy:       f.ToHealthy.Load(),
+		ToDegraded:      f.ToDegraded.Load(),
+		ToDown:          f.ToDown.Load(),
+		SessionToUp:     f.SessionToUp.Load(),
+		SessionToInit:   f.SessionToInit.Load(),
+		SessionToDown:   f.SessionToDown.Load(),
+		Ejects:          f.Ejects.Load(),
+		Rejoins:         f.Rejoins.Load(),
+		DetectionTime:   f.DetectionTime.Snapshot(),
+		ReconcileRuns:   f.ReconcileRuns.Load(),
+		Redeploys:       f.Redeploys.Load(),
+		ReconcileErrors: f.ReconcileErrors.Load(),
 	}
+	f.mu.Lock()
+	idx := make([]int, 0, len(f.sessions))
+	for i := range f.sessions {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		r.Sessions = append(r.Sessions, f.sessions[i])
+	}
+	f.mu.Unlock()
+	return r
 }
