@@ -13,7 +13,7 @@
 // or may not have applied them — re-check with `list`).
 //
 // Commands: add, rm, resize, list, estimate, cardinality, contains,
-// distribution, resources, gen, replay, stats, fleet.
+// distribution, resources, gen, replay, stats, fleet, query.
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"flymon/internal/cli"
@@ -77,6 +78,12 @@ global:
 	// single-daemon dial below, which would die on the first dead address.
 	if cmd == "fleet" {
 		cmdFleet(addr, opts, args)
+		return
+	}
+	// query likewise fans out to its own -addrs list and must keep going
+	// when a switch is down (that is what the straggler report is for).
+	if cmd == "query" {
+		cmdQuery(addr, opts, args)
 		return
 	}
 
@@ -162,6 +169,15 @@ commands:
                probe a fleet with BFD-style liveness sessions and print the
                per-switch table (session state, detect time, failures,
                observed/desired tasks); '*' marks a flap-damped session
+  query        -addrs a:9177,b:9177 -name N [-epoch E] [-policy wait|skip|partial]
+               [-wait 2s] [-op add|max|or|xor] [-arity K]
+               [-estimate -key SPEC -src IP -dst IP ...]
+               epoch-coherent network-wide readout: every switch's epoch-E
+               register snapshot (binary frames) streamed through the
+               parallel sketch-merge tree. -epoch 0 pins the first healthy
+               switch's latest completed epoch. The report separates
+               stragglers (reachable, behind) from failures (unreachable);
+               -estimate probes the merged rows for a flow key (CMS min)
 `)
 }
 
@@ -399,6 +415,181 @@ func printFleet(m *netwide.LivenessManager, opts rpc.Options) {
 					s.Addr, len(union)-observed[i])
 			}
 		}
+	}
+}
+
+// cmdQuery runs an epoch-coherent network-wide readout without a resident
+// fleet controller: dial every switch, fetch its epoch-E snapshot under
+// the straggler policy (FetchEpochRows polls behind switches up to the
+// wait bound), and stream the leaves through the parallel sketch-merge
+// tree. The per-switch outcome table separates stragglers from failures —
+// the CLI rendering of the QueryReport the fleet plane produces.
+func cmdQuery(defaultAddr string, opts rpc.Options, args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addrsFlag := fs.String("addrs", defaultAddr, "comma-separated daemon control-channel addresses")
+	name := fs.String("name", "", "epoch task name")
+	epochN := fs.Int("epoch", 0, "completed epoch to read (0 = first healthy switch's latest)")
+	policyStr := fs.String("policy", "wait", "straggler policy: wait|skip|partial")
+	waitBound := fs.Duration("wait", netwide.DefaultEpochWait, "straggler wait bound (wait/partial policies)")
+	opStr := fs.String("op", "add", "merge op: add|max|or|xor")
+	arity := fs.Int("arity", 0, "merge-tree fan-in (0 = default)")
+	estimate := fs.Bool("estimate", false, "probe the merged rows for the key flags' flow (CMS min)")
+	p, keyStr := packetFromFlags(fs, args) // parses the flag set
+
+	if *name == "" {
+		fatal(fmt.Errorf("query: -name is required"))
+	}
+	policy, err := netwide.ParseStragglerPolicy(*policyStr)
+	if err != nil {
+		fatal(err)
+	}
+	op, err := netwide.ParseMergeOp(*opStr)
+	if err != nil {
+		fatal(err)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*addrsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("query: no addresses"))
+	}
+
+	// Dial everything up front; a dead switch becomes a failure row, not a
+	// command abort.
+	clients := make([]*rpc.Client, len(addrs))
+	outcome := make([]string, len(addrs)) // "" = contributed
+	for i, a := range addrs {
+		c, err := rpc.DialOptions(a, opts)
+		if err != nil {
+			outcome[i] = fmt.Sprintf("failed: %v", err)
+			continue
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+
+	// Pin the epoch: coherence means every switch answers for the SAME E,
+	// so "latest" is resolved once, not per switch.
+	pinned := *epochN
+	if pinned <= 0 {
+		for _, c := range clients {
+			if c == nil {
+				continue
+			}
+			res, err := c.ReadEpoch(*name, 0)
+			if err != nil {
+				fatal(fmt.Errorf("query: resolving latest epoch: %w", err))
+			}
+			pinned = res.Epoch
+			break
+		}
+		if pinned <= 0 {
+			fatal(fmt.Errorf("query: no reachable switch to resolve the latest epoch"))
+		}
+	}
+
+	q := netwide.EpochQuery{Policy: policy, Wait: *waitBound, Op: op}
+	leaves := make(chan netwide.Leaf, len(addrs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		frozenID int
+	)
+	for i, c := range clients {
+		if c == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *rpc.Client) {
+			defer wg.Done()
+			rows, fid, err := netwide.FetchEpochRows(c, *name, pinned, q)
+			if err != nil {
+				mu.Lock()
+				if have, ok := netwide.StragglerEpoch(err); ok {
+					outcome[i] = fmt.Sprintf("straggler: behind @ epoch %d", have)
+				} else {
+					outcome[i] = fmt.Sprintf("failed: %v", err)
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			if frozenID == 0 {
+				frozenID = fid
+			}
+			mu.Unlock()
+			leaves <- netwide.Leaf{Switch: i, Rows: rows}
+		}(i, c)
+	}
+	go func() { wg.Wait(); close(leaves) }()
+	res, err := netwide.MergeStream(leaves, op, netwide.TreeOptions{Task: *name, Arity: *arity})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("epoch %d, op %s, policy %s: %d/%d switches contributed\n",
+		pinned, op, policy, len(res.Contributed), len(addrs))
+	stragglers := 0
+	for i, a := range addrs {
+		o := outcome[i]
+		if o == "" {
+			o = "ok"
+		}
+		if strings.HasPrefix(o, "straggler") {
+			stragglers++
+		}
+		fmt.Printf("  %-22s %s\n", a, o)
+	}
+	if res.Rows == nil {
+		fatal(fmt.Errorf("query: no switch contributed rows"))
+	}
+	buckets, nonzero := 0, 0
+	for _, row := range res.Rows {
+		buckets += len(row)
+		for _, v := range row {
+			if v != 0 {
+				nonzero++
+			}
+		}
+	}
+	fmt.Printf("merged %d rows × %d buckets (%d nonzero), tree depth %d, %d merges\n",
+		len(res.Rows), buckets/max(len(res.Rows), 1), nonzero, res.Depth, res.Merges)
+
+	if *estimate {
+		spec, err := cli.ParseKeySpec(keyStr)
+		if err != nil {
+			fatal(err)
+		}
+		key := spec.Extract(p)
+		var idx []uint32
+		for i, c := range clients {
+			if c == nil || outcome[i] != "" {
+				continue
+			}
+			if idx, err = c.KeyIndices(frozenID, key); err == nil {
+				break
+			}
+		}
+		if idx == nil {
+			fatal(fmt.Errorf("query: no contributing switch answered key_indices: %v", err))
+		}
+		min := ^uint32(0)
+		for i, ix := range idx {
+			if i >= len(res.Rows) || int(ix) >= len(res.Rows[i]) {
+				fatal(fmt.Errorf("query: index %d out of range for merged row %d", ix, i))
+			}
+			if v := res.Rows[i][ix]; v < min {
+				min = v
+			}
+		}
+		fmt.Printf("estimate for %s @ epoch %d: %d (%d-of-%d lower bound)\n",
+			spec, pinned, min, len(res.Contributed), len(addrs))
+	}
+	if policy == netwide.StragglerWait && (stragglers > 0 || len(res.Contributed) < len(addrs)) {
+		os.Exit(1) // a wait-policy caller asked for all-or-nothing
 	}
 }
 

@@ -87,6 +87,29 @@ func (r *Rotator) Rotate() (frozenID int, err error) {
 	return r.frozen, nil
 }
 
+// AdvanceTo rotates until Epoch() reaches target, invoking onRotate (when
+// non-nil) after each completed rotation with the new epoch number and the
+// newly frozen task ID — the hook daemons use to snapshot each epoch's
+// registers before the copy is reclaimed two rotations later. AdvanceTo is
+// idempotent: a target at or below the current epoch is a no-op, which is
+// what lets a fleet controller re-send "rotate to epoch E" to a switch
+// that may or may not have seen the first attempt (and lets a straggler
+// that missed rotations catch up in one call).
+func (r *Rotator) AdvanceTo(target int, onRotate func(epoch, frozenID int) error) error {
+	for r.epoch < target {
+		frozenID, err := r.Rotate()
+		if err != nil {
+			return err
+		}
+		if onRotate != nil {
+			if err := onRotate(r.epoch, frozenID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // ReadFrozen reads the frozen copy's per-key estimate.
 func (r *Rotator) ReadFrozen(k packet.CanonicalKey) (float64, error) {
 	if r.frozen == 0 {

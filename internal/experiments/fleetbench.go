@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/netwide"
+	"flymon/internal/packet"
+	"flymon/internal/rpc"
+	"flymon/internal/telemetry"
+	"flymon/internal/trace"
+)
+
+// FleetBench measures the network-wide query plane at fleet scale: N
+// in-process daemons (real rpc.Server instances on loopback, not stubs)
+// holding one frequency task each, queried with the flat sequential fold
+// and the parallel merge tree over identical register state. It verifies
+// bit-identical results across both engines on every mergeable op before
+// timing anything, then emits Go-benchmark-format lines so cmd/benchcmp
+// can compare medians (`-pair 'engine=flat:engine=tree'`).
+
+// FleetBenchOptions parameterizes one scaling sweep.
+type FleetBenchOptions struct {
+	// Sizes are the fleet sizes to sweep (default 4, 32, 128, 256).
+	Sizes []int
+	// Count is the number of timed samples per engine per size — one
+	// bench line each, for median-of-Count comparison (default 5).
+	Count int
+	// Seed drives the workload.
+	Seed int64
+	// Out receives the benchmark lines as they are produced (nil = only
+	// the returned table).
+	Out io.Writer
+}
+
+// benchFleet is one booted loopback fleet.
+type benchFleet struct {
+	fleet   *netwide.RemoteFleet
+	ctrls   []*controlplane.Controller
+	servers []*rpc.Server
+	clients []*rpc.Client
+	tele    *telemetry.FleetStats
+}
+
+func (b *benchFleet) close() {
+	b.fleet.Stop()
+	for _, c := range b.clients {
+		c.Close()
+	}
+	for _, s := range b.servers {
+		s.Close()
+	}
+}
+
+// bootBenchFleet starts n daemons on loopback and deploys one frequency
+// task fed with a spread workload. The geometry is kept modest so a
+// 256-daemon fleet fits comfortably in memory while rows stay large
+// enough that codec and merge cost dominate, as they do at real scale.
+func bootBenchFleet(n int, seed int64) (*benchFleet, error) {
+	cfg := controlplane.Config{Groups: 1, Buckets: 65536, BitWidth: 32}
+	b := &benchFleet{tele: &telemetry.FleetStats{}}
+	fail := func(err error) (*benchFleet, error) {
+		b.close()
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		ctrl := controlplane.NewController(cfg)
+		srv := rpc.NewServer(ctrl, nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		b.ctrls = append(b.ctrls, ctrl)
+		b.servers = append(b.servers, srv)
+		c, err := rpc.DialOptions(addr, rpc.Options{
+			DialTimeout: 5 * time.Second,
+			CallTimeout: 30 * time.Second,
+			MaxRetries:  -1,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		b.clients = append(b.clients, c)
+	}
+	b.fleet = netwide.NewRemoteFleetOptions(b.clients, cfg, netwide.FleetOptions{
+		Telemetry: b.tele,
+	})
+	spec := controlplane.TaskSpec{
+		Name: "freq", Key: packet.KeyFiveTuple,
+		Attribute: controlplane.AttrFrequency, MemBuckets: 16384, D: 3,
+	}
+	if err := b.fleet.Deploy(spec); err != nil {
+		return fail(err)
+	}
+	// Every daemon sees a distinct slice of one workload — disjoint
+	// sub-streams, the paper's network-wide measurement model.
+	tr := trace.Generate(trace.Config{Flows: 2_000, Packets: 40_000, ZipfS: 1.1, Seed: seed})
+	for i := range tr.Packets {
+		b.ctrls[i%n].Process(&tr.Packets[i])
+	}
+	return b, nil
+}
+
+// verifyEngines asserts flat and tree produce bit-identical rows for
+// every op in the merge algebra over the live fleet.
+func (b *benchFleet) verifyEngines() error {
+	for _, op := range []netwide.MergeOp{netwide.MergeAdd, netwide.MergeMax, netwide.MergeOr, netwide.MergeXor} {
+		flat, report, err := b.fleet.MergedRows("freq", op, netwide.EngineFlat)
+		if err != nil {
+			return fmt.Errorf("flat %s: %w", op, err)
+		}
+		if report.Partial() {
+			return fmt.Errorf("flat %s: partial report %s", op, report)
+		}
+		tree, report, err := b.fleet.MergedRows("freq", op, netwide.EngineTree)
+		if err != nil {
+			return fmt.Errorf("tree %s: %w", op, err)
+		}
+		if report.Partial() {
+			return fmt.Errorf("tree %s: partial report %s", op, report)
+		}
+		if len(flat) != len(tree) {
+			return fmt.Errorf("%s: row counts differ (%d vs %d)", op, len(flat), len(tree))
+		}
+		for r := range flat {
+			for j := range flat[r] {
+				if flat[r][j] != tree[r][j] {
+					return fmt.Errorf("%s: engines diverge at row %d bucket %d (flat %d, tree %d)",
+						op, r, j, flat[r][j], tree[r][j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// timeQuery runs one fleet-wide MergeAdd query under the engine and
+// returns its wall time.
+func (b *benchFleet) timeQuery(engine netwide.Engine) (time.Duration, error) {
+	start := time.Now()
+	_, report, err := b.fleet.MergedRows("freq", netwide.MergeAdd, engine)
+	if err != nil {
+		return 0, err
+	}
+	if report.Partial() {
+		return 0, fmt.Errorf("partial report %s", report)
+	}
+	return time.Since(start), nil
+}
+
+func medianDuration(v []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), v...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// FleetBench runs the scaling sweep and returns the summary table.
+func FleetBench(opt FleetBenchOptions) (*Table, error) {
+	sizes := opt.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{4, 32, 128, 256}
+	}
+	count := opt.Count
+	if count <= 0 {
+		count = 5
+	}
+	out := opt.Out
+	if out == nil {
+		out = io.Discard
+	}
+	tbl := &Table{
+		Title:  "Fleet query scaling: flat fold vs parallel merge tree (MergeAdd, median of samples)",
+		Header: []string{"switches", "flat ms", "tree ms", "speedup", "tree depth"},
+		Notes: []string{
+			"engines verified bit-identical on add/max/or/xor before timing",
+			fmt.Sprintf("%d samples per engine per size; compare medians with benchcmp -pair 'engine=flat:engine=tree'", count),
+		},
+	}
+	for _, n := range sizes {
+		b, err := bootBenchFleet(n, opt.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fleet of %d: %w", n, err)
+		}
+		if err := b.verifyEngines(); err != nil {
+			b.close()
+			return nil, fmt.Errorf("fleet of %d: %w", n, err)
+		}
+		samples := map[netwide.Engine][]time.Duration{}
+		for _, engine := range []netwide.Engine{netwide.EngineFlat, netwide.EngineTree} {
+			if _, err := b.timeQuery(engine); err != nil { // warm-up: fills pools, JITs paths
+				b.close()
+				return nil, fmt.Errorf("fleet of %d, engine %s: %w", n, engine, err)
+			}
+			for s := 0; s < count; s++ {
+				el, err := b.timeQuery(engine)
+				if err != nil {
+					b.close()
+					return nil, fmt.Errorf("fleet of %d, engine %s: %w", n, engine, err)
+				}
+				samples[engine] = append(samples[engine], el)
+				fmt.Fprintf(out, "BenchmarkFleetQuery/engine=%s/switches=%d \t       1\t%12d ns/op\n",
+					engine, n, el.Nanoseconds())
+			}
+		}
+		depth := b.tele.MergeTree.LastDepth.Load()
+		b.close()
+		flat := medianDuration(samples[netwide.EngineFlat])
+		tree := medianDuration(samples[netwide.EngineTree])
+		speedup := float64(flat) / float64(tree)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", float64(flat)/1e6),
+			fmt.Sprintf("%.2f", float64(tree)/1e6),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%d", depth),
+		})
+	}
+	return tbl, nil
+}

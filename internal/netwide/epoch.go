@@ -1,0 +1,520 @@
+package netwide
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/core/algorithms"
+	"flymon/internal/epoch"
+	"flymon/internal/packet"
+	"flymon/internal/rpc"
+	"flymon/internal/telemetry"
+)
+
+// Epoch-coherent fleet readouts: "everyone's state for epoch E".
+//
+// A live fleet query merges registers captured at slightly different
+// instants — each switch keeps counting while the fan-out is in flight,
+// so the merged answer corresponds to no single cut of the traffic. The
+// epoch plane fixes that: every switch runs the same epoch.Rotator
+// (freeze-and-divert double buffering), the fleet controller decrees
+// rotations with an explicit target epoch (idempotent, so retries and
+// catch-ups converge), and queries read the per-epoch register snapshots
+// the daemons froze — the merge tree then combines only same-epoch rows.
+// A switch that missed a rotation is a STRAGGLER: reachable, healthy,
+// but behind. The straggler policy decides what a query does about it.
+
+// StragglerPolicy selects how an epoch query treats a reachable switch
+// that has not completed the requested epoch.
+type StragglerPolicy int
+
+const (
+	// StragglerWait polls behind switches until the wait bound; if any is
+	// still behind at the bound, the query FAILS (coherent or nothing).
+	StragglerWait StragglerPolicy = iota
+	// StragglerSkip merges immediately without behind switches (k-of-n).
+	StragglerSkip
+	// StragglerPartial polls like Wait, but a switch still behind at the
+	// bound is dropped from the merge and reported instead of failing the
+	// query.
+	StragglerPartial
+)
+
+func (p StragglerPolicy) String() string {
+	switch p {
+	case StragglerWait:
+		return "wait"
+	case StragglerSkip:
+		return "skip"
+	case StragglerPartial:
+		return "partial"
+	default:
+		return fmt.Sprintf("StragglerPolicy(%d)", int(p))
+	}
+}
+
+// ParseStragglerPolicy resolves a CLI-facing policy name.
+func ParseStragglerPolicy(s string) (StragglerPolicy, error) {
+	switch s {
+	case "wait", "":
+		return StragglerWait, nil
+	case "skip":
+		return StragglerSkip, nil
+	case "partial":
+		return StragglerPartial, nil
+	default:
+		return 0, fmt.Errorf("netwide: unknown straggler policy %q (want wait|skip|partial)", s)
+	}
+}
+
+// DefaultEpochWait bounds straggler polling when EpochQuery.Wait is zero.
+const DefaultEpochWait = 2 * time.Second
+
+// EpochQuery parameterizes one epoch-coherent readout.
+type EpochQuery struct {
+	// Policy is the straggler policy (default wait).
+	Policy StragglerPolicy
+	// Wait bounds straggler polling for the wait/partial policies
+	// (default DefaultEpochWait).
+	Wait time.Duration
+	// Op is the merge operation (default add).
+	Op MergeOp
+}
+
+func (q EpochQuery) withDefaults() EpochQuery {
+	if q.Wait <= 0 {
+		q.Wait = DefaultEpochWait
+	}
+	return q
+}
+
+// fleetEpoch is the controller-side handle of one fleet-wide epoch task:
+// the mirror rotator (kept in lockstep with every daemon's) plus the
+// spec. Epoch tasks live outside taskIDs/specs deliberately — the
+// reconciler must never treat a daemon's rotating #k copies as drift.
+type fleetEpoch struct {
+	rot  *epoch.Rotator
+	spec controlplane.TaskSpec
+}
+
+// stragglerError marks "reachable but behind" inside a fan-out, so the
+// report can separate stragglers from failures.
+type stragglerError struct {
+	want, have int
+}
+
+func (e *stragglerError) Error() string {
+	return fmt.Sprintf("netwide: straggler: wants epoch %d, has %d", e.want, e.have)
+}
+
+// StragglerEpoch reports whether err classifies a switch as a straggler
+// (reachable but behind the requested epoch) and, if so, the epoch it has
+// completed — the hook CLI callers of FetchEpochRows use to render
+// "behind @ E" instead of a failure.
+func StragglerEpoch(err error) (int, bool) {
+	var se *stragglerError
+	if errors.As(err, &se) {
+		return se.have, true
+	}
+	return -1, false
+}
+
+// DeployEpoch installs an epoch task (a rotator) on every daemon and on
+// the mirror, all-or-nothing with rollback like Deploy. The task's name
+// must be unused by both planes.
+func (f *RemoteFleet) DeployEpoch(spec controlplane.TaskSpec) error {
+	f.mu.Lock()
+	if _, ok := f.taskIDs[spec.Name]; ok {
+		f.mu.Unlock()
+		return fmt.Errorf("netwide: task %q already deployed", spec.Name)
+	}
+	if _, ok := f.epochs[spec.Name]; ok {
+		f.mu.Unlock()
+		return fmt.Errorf("netwide: epoch task %q already deployed", spec.Name)
+	}
+	rot, err := epoch.NewRotator(f.mirror, spec)
+	if err != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("netwide: mirror epoch deploy of %q: %w", spec.Name, err)
+	}
+	f.mu.Unlock()
+
+	var dmu sync.Mutex
+	deployed := make(map[int]bool)
+	var diverged error
+	errs := f.fanOut(func(i int, c *rpc.Client) error {
+		et, err := c.EpochDeploy(spec)
+		if err != nil {
+			return fmt.Errorf("netwide: epoch deploy of %q on daemon %d: %w", spec.Name, i, err)
+		}
+		dmu.Lock()
+		deployed[i] = true
+		if et.Task.ID != rot.ActiveID() && diverged == nil {
+			diverged = fmt.Errorf("netwide: daemon %d assigned epoch task ID %d, mirror expected %d — configurations diverged",
+				i, et.Task.ID, rot.ActiveID())
+		}
+		dmu.Unlock()
+		return nil
+	})
+	dmu.Lock()
+	defer dmu.Unlock()
+	if len(errs) > 0 || diverged != nil {
+		var wg sync.WaitGroup
+		for i := range deployed {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_ = f.clients[i].EpochRemove(spec.Name)
+			}(i)
+		}
+		wg.Wait()
+		_ = rot.Close()
+		if diverged != nil {
+			return diverged
+		}
+		for _, i := range sortedKeys(errs) {
+			return errs[i]
+		}
+	}
+	f.mu.Lock()
+	f.epochs[spec.Name] = &fleetEpoch{rot: rot, spec: spec}
+	f.mu.Unlock()
+	f.journal("epoch_deploy", rot.ActiveID(), spec.Name, nil)
+	return nil
+}
+
+// RemoveEpochTask reclaims an epoch task everywhere. Like Remove, a
+// partial failure keeps the handle so a retry only needs the stragglers
+// ("no epoch task" answers are treated as already removed).
+func (f *RemoteFleet) RemoveEpochTask(name string) error {
+	f.mu.Lock()
+	et := f.epochs[name]
+	f.mu.Unlock()
+	if et == nil {
+		return fmt.Errorf("netwide: no epoch task %q", name)
+	}
+	errs := f.fanOut(func(i int, c *rpc.Client) error {
+		err := c.EpochRemove(name)
+		if err != nil && rpc.IsNoEpochTask(err) {
+			return nil
+		}
+		return err
+	})
+	if len(errs) > 0 {
+		return &PartialFailureError{Op: "epoch_remove", Task: name, Failed: errs, Total: len(f.clients)}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.epochs, name)
+	return et.rot.Close()
+}
+
+// EpochOf returns the fleet's current completed epoch for an epoch task
+// (the mirror's rotation count — the epoch queries default to).
+func (f *RemoteFleet) EpochOf(name string) (int, error) {
+	f.mu.Lock()
+	et := f.epochs[name]
+	f.mu.Unlock()
+	if et == nil {
+		return 0, fmt.Errorf("netwide: no epoch task %q", name)
+	}
+	f.epochMu.Lock()
+	defer f.epochMu.Unlock()
+	return et.rot.Epoch(), nil
+}
+
+// RotateEpoch ends the current epoch fleet-wide: the mirror rotates
+// first (establishing the new target epoch), then every daemon is told
+// to advance to that explicit target. The daemon-side advance is
+// idempotent, so transport failures are retried once, and a switch that
+// misses this rotation entirely catches up — snapshotting the epochs it
+// missed — on the next one. Failed switches become stragglers for
+// queries in the meantime; with AllowPartial unset they also fail this
+// call (the rotation itself, and the mirror, remain advanced either
+// way — rotation is a decree, not a transaction).
+func (f *RemoteFleet) RotateEpoch(name string) (int, error) {
+	f.mu.Lock()
+	et := f.epochs[name]
+	f.mu.Unlock()
+	if et == nil {
+		return 0, fmt.Errorf("netwide: no epoch task %q", name)
+	}
+	f.epochMu.Lock()
+	defer f.epochMu.Unlock()
+	if _, err := et.rot.Rotate(); err != nil {
+		return 0, fmt.Errorf("netwide: mirror rotate of %q: %w", name, err)
+	}
+	target := et.rot.Epoch()
+	errs := f.fanOut(func(i int, c *rpc.Client) error {
+		_, err := c.EpochRotate(name, target)
+		var te *rpc.TransportError
+		if errors.As(err, &te) {
+			// Explicit-target rotation is idempotent: one immediate retry
+			// covers the applied-but-unacknowledged case.
+			_, err = c.EpochRotate(name, target)
+		}
+		if err != nil {
+			return fmt.Errorf("netwide: rotating %q to epoch %d on daemon %d: %w", name, target, i, err)
+		}
+		return nil
+	})
+	f.journal("epoch_rotate", 0, fmt.Sprintf("%s to epoch %d (%d/%d switches)",
+		name, target, len(f.clients)-len(errs), len(f.clients)), nil)
+	if len(errs) > 0 && !f.opts.AllowPartial {
+		return target, &PartialFailureError{Op: "epoch_rotate", Task: name, Failed: errs, Total: len(f.clients)}
+	}
+	return target, nil
+}
+
+// pollInterval picks the straggler poll cadence from the wait bound.
+func pollInterval(wait time.Duration) time.Duration {
+	p := wait / 20
+	if p < 5*time.Millisecond {
+		p = 5 * time.Millisecond
+	}
+	if p > 100*time.Millisecond {
+		p = 100 * time.Millisecond
+	}
+	return p
+}
+
+// FetchEpochRows reads one daemon's epoch-E snapshot with the straggler
+// policy applied locally: a behind daemon is polled until the wait bound
+// (wait/partial) or surfaced immediately (skip). It returns the rows and
+// the frozen task ID the snapshot came from — the handle key_indices
+// needs. This is the mirror-less building block flymonctl query feeds
+// into MergeStream.
+func FetchEpochRows(c *rpc.Client, name string, epochN int, q EpochQuery) ([][]uint32, int, error) {
+	q = q.withDefaults()
+	res, err := pollEpoch(c, name, epochN, q, nil, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.FrameRows(nil), res.FrozenID, nil
+}
+
+// pollEpoch is the per-switch epoch fetch: read, classify, and — under
+// the wait/partial policies — poll while the daemon is behind. stats
+// (when set) receives the straggler outcome counters.
+func pollEpoch(c *rpc.Client, name string, epochN int, q EpochQuery, stats statsSink, clock func() time.Time) (rpc.EpochRegistersResult, error) {
+	if clock == nil {
+		clock = time.Now
+	}
+	start := clock()
+	deadline := start.Add(q.Wait)
+	poll := pollInterval(q.Wait)
+	polled := false
+	for {
+		res, err := c.ReadEpoch(name, epochN)
+		if err == nil {
+			if polled && stats != nil {
+				stats.stragglerCaughtUp(clock().Sub(start))
+			}
+			return res, nil
+		}
+		if !rpc.IsEpochUnavailable(err) {
+			return rpc.EpochRegistersResult{}, err
+		}
+		have := rpc.EpochUnavailableHave(err)
+		if have > epochN {
+			// Not behind — ahead: the snapshot was already evicted by
+			// retention. Waiting cannot bring it back.
+			return rpc.EpochRegistersResult{}, fmt.Errorf("netwide: epoch %d of %q evicted on this daemon (retention window passed): %w", epochN, name, err)
+		}
+		if q.Policy == StragglerSkip {
+			if stats != nil {
+				stats.stragglerSkipped()
+			}
+			return rpc.EpochRegistersResult{}, &stragglerError{want: epochN, have: have}
+		}
+		if !clock().Before(deadline) {
+			if stats != nil {
+				stats.stragglerTimedOut(clock().Sub(start))
+			}
+			return rpc.EpochRegistersResult{}, &stragglerError{want: epochN, have: have}
+		}
+		polled = true
+		time.Sleep(poll)
+	}
+}
+
+// statsSink decouples pollEpoch from telemetry so the CLI path can run
+// uninstrumented.
+type statsSink interface {
+	stragglerCaughtUp(waited time.Duration)
+	stragglerSkipped()
+	stragglerTimedOut(waited time.Duration)
+}
+
+// mergeTreeSink adapts telemetry.MergeTreeStats to statsSink.
+type mergeTreeSink struct{ st *telemetry.MergeTreeStats }
+
+func (s mergeTreeSink) stragglerCaughtUp(waited time.Duration) {
+	s.st.StragglerWaits.Add(1)
+	s.st.StragglerWait.Observe(waited)
+}
+
+func (s mergeTreeSink) stragglerSkipped() { s.st.StragglersSkipped.Add(1) }
+
+func (s mergeTreeSink) stragglerTimedOut(waited time.Duration) {
+	s.st.StragglersTimedOut.Add(1)
+	s.st.StragglerWait.Observe(waited)
+}
+
+// fleetSink wraps the fleet's merge-tree stats as a statsSink (nil-safe:
+// a nil stats pointer yields a nil interface, not a typed-nil trap).
+func fleetSink(st *telemetry.MergeTreeStats) statsSink {
+	if st == nil {
+		return nil
+	}
+	return mergeTreeSink{st}
+}
+
+// QueryEpochRows merges the fleet's registers for one completed epoch
+// (epochN <= 0 = the fleet's latest) under the straggler policy, through
+// the merge tree. The report pins the epoch and separates stragglers
+// (reachable, behind) from failures (unreachable); transport failures
+// still honor AllowPartial, and under the wait policy any switch still
+// behind at the bound fails the whole query.
+func (f *RemoteFleet) QueryEpochRows(name string, epochN int, q EpochQuery) ([][]uint32, QueryReport, error) {
+	q = q.withDefaults()
+	f.mu.Lock()
+	et := f.epochs[name]
+	f.mu.Unlock()
+	var report QueryReport
+	if et == nil {
+		return nil, report, fmt.Errorf("netwide: no epoch task %q", name)
+	}
+	if epochN <= 0 {
+		f.epochMu.Lock()
+		epochN = et.rot.Epoch()
+		f.epochMu.Unlock()
+	}
+	if epochN == 0 {
+		return nil, report, fmt.Errorf("netwide: epoch task %q has no completed epoch yet (rotate first)", name)
+	}
+	report.Epoch = epochN
+	st := f.mergeStats()
+	if st != nil {
+		st.EpochQueries.Add(1)
+	}
+	// The fan-out deadline must leave room for straggler polling on top
+	// of the usual per-op budget.
+	timeout := f.opts.OpTimeout
+	if timeout > 0 && q.Policy != StragglerSkip {
+		timeout += q.Wait
+	}
+	stream := f.fanOutRows(timeout, func(i int, c *rpc.Client) ([][]uint32, error) {
+		res, err := pollEpoch(c, name, epochN, q, fleetSink(st), nil)
+		if err != nil {
+			return nil, err
+		}
+		if res.Epoch != epochN {
+			return nil, fmt.Errorf("netwide: daemon %d answered epoch %d for requested epoch %d", i, res.Epoch, epochN)
+		}
+		return res.FrameRows(f.getRowBuf()), nil
+	})
+	errs := make(map[int]error)
+	leaves := make(chan Leaf, len(f.clients))
+	go func() {
+		defer close(leaves)
+		for r := range stream {
+			if r.err != nil {
+				errs[r.i] = r.err
+				continue
+			}
+			leaves <- Leaf{Switch: r.i, Rows: r.rows}
+		}
+	}()
+	res, mergeErr := MergeStream(leaves, q.Op, TreeOptions{
+		Task:    name,
+		Arity:   f.opts.MergeArity,
+		Stats:   st,
+		Recycle: f.putRowBuf,
+	})
+	report.Contributed = res.Contributed
+	report.Failed = make(map[int]string)
+	report.Stragglers = make(map[int]int)
+	var stragglerErrs []int
+	for i, err := range errs {
+		var se *stragglerError
+		if errors.As(err, &se) {
+			report.Stragglers[i] = se.have
+			stragglerErrs = append(stragglerErrs, i)
+			continue
+		}
+		report.Failed[i] = err.Error()
+	}
+	if mergeErr != nil {
+		return nil, report, mergeErr
+	}
+	if q.Policy == StragglerWait && len(stragglerErrs) > 0 {
+		failed := make(map[int]error, len(stragglerErrs))
+		for _, i := range stragglerErrs {
+			failed[i] = errs[i]
+		}
+		return nil, report, &PartialFailureError{Op: "read_epoch", Task: name, Failed: failed, Total: len(f.clients)}
+	}
+	if len(report.Failed) > 0 && !f.opts.AllowPartial {
+		for _, i := range sortedKeys(errs) {
+			if _, isStraggler := report.Stragglers[i]; !isStraggler {
+				return nil, report, errs[i]
+			}
+		}
+	}
+	if res.Rows == nil {
+		return nil, report, &PartialFailureError{Op: "read_epoch", Task: name, Failed: errs, Total: len(f.clients)}
+	}
+	if report.Partial() && f.opts.Telemetry != nil {
+		f.opts.Telemetry.PartialMerges.Add(1)
+	}
+	return res.Rows, report, nil
+}
+
+// EstimateKeyEpoch is EstimateKeyPartial pinned to an epoch boundary:
+// the fleet-wide frequency of key k in exactly epoch E's traffic. Only
+// the latest completed epoch can be estimated through the mirror (older
+// frozen copies are reclaimed two rotations later; flymonctl query
+// covers the retention window via the daemons' key_indices).
+func (f *RemoteFleet) EstimateKeyEpoch(name string, epochN int, k packet.CanonicalKey, q EpochQuery) (uint64, QueryReport, error) {
+	f.mu.Lock()
+	et := f.epochs[name]
+	f.mu.Unlock()
+	if et == nil {
+		return 0, QueryReport{}, fmt.Errorf("netwide: no epoch task %q", name)
+	}
+	f.epochMu.Lock()
+	current := et.rot.Epoch()
+	frozenID := et.rot.FrozenID()
+	f.epochMu.Unlock()
+	if epochN <= 0 {
+		epochN = current
+	}
+	if epochN != current {
+		return 0, QueryReport{}, fmt.Errorf("netwide: epoch %d of %q is no longer index-mapped by the mirror (current epoch %d)", epochN, name, current)
+	}
+	q.Op = MergeAdd
+	merged, report, err := f.QueryEpochRows(name, epochN, q)
+	if err != nil {
+		return 0, report, err
+	}
+	h, err := f.mirror.TaskHandle(frozenID)
+	if err != nil {
+		return 0, report, err
+	}
+	cms, ok := h.(*algorithms.CMSTask)
+	if !ok {
+		return 0, report, fmt.Errorf("netwide: epoch task %q is not a counter task", name)
+	}
+	min := ^uint32(0)
+	for i := 0; i < cms.D; i++ {
+		idx := cms.RowIndexFor(i, k) - uint32(cms.Rows[i].Base)
+		if v := merged[i][idx]; v < min {
+			min = v
+		}
+	}
+	return uint64(min), report, nil
+}

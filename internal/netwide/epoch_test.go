@@ -1,0 +1,174 @@
+package netwide
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flymon/internal/packet"
+	"flymon/internal/rpc"
+	"flymon/internal/telemetry"
+	"flymon/internal/trace"
+)
+
+func TestFleetEpochLifecycle(t *testing.T) {
+	check := gateFleetGoroutines(t)
+	t.Cleanup(check)
+	cfg := fleetConfig()
+	ctrls, clients := startDaemons(t, 3, cfg)
+	reg := telemetry.NewRegistry()
+	fleet := NewRemoteFleetOptions(clients, cfg, FleetOptions{Telemetry: &reg.Fleet})
+
+	if err := fleet.DeployEpoch(cmsSpec("ep")); err != nil {
+		t.Fatal(err)
+	}
+	// The epoch task must not collide with plain tasks, and vice versa.
+	if err := fleet.Deploy(cmsSpec("ep")); err == nil {
+		t.Fatal("plain deploy must refuse an epoch task's name")
+	}
+	if err := fleet.DeployEpoch(cmsSpec("ep")); err == nil {
+		t.Fatal("duplicate epoch deploy must fail")
+	}
+
+	// Querying before any rotation completes is an explicit error.
+	if _, _, err := fleet.QueryEpochRows("ep", 0, EpochQuery{}); err == nil {
+		t.Fatal("query with no completed epoch must fail")
+	}
+
+	// Epoch 1 traffic, spread across ingresses.
+	tr1 := trace.Generate(trace.Config{Flows: 300, Packets: 12_000, ZipfS: 1.1, Seed: 41})
+	for i := range tr1.Packets {
+		ctrls[i%3].Process(&tr1.Packets[i])
+	}
+	ep, err := fleet.RotateEpoch("ep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != 1 {
+		t.Fatalf("first rotation landed on epoch %d", ep)
+	}
+	if cur, err := fleet.EpochOf("ep"); err != nil || cur != 1 {
+		t.Fatalf("EpochOf = %d, %v", cur, err)
+	}
+
+	key := packet.KeyFiveTuple.Extract(&tr1.Packets[0])
+	est1, report, err := fleet.EstimateKeyEpoch("ep", 1, key, EpochQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Epoch != 1 || report.Partial() || len(report.Contributed) != 3 {
+		t.Fatalf("epoch-1 report = %+v", report)
+	}
+	if est1 == 0 {
+		t.Fatal("epoch-1 estimate is zero despite traffic")
+	}
+
+	// Epoch 2 traffic must not leak into the epoch-1 readout (coherence at
+	// the rotation boundary): the same query after more traffic is
+	// bit-identical.
+	tr2 := trace.Generate(trace.Config{Flows: 300, Packets: 12_000, ZipfS: 1.1, Seed: 42})
+	for i := range tr2.Packets {
+		ctrls[i%3].Process(&tr2.Packets[i])
+	}
+	rows1, _, err := fleet.QueryEpochRows("ep", 1, EpochQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := fleet.QueryEpochRows("ep", 1, EpochQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range rows1 {
+		for j := range rows1[r] {
+			if rows1[r][j] != again[r][j] {
+				t.Fatalf("epoch-1 snapshot drifted at row %d bucket %d", r, j)
+			}
+		}
+	}
+
+	// After the second rotation, epoch 2 holds exactly the second trace.
+	if _, err := fleet.RotateEpoch("ep"); err != nil {
+		t.Fatal(err)
+	}
+	est2, report, err := fleet.EstimateKeyEpoch("ep", 0, key, EpochQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Epoch != 2 {
+		t.Fatalf("latest-epoch report pinned to %d", report.Epoch)
+	}
+	// Key from tr1: its epoch-2 count comes only from tr2's packets (CMS
+	// overestimates, never underestimates, so est2 can exceed 0 — but the
+	// epoch-1 estimate must not change).
+	_ = est2
+	if v, _, err := fleet.EstimateKeyEpoch("ep", 1, key, EpochQuery{}); err == nil {
+		t.Fatalf("epoch-1 estimate through the mirror must fail after rotation (mirror maps epoch 2), got %d", v)
+	}
+	// The raw rows for epoch 1 are still readable (retention window).
+	if _, _, err := fleet.QueryEpochRows("ep", 1, EpochQuery{}); err != nil {
+		t.Fatalf("epoch-1 rows unreadable inside retention window: %v", err)
+	}
+
+	if reg.Fleet.MergeTree.EpochQueries.Load() == 0 {
+		t.Fatal("epoch queries not counted")
+	}
+
+	if err := fleet.RemoveEpochTask("ep"); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ctrls {
+		if n := len(c.Tasks()); n != 0 {
+			t.Fatalf("daemon %d leaked %d tasks after epoch remove", i, n)
+		}
+	}
+	if _, err := fleet.RotateEpoch("ep"); err == nil {
+		t.Fatal("rotate after remove must fail")
+	}
+	_ = est1
+}
+
+func TestFetchEpochRowsStandalone(t *testing.T) {
+	// The mirror-less building block flymonctl query uses: one daemon,
+	// straight RPC, straggler policy applied locally.
+	check := gateFleetGoroutines(t)
+	t.Cleanup(check)
+	cfg := fleetConfig()
+	ctrls, clients := startDaemons(t, 1, cfg)
+	fleet := NewRemoteFleet(clients, cfg)
+	if err := fleet.DeployEpoch(cmsSpec("ep")); err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(trace.Config{Flows: 100, Packets: 4_000, Seed: 43})
+	for i := range tr.Packets {
+		ctrls[0].Process(&tr.Packets[i])
+	}
+	if _, err := fleet.RotateEpoch("ep"); err != nil {
+		t.Fatal(err)
+	}
+	rows, frozenID, err := FetchEpochRows(clients[0], "ep", 1, EpochQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || frozenID == 0 {
+		t.Fatalf("rows %d frozenID %d", len(rows), frozenID)
+	}
+	// A skip-policy fetch of a not-yet-completed epoch classifies as a
+	// straggler immediately; a wait-policy fetch blocks only up to Wait.
+	if _, _, err := FetchEpochRows(clients[0], "ep", 7, EpochQuery{Policy: StragglerSkip}); err == nil {
+		t.Fatal("future epoch fetch must fail")
+	} else {
+		var se *stragglerError
+		if !errors.As(err, &se) || se.want != 7 || se.have != 1 {
+			t.Fatalf("skip fetch error = %v, want straggler want=7 have=1", err)
+		}
+	}
+	start := time.Now()
+	_, _, err = FetchEpochRows(clients[0], "ep", 7, EpochQuery{Wait: 150 * time.Millisecond})
+	if err == nil {
+		t.Fatal("wait-policy fetch of a future epoch must time out")
+	}
+	if el := time.Since(start); el < 100*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("wait-policy fetch blocked %v, want ~150ms", el)
+	}
+	_ = rpc.IsEpochUnavailable
+}

@@ -212,30 +212,53 @@ func (t *healthTracker) snapshot() []SwitchHealth {
 // contributed. A partial report means the value is a merge over a subset
 // of switches — for additive sketch merges that is a valid lower bound,
 // which callers can surface instead of failing the whole query.
+//
+// Epoch-coherent queries additionally carry the epoch the merge was
+// pinned to and the stragglers: switches that were reachable but had not
+// completed that epoch, left out by the skip/partial straggler policy
+// (an unreachable switch is a Failed entry, not a straggler).
 type QueryReport struct {
 	Contributed []int          // switch indices merged into the result
 	Failed      map[int]string // switch index → error, for the rest
+	Epoch       int            // epoch the merge was pinned to (0 = live query)
+	Stragglers  map[int]int    // switch index → its epoch, for epoch-behind switches
 }
 
 // Partial reports whether any switch was left out of the merge.
-func (r QueryReport) Partial() bool { return len(r.Failed) > 0 }
+func (r QueryReport) Partial() bool { return len(r.Failed)+len(r.Stragglers) > 0 }
 
 // String renders "3/4 switches (down: 2)"-style summaries.
 func (r QueryReport) String() string {
-	total := len(r.Contributed) + len(r.Failed)
-	if !r.Partial() {
-		return fmt.Sprintf("%d/%d switches", len(r.Contributed), total)
+	total := len(r.Contributed) + len(r.Failed) + len(r.Stragglers)
+	s := fmt.Sprintf("%d/%d switches", len(r.Contributed), total)
+	if r.Epoch > 0 {
+		s += fmt.Sprintf(" @ epoch %d", r.Epoch)
 	}
-	missing := make([]int, 0, len(r.Failed))
-	for i := range r.Failed {
-		missing = append(missing, i)
+	if len(r.Failed) > 0 {
+		missing := make([]int, 0, len(r.Failed))
+		for i := range r.Failed {
+			missing = append(missing, i)
+		}
+		sort.Ints(missing)
+		parts := make([]string, len(missing))
+		for j, i := range missing {
+			parts[j] = fmt.Sprintf("%d", i)
+		}
+		s += fmt.Sprintf(" (missing: %s)", strings.Join(parts, ","))
 	}
-	sort.Ints(missing)
-	parts := make([]string, len(missing))
-	for j, i := range missing {
-		parts[j] = fmt.Sprintf("%d", i)
+	if len(r.Stragglers) > 0 {
+		behind := make([]int, 0, len(r.Stragglers))
+		for i := range r.Stragglers {
+			behind = append(behind, i)
+		}
+		sort.Ints(behind)
+		parts := make([]string, len(behind))
+		for j, i := range behind {
+			parts[j] = fmt.Sprintf("%d@%d", i, r.Stragglers[i])
+		}
+		s += fmt.Sprintf(" (behind: %s)", strings.Join(parts, ","))
 	}
-	return fmt.Sprintf("%d/%d switches (missing: %s)", len(r.Contributed), total, strings.Join(parts, ","))
+	return s
 }
 
 // PartialFailureError is a structured fleet-operation failure naming every

@@ -11,9 +11,33 @@ import (
 	"flymon/internal/core/algorithms"
 	"flymon/internal/packet"
 	"flymon/internal/rpc"
-	"flymon/internal/sketch"
 	"flymon/internal/telemetry"
 )
+
+// Engine selects how fleet-wide register merges are executed.
+type Engine int
+
+const (
+	// EngineAuto picks the default engine (currently the merge tree).
+	EngineAuto Engine = iota
+	// EngineFlat is the original sequential pairwise fold in switch-index
+	// order — kept selectable as the bench baseline and escape hatch.
+	EngineFlat
+	// EngineTree is the streaming parallel k-ary merge tree: packed
+	// binary register reads, merged as responses arrive (see mergetree.go).
+	EngineTree
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineFlat:
+		return "flat"
+	case EngineTree, EngineAuto:
+		return "tree"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
 
 // FleetOptions tunes the remote fleet's failure behavior.
 type FleetOptions struct {
@@ -41,6 +65,12 @@ type FleetOptions struct {
 	// Clock overrides time.Now for health timestamps and liveness state
 	// machines (tests drive time without sleeping). nil = time.Now.
 	Clock func() time.Time
+	// Engine selects the merge engine for fleet-wide queries (default:
+	// the parallel merge tree). Results are bit-identical across engines;
+	// only latency differs.
+	Engine Engine
+	// MergeArity overrides the merge tree's fan-in (default 4).
+	MergeArity int
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
@@ -82,6 +112,17 @@ type RemoteFleet struct {
 	recon    *reconciler
 	reconMu  sync.Mutex // serializes Reconcile passes
 	stopOnce sync.Once
+
+	// Epoch tasks (see epoch.go): fleet-level rotators living outside
+	// taskIDs/specs so the reconciler never mistakes a daemon-side epoch
+	// copy for drift.
+	epochs  map[string]*fleetEpoch
+	epochMu sync.Mutex // serializes rotations across the fleet
+
+	// rowPool recycles leaf row buffers between merge-tree queries: a
+	// steady query load unpacks register readouts into reused slices
+	// instead of reallocating ~rows×buckets×4 bytes per switch per query.
+	rowPool sync.Pool
 }
 
 // NewRemoteFleet wraps daemon connections with default options (strict
@@ -112,6 +153,7 @@ func NewRemoteFleetOptions(clients []*rpc.Client, cfg controlplane.Config, opts 
 		taskIDs:    make(map[string]int),
 		specs:      make(map[string]controlplane.TaskSpec),
 		tombstones: make(map[string]int),
+		epochs:     make(map[string]*fleetEpoch),
 	}
 }
 
@@ -237,27 +279,38 @@ func (f *RemoteFleet) Stop() {
 	})
 }
 
-// fanOut runs op on every switch concurrently and collects per-switch
-// errors, bounded by OpTimeout. Late completions still record health.
-// Switches a liveness session has declared not-Up are ejected up front:
-// they fail immediately with a liveness error and no RPC is issued, so a
-// dead daemon costs a fleet query nothing (no timeout to wait out).
-func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error {
+// fanResult is one switch's outcome inside a streaming fan-out: either a
+// fetched row set (query fan-outs) or just an error slot (mutations).
+type fanResult struct {
+	i    int
+	rows [][]uint32
+	err  error
+}
+
+// fanOutRows runs op on every switch concurrently and streams per-switch
+// results as they complete, bounded by timeout (0 = wait for every
+// per-call deadline). The returned channel closes once every launched op
+// answered or the deadline fired; at the deadline, unanswered switches
+// get a synthesized deadline error while their in-flight calls finish in
+// the background and still record health. Switches a liveness session has
+// declared not-Up are ejected up front: they fail immediately with a
+// liveness error and no RPC is issued, so a dead daemon costs a fleet
+// query nothing. Streaming is what lets the merge tree start folding the
+// fastest switches' rows while the slowest are still on the wire.
+func (f *RemoteFleet) fanOutRows(timeout time.Duration, op func(i int, c *rpc.Client) ([][]uint32, error)) <-chan fanResult {
 	if f.opts.Telemetry != nil {
 		f.opts.Telemetry.FanOuts.Add(1)
 	}
-	type result struct {
-		i   int
-		err error
-	}
-	errs := make(map[int]error)
-	seen := make(map[int]bool, len(f.clients))
-	ch := make(chan result, len(f.clients))
+	// Buffered to fleet size: a late completion after the deadline must
+	// never block on a channel nobody reads anymore.
+	ch := make(chan fanResult, len(f.clients))
+	out := make(chan fanResult, len(f.clients))
 	launched := 0
+	skipped := make(map[int]bool)
 	for i, c := range f.clients {
 		if reason, ok := f.health.ejected(i); ok {
-			errs[i] = fmt.Errorf("netwide: switch %d ejected (%s)", i, reason)
-			seen[i] = true
+			skipped[i] = true
+			out <- fanResult{i: i, err: fmt.Errorf("netwide: switch %d ejected (%s)", i, reason)}
 			if f.opts.Telemetry != nil {
 				f.opts.Telemetry.OpFailures.Add(1)
 			}
@@ -265,34 +318,51 @@ func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error 
 		}
 		launched++
 		go func(i int, c *rpc.Client) {
-			err := op(i, c)
+			rows, err := op(i, c)
 			if err != nil && f.opts.Telemetry != nil {
 				f.opts.Telemetry.OpFailures.Add(1)
 			}
 			f.health.record(i, err)
-			ch <- result{i, err}
+			ch <- fanResult{i: i, rows: rows, err: err}
 		}(i, c)
 	}
-	var timeout <-chan time.Time
-	if f.opts.OpTimeout > 0 {
-		t := time.NewTimer(f.opts.OpTimeout)
-		defer t.Stop()
-		timeout = t.C
-	}
-	for n := 0; n < launched; n++ {
-		select {
-		case r := <-ch:
-			seen[r.i] = true
-			if r.err != nil {
-				errs[r.i] = r.err
-			}
-		case <-timeout:
-			for i := range f.clients {
-				if !seen[i] {
-					errs[i] = fmt.Errorf("netwide: fleet deadline (%v) exceeded", f.opts.OpTimeout)
+	go func() {
+		defer close(out)
+		var timer <-chan time.Time
+		if timeout > 0 {
+			t := time.NewTimer(timeout)
+			defer t.Stop()
+			timer = t.C
+		}
+		seen := make(map[int]bool, launched)
+		for n := 0; n < launched; n++ {
+			select {
+			case r := <-ch:
+				seen[r.i] = true
+				out <- r
+			case <-timer:
+				for i := range f.clients {
+					if !seen[i] && !skipped[i] {
+						out <- fanResult{i: i, err: fmt.Errorf("netwide: fleet deadline (%v) exceeded", timeout)}
+					}
 				}
+				return
 			}
-			return errs
+		}
+	}()
+	return out
+}
+
+// fanOut runs op on every switch concurrently and collects per-switch
+// errors, bounded by OpTimeout — the barrier form of fanOutRows, used by
+// mutations (deploy/remove/rotate) that need the full outcome map.
+func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error {
+	errs := make(map[int]error)
+	for r := range f.fanOutRows(f.opts.OpTimeout, func(i int, c *rpc.Client) ([][]uint32, error) {
+		return nil, op(i, c)
+	}) {
+		if r.err != nil {
+			errs[r.i] = r.err
 		}
 	}
 	return errs
@@ -307,6 +377,10 @@ func (f *RemoteFleet) Deploy(spec controlplane.TaskSpec) error {
 	if _, ok := f.taskIDs[spec.Name]; ok {
 		f.mu.Unlock()
 		return fmt.Errorf("netwide: task %q already deployed", spec.Name)
+	}
+	if _, ok := f.epochs[spec.Name]; ok {
+		f.mu.Unlock()
+		return fmt.Errorf("netwide: name %q is an epoch task", spec.Name)
 	}
 	mt, err := f.mirror.AddTask(spec)
 	if err != nil {
@@ -407,71 +481,206 @@ func (f *RemoteFleet) Remove(name string) error {
 	return nil
 }
 
-// mergedRemoteRows reads the named task's registers from every reachable
-// daemon and merges them with the combiner. With AllowPartial set, a
-// subset merge succeeds and the QueryReport says which switches
-// contributed; otherwise any unreachable daemon fails the query.
-func (f *RemoteFleet) mergedRemoteRows(name string, combine func(dst, src []uint32) error) ([][]uint32, int, QueryReport, error) {
+// mergeStats returns the fleet's merge-tree telemetry section, if any.
+func (f *RemoteFleet) mergeStats() *telemetry.MergeTreeStats {
+	if f.opts.Telemetry == nil {
+		return nil
+	}
+	return &f.opts.Telemetry.MergeTree
+}
+
+// getRowBuf pulls a recycled leaf buffer from the pool (nil when empty —
+// rpc.UnpackRows then allocates fresh).
+func (f *RemoteFleet) getRowBuf() [][]uint32 {
+	if v := f.rowPool.Get(); v != nil {
+		return v.([][]uint32)
+	}
+	return nil
+}
+
+// putRowBuf returns a consumed leaf buffer to the pool. Safe for
+// concurrent use (merge workers recycle sources as they fold).
+func (f *RemoteFleet) putRowBuf(rows [][]uint32) {
+	if rows != nil {
+		f.rowPool.Put(rows)
+	}
+}
+
+// engine resolves the effective merge engine.
+func (f *RemoteFleet) engine() Engine {
+	if f.opts.Engine == EngineFlat {
+		return EngineFlat
+	}
+	return EngineTree
+}
+
+// MergedRows runs a fleet-wide register merge of the named task under op
+// with an explicit engine (EngineAuto = the fleet's configured default) —
+// the raw-readout query primitive, and the hook the scaling bench uses to
+// compare flat vs tree over identical daemon state. Both engines produce
+// bit-identical rows; only the critical path differs.
+func (f *RemoteFleet) MergedRows(name string, op MergeOp, engine Engine) ([][]uint32, QueryReport, error) {
+	rows, _, report, err := f.mergedRows(name, op, engine)
+	return rows, report, err
+}
+
+// mergedRows resolves the task and dispatches to the selected engine.
+func (f *RemoteFleet) mergedRows(name string, op MergeOp, engine Engine) ([][]uint32, int, QueryReport, error) {
 	f.mu.Lock()
 	id, ok := f.taskIDs[name]
 	f.mu.Unlock()
-	var report QueryReport
 	if !ok {
-		return nil, 0, report, fmt.Errorf("netwide: no task %q", name)
+		return nil, 0, QueryReport{}, fmt.Errorf("netwide: no task %q", name)
 	}
-	// Each goroutine owns rows[i] until its result is received on the
-	// channel inside fanOut; timed-out slots are never read.
+	if engine == EngineAuto {
+		engine = f.engine()
+	}
+	var (
+		rows   [][]uint32
+		report QueryReport
+		err    error
+	)
+	if engine == EngineFlat {
+		rows, report, err = f.flatMergedRows(name, id, op)
+	} else {
+		rows, report, err = f.treeMergedRows(name, id, op)
+	}
+	return rows, id, report, err
+}
+
+// mergedRemoteRows is the default-engine query path.
+func (f *RemoteFleet) mergedRemoteRows(name string, op MergeOp) ([][]uint32, int, QueryReport, error) {
+	return f.mergedRows(name, op, EngineAuto)
+}
+
+// flatMergedRows is the sequential baseline: fetch every switch's rows
+// (JSON encoding), then fold pairwise in switch-index order. With
+// AllowPartial set, a subset merge succeeds and the QueryReport says
+// which switches contributed; otherwise any unreachable daemon fails the
+// query.
+func (f *RemoteFleet) flatMergedRows(name string, id int, op MergeOp) ([][]uint32, QueryReport, error) {
+	var report QueryReport
+	// Each slot is owned by its fetch goroutine until the fan-out yields
+	// its result; timed-out slots are never read.
 	rows := make([][][]uint32, len(f.clients))
-	var rmu sync.Mutex
-	errs := f.fanOut(func(i int, c *rpc.Client) error {
-		r, err := c.ReadRegisters(id)
+	errs := make(map[int]error)
+	for r := range f.fanOutRows(f.opts.OpTimeout, func(i int, c *rpc.Client) ([][]uint32, error) {
+		rr, err := c.ReadRegisters(id)
 		if err != nil {
-			return fmt.Errorf("netwide: reading %q on daemon %d: %w", name, i, err)
+			return nil, fmt.Errorf("netwide: reading %q on daemon %d: %w", name, i, err)
 		}
-		rmu.Lock()
-		rows[i] = r
-		rmu.Unlock()
-		return nil
-	})
+		return rr, nil
+	}) {
+		if r.err != nil {
+			errs[r.i] = r.err
+			continue
+		}
+		rows[r.i] = r.rows
+	}
+	if st := f.mergeStats(); st != nil {
+		st.FlatFolds.Add(1)
+	}
 	report.Failed = make(map[int]string, len(errs))
 	for i, err := range errs {
 		report.Failed[i] = err.Error()
 	}
 	if len(errs) > 0 && !f.opts.AllowPartial {
 		for _, i := range sortedKeys(errs) {
-			return nil, 0, report, errs[i]
+			return nil, report, errs[i]
 		}
 	}
 	var merged [][]uint32
-	rmu.Lock()
-	defer rmu.Unlock()
+	first := -1
 	for i := range f.clients {
 		if _, failed := errs[i]; failed || rows[i] == nil {
 			continue
 		}
 		if merged == nil {
 			merged = rows[i] // the RPC client already returns fresh slices
+			first = i
 			report.Contributed = append(report.Contributed, i)
 			continue
 		}
-		if len(rows[i]) != len(merged) {
-			return nil, 0, report, fmt.Errorf("netwide: daemon %d row count %d, expected %d", i, len(rows[i]), len(merged))
+		// Geometry mismatches are typed and name both switches: "which
+		// pair of daemons disagrees" is the actionable part.
+		var refLens []int
+		for _, row := range merged {
+			refLens = append(refLens, len(row))
+		}
+		if err := checkGeometry(name, first, refLens, i, rows[i]); err != nil {
+			return nil, report, err
 		}
 		for r := range rows[i] {
-			if err := combine(merged[r], rows[i][r]); err != nil {
-				return nil, 0, report, err
+			if err := op.Combine(merged[r], rows[i][r]); err != nil {
+				return nil, report, err
 			}
 		}
 		report.Contributed = append(report.Contributed, i)
 	}
 	if merged == nil {
-		return nil, 0, report, &PartialFailureError{Op: "read", Task: name, Failed: errs, Total: len(f.clients)}
+		return nil, report, &PartialFailureError{Op: "read", Task: name, Failed: errs, Total: len(f.clients)}
 	}
 	if len(errs) > 0 && f.opts.Telemetry != nil {
 		// A degraded-mode merge went through without every switch.
 		f.opts.Telemetry.PartialMerges.Add(1)
 	}
-	return merged, id, report, nil
+	return merged, report, nil
+}
+
+// treeMergedRows is the parallel path: packed binary register reads
+// streamed straight into the k-ary merge tree, leaf buffers recycled
+// through the fleet's pool. Failure semantics match the flat engine
+// exactly (AllowPartial, OpTimeout, report shape).
+func (f *RemoteFleet) treeMergedRows(name string, id int, op MergeOp) ([][]uint32, QueryReport, error) {
+	var report QueryReport
+	stream := f.fanOutRows(f.opts.OpTimeout, func(i int, c *rpc.Client) ([][]uint32, error) {
+		res, err := c.ReadRegistersPacked(id)
+		if err != nil {
+			return nil, fmt.Errorf("netwide: reading %q on daemon %d: %w", name, i, err)
+		}
+		return res.FrameRows(f.getRowBuf()), nil
+	})
+	// The converter goroutine finishes all errs writes before closing
+	// leaves, and MergeStream returns only after observing that close, so
+	// reading errs afterwards is race-free.
+	errs := make(map[int]error)
+	leaves := make(chan Leaf, len(f.clients))
+	go func() {
+		defer close(leaves)
+		for r := range stream {
+			if r.err != nil {
+				errs[r.i] = r.err
+				continue
+			}
+			leaves <- Leaf{Switch: r.i, Rows: r.rows}
+		}
+	}()
+	res, mergeErr := MergeStream(leaves, op, TreeOptions{
+		Task:    name,
+		Arity:   f.opts.MergeArity,
+		Stats:   f.mergeStats(),
+		Recycle: f.putRowBuf,
+	})
+	report.Contributed = res.Contributed
+	report.Failed = make(map[int]string, len(errs))
+	for i, err := range errs {
+		report.Failed[i] = err.Error()
+	}
+	if mergeErr != nil {
+		return nil, report, mergeErr
+	}
+	if len(errs) > 0 && !f.opts.AllowPartial {
+		for _, i := range sortedKeys(errs) {
+			return nil, report, errs[i]
+		}
+	}
+	if res.Rows == nil {
+		return nil, report, &PartialFailureError{Op: "read", Task: name, Failed: errs, Total: len(f.clients)}
+	}
+	if len(errs) > 0 && f.opts.Telemetry != nil {
+		f.opts.Telemetry.PartialMerges.Add(1)
+	}
+	return res.Rows, report, nil
 }
 
 // EstimateKey returns the fleet-wide frequency estimate for key k (counter
@@ -488,7 +697,7 @@ func (f *RemoteFleet) EstimateKey(name string, k packet.CanonicalKey) (uint64, e
 // When report.Partial() is true the estimate is a lower bound over the
 // reachable part of the fleet.
 func (f *RemoteFleet) EstimateKeyPartial(name string, k packet.CanonicalKey) (uint64, QueryReport, error) {
-	merged, id, report, err := f.mergedRemoteRows(name, sketch.MergeAddRegisters)
+	merged, id, report, err := f.mergedRemoteRows(name, MergeAdd)
 	if err != nil {
 		return 0, report, err
 	}

@@ -41,6 +41,21 @@ const (
 	// purpose so deployments can verify the daemon's panic containment
 	// (the panic becomes an error Response; the daemon keeps serving).
 	MethodDebugPanic = "debug_panic"
+
+	// Epoch-coherent readout protocol (the fleet merge tree's snapshot
+	// plane). A daemon hosts an epoch.Rotator per epoch task: epoch_deploy
+	// creates it, epoch_rotate advances it to a target epoch (idempotent —
+	// safe to re-send, and a straggler catches up in one call) caching a
+	// packed register snapshot per completed epoch, read_epoch serves a
+	// cached snapshot, and epoch_remove reclaims both copies.
+	MethodEpochDeploy = "epoch_deploy"
+	MethodEpochRotate = "epoch_rotate"
+	MethodReadEpoch   = "read_epoch"
+	MethodEpochRemove = "epoch_remove"
+	// MethodKeyIndices maps a flow key to its per-row register indices on a
+	// frequency task — the piece a mirror-less query client (flymonctl
+	// query) needs to turn merged fleet rows into a per-key estimate.
+	MethodKeyIndices = "key_indices"
 )
 
 // AddTaskParams carries a task spec. WantID, when positive, pins the
@@ -158,9 +173,53 @@ type DistributionResult struct {
 	Entropy float64   `json:"entropy"`
 }
 
+// frameProvider is implemented by result types whose bulk payload rides
+// the binary frame side-channel: the server writes the returned bytes
+// after the response line instead of encoding them into the JSON body.
+type frameProvider interface{ frameBytes() []byte }
+
+// frameReceiver is the client side of the side-channel: callOnce hands a
+// result the raw frame bytes it consumed off the stream.
+type frameReceiver interface{ setFrameBytes([]byte) }
+
 // RegistersResult is a raw register readout (one slice per CMU row).
+// Exactly one encoding is populated: Rows is the legacy JSON-array form;
+// RowLens announces a binary frame of little-endian uint32 registers
+// following the response line, sliced into rows of the given lengths. A
+// profile of 256-switch fleet queries showed the earlier base64-in-JSON
+// packing still spending most of each query inside encoding/json
+// (validate + compact + unquote passes over the bulk); the frame is the
+// difference between the codec dominating query latency and the merge
+// kernels dominating it.
 type RegistersResult struct {
-	Rows [][]uint32 `json:"rows"`
+	Rows    [][]uint32 `json:"rows,omitempty"`
+	RowLens []int      `json:"row_lens,omitempty"`
+	frame   []byte
+}
+
+func (r RegistersResult) frameBytes() []byte      { return r.frame }
+func (r *RegistersResult) setFrameBytes(b []byte) { r.frame = b }
+
+// ReadRegistersParams addresses a task readout. Packed requests the
+// binary frame encoding; a legacy {"id": N} request (TaskIDParams) decodes
+// with Packed=false, so old clients keep getting JSON arrays.
+type ReadRegistersParams struct {
+	ID     int  `json:"id"`
+	Packed bool `json:"packed,omitempty"`
+}
+
+// RegisterRows decodes a RegistersResult into plain rows, whichever
+// encoding the daemon used.
+func (r *RegistersResult) RegisterRows() [][]uint32 { return r.FrameRows(nil) }
+
+// FrameRows decodes the readout into dst (geometry-matched buffers are
+// reused — the fleet merge tree recycles leaf buffers through this path).
+// Legacy JSON-array responses return Rows directly.
+func (r *RegistersResult) FrameRows(dst [][]uint32) [][]uint32 {
+	if r.RowLens != nil {
+		return UnpackFrame(r.frame, r.RowLens, dst)
+	}
+	return r.Rows
 }
 
 // ResourcesResult reports free memory per CMU and deployed task count.
@@ -209,6 +268,66 @@ type StatsResult struct {
 	PacketsProcessed uint64 `json:"packets_processed"`
 	TracePackets     int    `json:"trace_packets"`
 	Tasks            int    `json:"tasks"`
+}
+
+// EpochTaskParams addresses an epoch task by its spec name (epoch tasks
+// live outside the plain task-ID space: each owns two rotating task IDs).
+type EpochTaskParams struct {
+	Name string `json:"name"`
+}
+
+// EpochRotateParams advances an epoch task. ToEpoch is the target epoch
+// number; 0 means "advance by exactly one from wherever you are" (a
+// convenience for single-daemon tooling — fleet controllers always send an
+// explicit target so retries and stragglers converge instead of
+// double-rotating).
+type EpochRotateParams struct {
+	Name    string `json:"name"`
+	ToEpoch int    `json:"to_epoch,omitempty"`
+}
+
+// EpochTaskResult describes an epoch task: the active copy and the
+// rotation state.
+type EpochTaskResult struct {
+	Task     TaskResult `json:"task"`
+	Epoch    int        `json:"epoch"`
+	FrozenID int        `json:"frozen_id,omitempty"`
+}
+
+// ReadEpochParams requests one completed epoch's register snapshot.
+// Epoch 0 means "your latest completed epoch".
+type ReadEpochParams struct {
+	Name  string `json:"name"`
+	Epoch int    `json:"epoch,omitempty"`
+}
+
+// EpochRegistersResult is a register snapshot pinned to an epoch
+// boundary, carried on the binary frame side-channel (RowLens slices the
+// frame into rows). Epoch is the epoch the rows belong to; Current is the
+// daemon's latest completed epoch (so a query plane can tell "behind" from
+// "ahead"); FrozenID is the task ID the snapshot was read from (the handle
+// key_indices needs).
+type EpochRegistersResult struct {
+	Epoch    int   `json:"epoch"`
+	Current  int   `json:"current"`
+	FrozenID int   `json:"frozen_id"`
+	RowLens  []int `json:"row_lens"`
+	frame    []byte
+}
+
+func (r EpochRegistersResult) frameBytes() []byte      { return r.frame }
+func (r *EpochRegistersResult) setFrameBytes(b []byte) { r.frame = b }
+
+// FrameRows decodes the snapshot into dst (geometry-matched buffers are
+// reused, see UnpackFrame).
+func (r *EpochRegistersResult) FrameRows(dst [][]uint32) [][]uint32 {
+	return UnpackFrame(r.frame, r.RowLens, dst)
+}
+
+// KeyIndicesResult carries a flow key's per-row register indices on a
+// frequency task (row i of the task's registers is probed at Indices[i]).
+type KeyIndicesResult struct {
+	Indices []uint32 `json:"indices"`
 }
 
 // keyFromBytes converts wire bytes into a canonical key.

@@ -162,7 +162,7 @@ func TestServerSurvivesPanicAndGarbage(t *testing.T) {
 
 func TestDispatchRecoversPanicResponse(t *testing.T) {
 	srv := NewServer(controlplane.NewController(controlplane.Config{Groups: 3, Buckets: 8192, BitWidth: 32}), nil)
-	resp := srv.dispatch(&Request{ID: 11, Method: MethodDebugPanic})
+	resp, _ := srv.dispatch(&Request{ID: 11, Method: MethodDebugPanic})
 	if resp.ID != 11 {
 		t.Fatalf("response ID = %d", resp.ID)
 	}

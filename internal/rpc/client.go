@@ -125,6 +125,11 @@ var idempotentMethods = map[string]bool{
 	MethodReport:        true,
 	MethodStats:         true,
 	MethodTelemetry:     true,
+	MethodReadEpoch:     true,
+	MethodKeyIndices:    true,
+	// MethodEpochRotate is NOT here even though an explicit-target rotate
+	// is idempotent: a bare "advance by one" retry would double-rotate.
+	// The fleet layer retries it deliberately, always with a target.
 }
 
 // drainLimit bounds how many stale (lower-ID) responses one call will
@@ -335,17 +340,34 @@ func (c *Client) callOnce(method string, params, result any) (err error) {
 		return fail(fmt.Errorf("sending: %w", err))
 	}
 	var resp Response
+	var frame []byte
 	for drained := 0; ; drained++ {
+		resp = Response{}
 		if err := c.codec.read(&resp); err != nil {
 			return fail(fmt.Errorf("receiving: %w", err))
 		}
 		if resp.ID == req.ID {
+			// A response may announce a binary frame: consume it before
+			// anything else — unconsumed frame bytes poison the stream for
+			// every later call. Consuming even on a decode error below keeps
+			// the connection reusable.
+			if resp.Frame > 0 {
+				var err error
+				if frame, err = c.codec.readFrame(resp.Frame); err != nil {
+					return fail(err)
+				}
+			}
 			break
 		}
 		if resp.ID < req.ID && drained < drainLimit {
-			// A stale response from an abandoned call: drain it and keep
-			// reading rather than poisoning the stream for every later
-			// caller.
+			// A stale response from an abandoned call: drain it (frame
+			// included) and keep reading rather than poisoning the stream
+			// for every later caller.
+			if resp.Frame > 0 {
+				if err := c.codec.discardFrame(resp.Frame); err != nil {
+					return fail(err)
+				}
+			}
 			continue
 		}
 		return fail(fmt.Errorf("response id %d for request %d: stream desynced", resp.ID, req.ID))
@@ -359,6 +381,9 @@ func (c *Client) callOnce(method string, params, result any) (err error) {
 	if result != nil {
 		if err := json.Unmarshal(resp.Result, result); err != nil {
 			return fail(fmt.Errorf("decoding result: %w", err))
+		}
+		if fr, ok := result.(frameReceiver); ok && frame != nil {
+			fr.setFrameBytes(frame)
 		}
 	}
 	c.brk.success()
@@ -470,6 +495,55 @@ func (c *Client) ReadRegisters(id int) ([][]uint32, error) {
 	var r RegistersResult
 	err := c.call(MethodReadRegisters, TaskIDParams{ID: id}, &r)
 	return r.Rows, err
+}
+
+// ReadRegistersPacked reads a task's raw register partitions using the
+// packed binary row encoding and returns the undecoded result, letting
+// callers (the fleet merge tree) unpack into recycled buffers via
+// UnpackRows.
+func (c *Client) ReadRegistersPacked(id int) (RegistersResult, error) {
+	var r RegistersResult
+	err := c.call(MethodReadRegisters, ReadRegistersParams{ID: id, Packed: true}, &r)
+	return r, err
+}
+
+// EpochDeploy creates an epoch task (a daemon-side rotator) for spec.
+func (c *Client) EpochDeploy(spec controlplane.TaskSpec) (EpochTaskResult, error) {
+	var r EpochTaskResult
+	err := c.call(MethodEpochDeploy, AddTaskParams{Spec: spec}, &r)
+	return r, err
+}
+
+// EpochRotate advances an epoch task to toEpoch (0 = advance by one).
+// With an explicit target the call is idempotent and safe to re-send.
+func (c *Client) EpochRotate(name string, toEpoch int) (EpochTaskResult, error) {
+	var r EpochTaskResult
+	err := c.call(MethodEpochRotate, EpochRotateParams{Name: name, ToEpoch: toEpoch}, &r)
+	return r, err
+}
+
+// ReadEpoch fetches one completed epoch's packed register snapshot
+// (epoch 0 = the daemon's latest completed epoch). A daemon that has not
+// reached the epoch answers with an error IsEpochUnavailable recognizes,
+// carrying its current epoch in Current of a successful retry.
+func (c *Client) ReadEpoch(name string, epoch int) (EpochRegistersResult, error) {
+	var r EpochRegistersResult
+	err := c.call(MethodReadEpoch, ReadEpochParams{Name: name, Epoch: epoch}, &r)
+	return r, err
+}
+
+// EpochRemove reclaims an epoch task's deployments and snapshots.
+func (c *Client) EpochRemove(name string) error {
+	var r BoolResult
+	return c.call(MethodEpochRemove, EpochTaskParams{Name: name}, &r)
+}
+
+// KeyIndices returns a flow key's per-row register indices on a frequency
+// task, computed by the daemon's own placement.
+func (c *Client) KeyIndices(id int, key packet.CanonicalKey) ([]uint32, error) {
+	var r KeyIndicesResult
+	err := c.call(MethodKeyIndices, KeyParams{ID: id, Key: key[:]}, &r)
+	return r.Indices, err
 }
 
 // Resources reports free memory and task counts.

@@ -1,0 +1,174 @@
+package rpc
+
+import (
+	"fmt"
+
+	"flymon/internal/core/algorithms"
+	"flymon/internal/epoch"
+)
+
+// epochRetain is how many completed epochs' packed snapshots a daemon
+// keeps per epoch task. The rotator itself only holds the last frozen
+// copy's registers; snapshots are what let a slow query plane read epoch
+// E-2 after the fleet has moved on. Four epochs comfortably covers a
+// query racing one rotation plus a straggler catching up.
+const epochRetain = 4
+
+// frameSnap is one completed epoch's register snapshot, pre-encoded as a
+// binary frame (contiguous little-endian registers plus row lengths).
+// Snapshots are immutable once stored, so read_epoch hands the frame
+// straight to the codec: serving an epoch costs zero encoding work.
+type frameSnap struct {
+	frame []byte
+	lens  []int
+}
+
+// epochTask is the daemon-side state of one epoch task: the rotator that
+// owns the double-buffered deployments, plus a frame snapshot per recent
+// completed epoch.
+type epochTask struct {
+	rot   *epoch.Rotator
+	snaps map[int]frameSnap // completed epoch → frame snapshot
+	ids   map[int]int       // completed epoch → task ID the snapshot was read from
+}
+
+// epochUnavailable builds the classified "cannot serve that epoch (yet)"
+// error — IsEpochUnavailable on the client side recognizes it, which is
+// how the fleet's straggler policies tell "behind, poll again" from
+// "broken, fail".
+func epochUnavailable(name string, want, have int) error {
+	return fmt.Errorf("rpc: %s: task %q epoch %d not readable here (latest completed epoch %d)",
+		epochUnavailableToken, name, want, have)
+}
+
+func (s *Server) epochTaskLocked(name string) (*epochTask, error) {
+	et := s.epochs[name]
+	if et == nil {
+		return nil, fmt.Errorf("rpc: no epoch task %q", name)
+	}
+	return et, nil
+}
+
+// handleEpochDeploy creates the rotator for an epoch task (the active
+// copy deploys immediately; epoch 0 = nothing completed yet).
+func (s *Server) handleEpochDeploy(p AddTaskParams) (EpochTaskResult, error) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if _, ok := s.epochs[p.Spec.Name]; ok {
+		return EpochTaskResult{}, fmt.Errorf("rpc: epoch task %q already deployed", p.Spec.Name)
+	}
+	rot, err := epoch.NewRotator(s.ctrl, p.Spec)
+	if err != nil {
+		return EpochTaskResult{}, err
+	}
+	s.epochs[p.Spec.Name] = &epochTask{
+		rot:   rot,
+		snaps: make(map[int]frameSnap),
+		ids:   make(map[int]int),
+	}
+	t, err := s.ctrl.Task(rot.ActiveID())
+	if err != nil {
+		return EpochTaskResult{}, err
+	}
+	return EpochTaskResult{Task: taskResult(t), Epoch: 0}, nil
+}
+
+// handleEpochRotate advances an epoch task to the target epoch, caching a
+// packed snapshot of each epoch's registers as it is frozen. Sending the
+// same target twice is a no-op (AdvanceTo is idempotent), so fleet
+// controllers can retry after transport failures, and a daemon that
+// missed rotations catches up — snapshotting every intermediate epoch —
+// in one call.
+func (s *Server) handleEpochRotate(p EpochRotateParams) (EpochTaskResult, error) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	et, err := s.epochTaskLocked(p.Name)
+	if err != nil {
+		return EpochTaskResult{}, err
+	}
+	target := p.ToEpoch
+	if target <= 0 {
+		target = et.rot.Epoch() + 1
+	}
+	err = et.rot.AdvanceTo(target, func(ep, frozenID int) error {
+		rows, err := s.ctrl.ReadRegisters(frozenID)
+		if err != nil {
+			return fmt.Errorf("rpc: snapshotting %q epoch %d: %w", p.Name, ep, err)
+		}
+		frame, lens := PackFrame(rows)
+		et.snaps[ep] = frameSnap{frame: frame, lens: lens}
+		et.ids[ep] = frozenID
+		delete(et.snaps, ep-epochRetain)
+		delete(et.ids, ep-epochRetain)
+		return nil
+	})
+	if err != nil {
+		return EpochTaskResult{}, err
+	}
+	t, err := s.ctrl.Task(et.rot.ActiveID())
+	if err != nil {
+		return EpochTaskResult{}, err
+	}
+	return EpochTaskResult{Task: taskResult(t), Epoch: et.rot.Epoch(), FrozenID: et.rot.FrozenID()}, nil
+}
+
+// handleReadEpoch serves one completed epoch's packed snapshot. Epoch 0
+// asks for the latest completed epoch. A missing epoch — not rotated to
+// yet, or already evicted — answers with the classified unavailable
+// error plus the daemon's current epoch, so the query plane knows whether
+// this switch is behind (straggler) or the request is stale.
+func (s *Server) handleReadEpoch(p ReadEpochParams) (EpochRegistersResult, error) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	et, err := s.epochTaskLocked(p.Name)
+	if err != nil {
+		return EpochRegistersResult{}, err
+	}
+	cur := et.rot.Epoch()
+	e := p.Epoch
+	if e <= 0 {
+		e = cur
+	}
+	snap, ok := et.snaps[e]
+	if e == 0 || !ok {
+		return EpochRegistersResult{}, epochUnavailable(p.Name, e, cur)
+	}
+	return EpochRegistersResult{
+		Epoch: e, Current: cur, FrozenID: et.ids[e],
+		RowLens: snap.lens, frame: snap.frame,
+	}, nil
+}
+
+// handleEpochRemove reclaims an epoch task's two deployments and its
+// snapshots.
+func (s *Server) handleEpochRemove(p EpochTaskParams) error {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	et, err := s.epochTaskLocked(p.Name)
+	if err != nil {
+		return err
+	}
+	delete(s.epochs, p.Name)
+	return et.rot.Close()
+}
+
+// handleKeyIndices answers a flow key's per-row register indices on a
+// frequency task — computed here from the daemon's own deterministic
+// placement, so a query client without a mirror controller can probe
+// merged fleet rows at exactly the right offsets.
+func (s *Server) handleKeyIndices(p KeyParams) (KeyIndicesResult, error) {
+	h, err := s.ctrl.TaskHandle(p.ID)
+	if err != nil {
+		return KeyIndicesResult{}, err
+	}
+	cms, ok := h.(*algorithms.CMSTask)
+	if !ok {
+		return KeyIndicesResult{}, fmt.Errorf("rpc: task %d is not a counter task", p.ID)
+	}
+	k := keyFromBytes(p.Key)
+	out := KeyIndicesResult{Indices: make([]uint32, cms.D)}
+	for i := 0; i < cms.D; i++ {
+		out.Indices[i] = cms.RowIndexFor(i, k) - uint32(cms.Rows[i].Base)
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package rpc
+
+import (
+	"testing"
+
+	"flymon/internal/packet"
+	"flymon/internal/trace"
+)
+
+// feed pushes a deterministic workload through the server's controller.
+func feed(t *testing.T, s *Server, seed int64) *trace.Trace {
+	t.Helper()
+	tr := trace.Generate(trace.Config{Flows: 64, Packets: 2000, ZipfS: 1.1, Seed: seed})
+	s.ctrl.ProcessBatch(tr.Packets)
+	return tr
+}
+
+func TestPackedRegistersMatchPlain(t *testing.T) {
+	s, c := startServer(t)
+	task, err := c.AddTask(freqSpec("packed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, 1)
+	plain, err := c.ReadRegisters(task.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := c.ReadRegistersPacked(task.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Rows != nil {
+		t.Fatal("packed readout must not also carry JSON rows")
+	}
+	rows := packed.RegisterRows()
+	if len(rows) != len(plain) {
+		t.Fatalf("row count %d != %d", len(rows), len(plain))
+	}
+	for i := range rows {
+		if len(rows[i]) != len(plain[i]) {
+			t.Fatalf("row %d length %d != %d", i, len(rows[i]), len(plain[i]))
+		}
+		for j := range rows[i] {
+			if rows[i][j] != plain[i][j] {
+				t.Fatalf("row %d index %d: packed %d != plain %d", i, j, rows[i][j], plain[i][j])
+			}
+		}
+	}
+}
+
+func TestUnpackRowsReusesBuffers(t *testing.T) {
+	rows := [][]uint32{{1, 2, 3}, {4, 5}}
+	packed := PackRows(rows)
+	dst := [][]uint32{make([]uint32, 3), make([]uint32, 2)}
+	keep0 := &dst[0][0]
+	out := UnpackRows(packed, dst)
+	if &out[0][0] != keep0 {
+		t.Fatal("matching-geometry unpack must reuse the destination buffer")
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if out[i][j] != rows[i][j] {
+				t.Fatalf("row %d index %d: %d != %d", i, j, out[i][j], rows[i][j])
+			}
+		}
+	}
+	// Mismatched geometry falls back to allocation, never panics.
+	out = UnpackRows(packed, [][]uint32{make([]uint32, 1)})
+	if len(out) != 2 || len(out[0]) != 3 {
+		t.Fatalf("fallback shape = %d rows", len(out))
+	}
+}
+
+func TestFrameRoundTripReusesBuffers(t *testing.T) {
+	rows := [][]uint32{{1, 2, 3}, {4, 5}, {}}
+	frame, lens := PackFrame(rows)
+	if len(frame) != 4*5 || len(lens) != 3 || lens[0] != 3 || lens[2] != 0 {
+		t.Fatalf("frame %d bytes lens %v", len(frame), lens)
+	}
+	dst := [][]uint32{make([]uint32, 3), make([]uint32, 2), nil}
+	keep0 := &dst[0][0]
+	out := UnpackFrame(frame, lens, dst)
+	if &out[0][0] != keep0 {
+		t.Fatal("matching-geometry unpack must reuse the destination buffer")
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if out[i][j] != rows[i][j] {
+				t.Fatalf("row %d index %d: %d != %d", i, j, out[i][j], rows[i][j])
+			}
+		}
+	}
+	// Mismatched geometry falls back to allocation; a short frame truncates
+	// instead of reading out of range.
+	out = UnpackFrame(frame[:8], lens, nil)
+	if len(out) != 3 || len(out[0]) != 2 || len(out[1]) != 0 {
+		t.Fatalf("short-frame shape = %v", out)
+	}
+}
+
+func TestEpochLifecycleOverRPC(t *testing.T) {
+	s, c := startServer(t)
+	et, err := c.EpochDeploy(freqSpec("ep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.Epoch != 0 {
+		t.Fatalf("fresh epoch task at epoch %d", et.Epoch)
+	}
+
+	// Nothing completed yet: read_epoch must answer with the classified
+	// straggler signal, not a generic error.
+	if _, err := c.ReadEpoch("ep", 0); !IsEpochUnavailable(err) {
+		t.Fatalf("pre-rotation read = %v, want epoch-unavailable", err)
+	}
+
+	feed(t, s, 2)
+	r1, err := c.EpochRotate("ep", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Epoch != 1 {
+		t.Fatalf("epoch after first rotate = %d", r1.Epoch)
+	}
+	// Idempotency: re-sending the same target must not advance again.
+	r1b, err := c.EpochRotate("ep", 1)
+	if err != nil || r1b.Epoch != 1 {
+		t.Fatalf("re-sent rotate: epoch %d err %v", r1b.Epoch, err)
+	}
+
+	snap1, err := c.ReadEpoch("ep", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows1 := snap1.FrameRows(nil)
+	if snap1.Epoch != 1 || snap1.Current != 1 || len(rows1) == 0 {
+		t.Fatalf("snapshot = epoch %d current %d rows %d", snap1.Epoch, snap1.Current, len(rows1))
+	}
+	sum := uint64(0)
+	for _, row := range rows1 {
+		for _, v := range row {
+			sum += uint64(v)
+		}
+	}
+	if sum == 0 {
+		t.Fatal("epoch-1 snapshot is empty despite traffic")
+	}
+
+	// Traffic after the rotation lands in epoch 2; the epoch-1 snapshot
+	// must stay frozen (coherence at the boundary).
+	feed(t, s, 3)
+	again, err := c.ReadEpoch("ep", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsAgain := again.FrameRows(nil)
+	for i := range rows1 {
+		for j := range rows1[i] {
+			if rowsAgain[i][j] != rows1[i][j] {
+				t.Fatalf("epoch-1 snapshot changed at row %d index %d", i, j)
+			}
+		}
+	}
+
+	// A daemon that missed rotations catches up in one idempotent call,
+	// snapshotting every intermediate epoch.
+	r4, err := c.EpochRotate("ep", 4)
+	if err != nil || r4.Epoch != 4 {
+		t.Fatalf("catch-up rotate: epoch %d err %v", r4.Epoch, err)
+	}
+	for e := 1; e <= 4; e++ {
+		if _, err := c.ReadEpoch("ep", e); err != nil {
+			t.Fatalf("epoch %d unreadable after catch-up: %v", e, err)
+		}
+	}
+
+	// Epoch 5 rotated: retention (epochRetain=4) evicts epoch 1.
+	if _, err := c.EpochRotate("ep", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadEpoch("ep", 1); !IsEpochUnavailable(err) {
+		t.Fatalf("evicted epoch read = %v, want epoch-unavailable", err)
+	}
+	if snap, err := c.ReadEpoch("ep", 0); err != nil || snap.Epoch != 5 {
+		t.Fatalf("latest-epoch read = %+v err %v", snap, err)
+	}
+
+	if err := c.EpochRemove("ep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadEpoch("ep", 0); err == nil {
+		t.Fatal("read after remove must fail")
+	}
+	if len(s.ctrl.Tasks()) != 0 {
+		t.Fatalf("epoch remove leaked %d tasks", len(s.ctrl.Tasks()))
+	}
+}
+
+func TestKeyIndicesMatchDaemonEstimate(t *testing.T) {
+	s, c := startServer(t)
+	task, err := c.AddTask(freqSpec("ki"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := feed(t, s, 4)
+	key := packet.KeyFiveTuple.Extract(&tr.Packets[0])
+	idx, err := c.KeyIndices(task.ID, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.ReadRegisters(task.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != len(rows) {
+		t.Fatalf("%d indices for %d rows", len(idx), len(rows))
+	}
+	min := ^uint32(0)
+	for i, ix := range idx {
+		if int(ix) >= len(rows[i]) {
+			t.Fatalf("row %d index %d out of range (%d buckets)", i, ix, len(rows[i]))
+		}
+		if v := rows[i][ix]; v < min {
+			min = v
+		}
+	}
+	est, err := c.Estimate(task.ID, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(min) != est {
+		t.Fatalf("key-indices estimate %d != daemon estimate %v", min, est)
+	}
+}

@@ -208,7 +208,7 @@ func TestReportedOverRPC(t *testing.T) {
 
 func TestUnknownMethodAndErrors(t *testing.T) {
 	srv, _ := startServer(t)
-	resp := srv.dispatch(&Request{ID: 7, Method: "bogus"})
+	resp, _ := srv.dispatch(&Request{ID: 7, Method: "bogus"})
 	if resp.Error == "" || !strings.Contains(resp.Error, "unknown method") {
 		t.Fatalf("unknown method response = %+v", resp)
 	}
@@ -216,7 +216,7 @@ func TestUnknownMethodAndErrors(t *testing.T) {
 		t.Fatal("response must echo the request id")
 	}
 	// Malformed params.
-	resp = srv.dispatch(&Request{ID: 8, Method: MethodAddTask, Params: json.RawMessage(`{"spec": 42}`)})
+	resp, _ = srv.dispatch(&Request{ID: 8, Method: MethodAddTask, Params: json.RawMessage(`{"spec": 42}`)})
 	if resp.Error == "" {
 		t.Fatal("malformed params must error")
 	}

@@ -41,6 +41,13 @@ type Server struct {
 	tr      *trace.Trace
 	replays int
 
+	// Epoch tasks: per-name rotators plus their per-epoch packed register
+	// snapshots (see epoch.go). epochMu also serializes rotations, which
+	// is what makes epoch_rotate's read-then-advance idempotency safe
+	// against concurrent retries.
+	epochMu sync.Mutex
+	epochs  map[string]*epochTask
+
 	// Liveness: per-controller-session handshake state plus this process
 	// instance's identity. incarnation changes across restarts, which is
 	// how a controller learns its peer came back empty.
@@ -77,6 +84,7 @@ func NewServer(ctrl *controlplane.Controller, logf func(string, ...any)) *Server
 	}
 	return &Server{
 		ctrl:        ctrl,
+		epochs:      make(map[string]*epochTask),
 		closed:      make(chan struct{}),
 		logf:        logf,
 		conns:       make(map[net.Conn]struct{}),
@@ -264,15 +272,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.dispatch(&req)
-		if err := c.write(resp); err != nil {
+		resp, frame := s.dispatch(&req)
+		if err := c.writeFramed(resp, frame); err != nil {
 			s.logf("rpc: write: %v", err)
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(req *Request) (resp *Response) {
+// dispatch runs one request and returns the response envelope plus the
+// optional binary frame to transmit after it (results implementing
+// frameProvider ship their bulk payload out of band — see Response.Frame).
+func (s *Server) dispatch(req *Request) (resp *Response, frame []byte) {
 	resp = &Response{ID: req.ID}
 	if s.tele != nil {
 		ep := s.tele.RPCServer.Endpoint(req.Method)
@@ -292,21 +303,28 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 				s.tele.RPCServer.Panics.Add(1)
 			}
 			resp.Result = nil
+			resp.Frame = 0
+			frame = nil
 			resp.Error = fmt.Sprintf("rpc: internal error handling %s: %v", req.Method, r)
 		}
 	}()
 	result, err := s.handle(req.Method, req.Params)
 	if err != nil {
 		resp.Error = err.Error()
-		return resp
+		return resp, nil
 	}
 	raw, err := json.Marshal(result)
 	if err != nil {
 		resp.Error = fmt.Sprintf("rpc: encoding result: %v", err)
-		return resp
+		return resp, nil
 	}
 	resp.Result = raw
-	return resp
+	if fp, ok := result.(frameProvider); ok {
+		if frame = fp.frameBytes(); len(frame) > 0 {
+			resp.Frame = len(frame)
+		}
+	}
+	return resp, frame
 }
 
 func decode[T any](params json.RawMessage) (T, error) {
@@ -456,7 +474,7 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 		return out, nil
 
 	case MethodReadRegisters:
-		p, err := decode[TaskIDParams](params)
+		p, err := decode[ReadRegistersParams](params)
 		if err != nil {
 			return nil, err
 		}
@@ -464,7 +482,46 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if p.Packed {
+			frame, lens := PackFrame(rows)
+			return RegistersResult{RowLens: lens, frame: frame}, nil
+		}
 		return RegistersResult{Rows: rows}, nil
+
+	case MethodEpochDeploy:
+		p, err := decode[AddTaskParams](params)
+		if err != nil {
+			return nil, err
+		}
+		return s.handleEpochDeploy(p)
+
+	case MethodEpochRotate:
+		p, err := decode[EpochRotateParams](params)
+		if err != nil {
+			return nil, err
+		}
+		return s.handleEpochRotate(p)
+
+	case MethodReadEpoch:
+		p, err := decode[ReadEpochParams](params)
+		if err != nil {
+			return nil, err
+		}
+		return s.handleReadEpoch(p)
+
+	case MethodEpochRemove:
+		p, err := decode[EpochTaskParams](params)
+		if err != nil {
+			return nil, err
+		}
+		return BoolResult{Value: true}, s.handleEpochRemove(p)
+
+	case MethodKeyIndices:
+		p, err := decode[KeyParams](params)
+		if err != nil {
+			return nil, err
+		}
+		return s.handleKeyIndices(p)
 
 	case MethodResources:
 		return ResourcesResult{

@@ -1,0 +1,128 @@
+package sketch
+
+// Merge kernels: the inner loops of every network-wide register merge.
+//
+// The fleet query plane (internal/netwide) folds per-switch register
+// readouts element-wise — saturating ADD for counters, MAX for HLL ranks,
+// OR for bitmaps, XOR for odd sketches. At fleet scale those loops run
+// over millions of uint32 registers per query, so they are unrolled 8-wide
+// with bounds checks hoisted by full-slice re-slicing: the compiler proves
+// d[0..7]/s[0..7] in range from the s = s[:len(d)] guard and emits a
+// single check per 8 elements instead of one per element. The scalar
+// twins (mergeAddScalar etc.) are the reference semantics; the property
+// tests in kernels_test.go hold the unrolled kernels to them bit-for-bit,
+// including the saturation boundary.
+
+// mergeAddKernel adds src into dst element-wise with uint32 saturation.
+// len(src) must be >= len(dst); extra src elements are ignored.
+func mergeAddKernel(dst, src []uint32) {
+	s := src[:len(dst)]
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		d8 := dst[i : i+8 : i+8]
+		s8 := s[i : i+8 : i+8]
+		d8[0] = satAdd32(d8[0], s8[0])
+		d8[1] = satAdd32(d8[1], s8[1])
+		d8[2] = satAdd32(d8[2], s8[2])
+		d8[3] = satAdd32(d8[3], s8[3])
+		d8[4] = satAdd32(d8[4], s8[4])
+		d8[5] = satAdd32(d8[5], s8[5])
+		d8[6] = satAdd32(d8[6], s8[6])
+		d8[7] = satAdd32(d8[7], s8[7])
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = satAdd32(dst[i], s[i])
+	}
+}
+
+// mergeMaxKernel takes the element-wise maximum of dst and src into dst.
+func mergeMaxKernel(dst, src []uint32) {
+	s := src[:len(dst)]
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		d8 := dst[i : i+8 : i+8]
+		s8 := s[i : i+8 : i+8]
+		d8[0] = max(d8[0], s8[0])
+		d8[1] = max(d8[1], s8[1])
+		d8[2] = max(d8[2], s8[2])
+		d8[3] = max(d8[3], s8[3])
+		d8[4] = max(d8[4], s8[4])
+		d8[5] = max(d8[5], s8[5])
+		d8[6] = max(d8[6], s8[6])
+		d8[7] = max(d8[7], s8[7])
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = max(dst[i], s[i])
+	}
+}
+
+// mergeOrKernel ORs src into dst element-wise.
+func mergeOrKernel(dst, src []uint32) {
+	s := src[:len(dst)]
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		d8 := dst[i : i+8 : i+8]
+		s8 := s[i : i+8 : i+8]
+		d8[0] |= s8[0]
+		d8[1] |= s8[1]
+		d8[2] |= s8[2]
+		d8[3] |= s8[3]
+		d8[4] |= s8[4]
+		d8[5] |= s8[5]
+		d8[6] |= s8[6]
+		d8[7] |= s8[7]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] |= s[i]
+	}
+}
+
+// mergeXorKernel XORs src into dst element-wise.
+func mergeXorKernel(dst, src []uint32) {
+	s := src[:len(dst)]
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		d8 := dst[i : i+8 : i+8]
+		s8 := s[i : i+8 : i+8]
+		d8[0] ^= s8[0]
+		d8[1] ^= s8[1]
+		d8[2] ^= s8[2]
+		d8[3] ^= s8[3]
+		d8[4] ^= s8[4]
+		d8[5] ^= s8[5]
+		d8[6] ^= s8[6]
+		d8[7] ^= s8[7]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] ^= s[i]
+	}
+}
+
+// Scalar reference implementations. These define the merge semantics; the
+// unrolled kernels above must match them exactly (see the property tests).
+
+func mergeAddScalar(dst, src []uint32) {
+	for i := range dst {
+		dst[i] = satAdd32(dst[i], src[i])
+	}
+}
+
+func mergeMaxScalar(dst, src []uint32) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+func mergeOrScalar(dst, src []uint32) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+func mergeXorScalar(dst, src []uint32) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

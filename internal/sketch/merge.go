@@ -17,9 +17,7 @@ func (s *CMS) Merge(other *CMS) error {
 		return fmt.Errorf("sketch: CMS geometries differ (d=%d/%d w=%d/%d)", s.d, other.d, s.w, other.w)
 	}
 	for j := 0; j < s.d; j++ {
-		for i := range s.rows[j] {
-			s.rows[j][i] = satAdd32(s.rows[j][i], other.rows[j][i])
-		}
+		mergeAddKernel(s.rows[j], other.rows[j])
 	}
 	return nil
 }
@@ -72,11 +70,7 @@ func MergeMaxRegisters(dst, src []uint32) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("sketch: register lengths differ (%d vs %d)", len(dst), len(src))
 	}
-	for i := range dst {
-		if src[i] > dst[i] {
-			dst[i] = src[i]
-		}
-	}
+	mergeMaxKernel(dst, src)
 	return nil
 }
 
@@ -87,9 +81,7 @@ func MergeAddRegisters(dst, src []uint32) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("sketch: register lengths differ (%d vs %d)", len(dst), len(src))
 	}
-	for i := range dst {
-		dst[i] = satAdd32(dst[i], src[i])
-	}
+	mergeAddKernel(dst, src)
 	return nil
 }
 
@@ -99,8 +91,18 @@ func MergeOrRegisters(dst, src []uint32) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("sketch: register lengths differ (%d vs %d)", len(dst), len(src))
 	}
-	for i := range dst {
-		dst[i] |= src[i]
+	mergeOrKernel(dst, src)
+	return nil
+}
+
+// MergeXorRegisters XORs two raw register readouts element-wise (odd
+// sketches: the merged state describes the symmetric difference of the two
+// inserted sets, i.e. the union when the per-switch streams are disjoint).
+// The result is written into dst.
+func MergeXorRegisters(dst, src []uint32) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("sketch: register lengths differ (%d vs %d)", len(dst), len(src))
 	}
+	mergeXorKernel(dst, src)
 	return nil
 }

@@ -223,6 +223,39 @@ func WriteMetricsReport(w io.Writer, rep Report) {
 	}
 
 	writeHistogram(p, "flymon_fleet_detection_seconds", "Liveness failure-detection latency (last good reply to Down).", fl.DetectionTime)
+
+	mt := fl.MergeTree
+	p("# HELP flymon_fleet_merge_queries_total Merge-tree fleet queries executed, by engine.\n")
+	p("# TYPE flymon_fleet_merge_queries_total counter\n")
+	p("flymon_fleet_merge_queries_total{engine=\"tree\"} %d\n", mt.Queries)
+	p("flymon_fleet_merge_queries_total{engine=\"flat\"} %d\n", mt.FlatFolds)
+	p("# HELP flymon_fleet_merge_nodes_total Interior merge nodes executed by the merge tree.\n")
+	p("# TYPE flymon_fleet_merge_nodes_total counter\n")
+	p("flymon_fleet_merge_nodes_total %d\n", mt.Merges)
+	p("# HELP flymon_fleet_merge_epoch_queries_total Fleet queries pinned to an epoch boundary.\n")
+	p("# TYPE flymon_fleet_merge_epoch_queries_total counter\n")
+	p("flymon_fleet_merge_epoch_queries_total %d\n", mt.EpochQueries)
+	p("# HELP flymon_fleet_merge_depth Depth of the last completed merge tree.\n")
+	p("# TYPE flymon_fleet_merge_depth gauge\n")
+	p("flymon_fleet_merge_depth %d\n", mt.LastDepth)
+	p("# HELP flymon_fleet_merge_fanout Leaves merged by the last completed merge tree.\n")
+	p("# TYPE flymon_fleet_merge_fanout gauge\n")
+	p("flymon_fleet_merge_fanout %d\n", mt.LastFanout)
+	p("# HELP flymon_fleet_merge_stragglers_total Epoch-query straggler outcomes by policy result.\n")
+	p("# TYPE flymon_fleet_merge_stragglers_total counter\n")
+	p("flymon_fleet_merge_stragglers_total{outcome=\"caught_up\"} %d\n", mt.StragglerWaits)
+	p("flymon_fleet_merge_stragglers_total{outcome=\"skipped\"} %d\n", mt.StragglersSkipped)
+	p("flymon_fleet_merge_stragglers_total{outcome=\"timed_out\"} %d\n", mt.StragglersTimedOut)
+	writeHistogram(p, "flymon_fleet_merge_latency_seconds", "Latency of one interior merge node.", mt.MergeLatency)
+	for lvl := range mt.LevelLatency {
+		h := mt.LevelLatency[lvl]
+		if h.Count == 0 {
+			continue
+		}
+		writeHistogram(p, fmt.Sprintf("flymon_fleet_merge_level%d_latency_seconds", lvl),
+			fmt.Sprintf("Latency of interior merges at tree level %d.", lvl), h)
+	}
+	writeHistogram(p, "flymon_fleet_merge_straggler_wait_seconds", "Time spent polling epoch stragglers.", mt.StragglerWait)
 }
 
 func writeHistogram(p func(string, ...any), name, help string, h HistogramSnapshot) {

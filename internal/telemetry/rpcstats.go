@@ -138,6 +138,10 @@ type FleetStats struct {
 	Redeploys       atomic.Uint64 // missing tasks re-deployed onto a switch
 	ReconcileErrors atomic.Uint64 // per-switch reconcile failures (unreachable, diverged)
 
+	// MergeTree instruments the parallel merge-tree query engine and the
+	// epoch-coherent readout path (straggler policies).
+	MergeTree MergeTreeStats
+
 	mu       sync.Mutex
 	sessions map[int]SessionGauge
 }
@@ -171,6 +175,7 @@ type FleetReport struct {
 	ReconcileRuns   uint64            `json:"reconcile_runs"`
 	Redeploys       uint64            `json:"redeploys"`
 	ReconcileErrors uint64            `json:"reconcile_errors"`
+	MergeTree       MergeTreeReport   `json:"merge_tree"`
 	Sessions        []SessionGauge    `json:"sessions,omitempty"`
 }
 
@@ -192,6 +197,7 @@ func (f *FleetStats) Snapshot() FleetReport {
 		ReconcileRuns:   f.ReconcileRuns.Load(),
 		Redeploys:       f.Redeploys.Load(),
 		ReconcileErrors: f.ReconcileErrors.Load(),
+		MergeTree:       f.MergeTree.Snapshot(),
 	}
 	f.mu.Lock()
 	idx := make([]int, 0, len(f.sessions))
