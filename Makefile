@@ -6,6 +6,7 @@ REPLAY_OUT ?= bench_replay.txt
 FRAMES_OUT ?= bench_frames.txt
 FLEET_OUT ?= bench_fleet.txt
 KERNEL_OUT ?= bench_kernels.txt
+TRACE_OUT ?= bench_trace.txt
 FLEET_SIZES ?= 4,32,128,256
 FLEET_COUNT ?= 5
 
@@ -21,12 +22,12 @@ SCALING_BENCH = BenchmarkProcessParallelModes|BenchmarkShardDrain
 .PHONY: all check vet build test race race-concurrency chaos chaos-liveness bench bench-allocs \
 	bench-full bench-scaling bench-smoke bench-telemetry bench-telemetry-smoke \
 	bench-replay bench-replay-smoke bench-frames bench-frames-smoke bench-fleet \
-	bench-fleet-smoke vet-merge bench-compare clean
+	bench-fleet-smoke bench-trace bench-trace-smoke vet-merge bench-compare clean
 
 all: check
 
 check: vet build race chaos chaos-liveness vet-merge bench-smoke bench-telemetry-smoke \
-	bench-replay-smoke bench-frames-smoke bench-fleet-smoke bench-allocs
+	bench-replay-smoke bench-frames-smoke bench-fleet-smoke bench-trace-smoke bench-allocs
 
 # chaos runs the control-channel fault-injection suite under -race: the
 # faultnet transport tests, the resilient-client recovery paths (timeouts,
@@ -157,7 +158,7 @@ bench-frames-smoke:
 # query plane (bit-identity vs the flat fold, straggler chaos matrix,
 # goroutine-leak gates).
 vet-merge:
-	$(GO) vet ./internal/netwide/ ./internal/sketch/ ./internal/rpc/
+	$(GO) vet ./internal/netwide/ ./internal/sketch/ ./internal/rpc/ ./internal/tracing/
 	$(GO) test -race -count=1 -timeout 600s -run 'MergeStream|Epoch|EnginesBitIdentical' \
 		./internal/netwide/
 
@@ -179,6 +180,26 @@ bench-fleet:
 # partial report fails the run outright, not just a slow number).
 bench-fleet-smoke:
 	$(GO) run ./cmd/flymon-bench -fleet 4 -fleet-count 1 > /dev/null
+
+# bench-trace proves the tracing plane's control-op overhead budget: a
+# traced control op (root span + client rpc span + daemon dispatch span)
+# must stay within 3% of the untraced baseline by median ns/op, enforced
+# on the benchcmp delta; tracing=armed (tracers attached, op untraced)
+# shows the cost of the nil/validity checks alone. bench_trace.txt is the
+# committed artifact. The data-plane hot path needs no pair here: nothing
+# under internal/core or internal/controlplane imports tracing, so the
+# per-packet path is structurally unchanged (bench-telemetry covers it).
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkControlOpTrace' -count=5 -cpu 1 -benchmem . | tee $(TRACE_OUT)
+	$(GO) run ./cmd/benchcmp -pair 'tracing=off:tracing=armed' $(TRACE_OUT)
+	$(GO) run ./cmd/benchcmp -pair 'tracing=off:tracing=on' $(TRACE_OUT) | \
+		awk 'NR>1 { d=$$NF; sub(/%/,"",d); if (d+0 > 3) { print "traced control op over 3% budget:", $$0; bad=1 } } { print } END { exit bad }'
+
+# bench-trace-smoke is the check-gate pass: a short run over all three
+# variants to catch bit-rot in the traced control-op path (a broken span
+# plumbing change shows up as an error, not a slow number).
+bench-trace-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkControlOpTrace' -benchtime 64x -cpu 1 .
 
 # bench-compare diffs two saved benchmark outputs by median ns/op:
 #   make bench OLD=...        # or bench-scaling, with BENCH_OUT/SCALING_OUT

@@ -1,0 +1,68 @@
+package flymon
+
+import (
+	"testing"
+
+	"flymon/internal/controlplane"
+	"flymon/internal/packet"
+	"flymon/internal/rpc"
+	"flymon/internal/tracing"
+)
+
+// BenchmarkControlOpTrace measures the tracing plane's tax on a control
+// operation: one loopback daemon serving read_registers round trips.
+// Three variants:
+//
+//	tracing=off    no tracer anywhere — the seed baseline
+//	tracing=armed  tracers attached on both ends but the op untraced —
+//	               the cost of the nil/validity checks alone, which must
+//	               be indistinguishable from off
+//	tracing=on     a root span per op, spans recorded on both ends
+//	               (client rpc attempt span + daemon dispatch span)
+//
+// The gate (`make bench-trace`) requires tracing=on within 3% of
+// tracing=off by median ns/op; bench_trace.txt is the committed artifact.
+func BenchmarkControlOpTrace(b *testing.B) {
+	for _, variant := range []string{"tracing=off", "tracing=armed", "tracing=on"} {
+		b.Run(variant, func(b *testing.B) {
+			ctrl := controlplane.NewController(controlplane.Config{Groups: 9, Buckets: 65536, BitWidth: 32})
+			srv := rpc.NewServer(ctrl, nil)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			client, err := rpc.Dial(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			var tr *tracing.Tracer
+			if variant != "tracing=off" {
+				tr = tracing.New(0)
+				srv.SetTracer(tracing.New(0))
+				client.SetTracer(tr)
+			}
+			traced := variant == "tracing=on"
+			t, err := client.AddTask(controlplane.TaskSpec{
+				Name: "t", Key: packet.KeyFiveTuple,
+				Attribute: controlplane.AttrFrequency, MemBuckets: 4096, D: 3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var root *tracing.ActiveSpan
+				if traced {
+					root = tr.StartRoot("query")
+				}
+				_, err := client.ReadRegisters(t.ID, root.Context())
+				root.Finish(err)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

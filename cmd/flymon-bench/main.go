@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"flymon/internal/experiments"
+	"flymon/internal/telemetry"
 )
 
 func main() {
@@ -55,8 +56,14 @@ func main() {
 	replayVerify := flag.Bool("replay-verify", false, "after the replay, verify register readouts against a sequential ProcessBatch replay")
 	fleet := flag.String("fleet", "", "run the network-wide query scaling bench over these comma-separated fleet sizes (e.g. 4,32,128,256) instead of experiments")
 	fleetCount := flag.Int("fleet-count", 5, "timed samples per engine per fleet size (median-of-N via cmd/benchcmp)")
+	version := flag.Bool("version", false, "print version and build info, then exit")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("flymon-bench %s\n", telemetry.ReadBuildInfo())
+		return
+	}
 
 	if *fleet != "" {
 		var sizes []int

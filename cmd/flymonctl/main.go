@@ -13,7 +13,7 @@
 // or may not have applied them — re-check with `list`).
 //
 // Commands: add, rm, resize, list, estimate, cardinality, contains,
-// distribution, resources, gen, replay, stats, fleet, query.
+// distribution, resources, gen, replay, stats, fleet, query, trace, watch.
 package main
 
 import (
@@ -30,7 +30,11 @@ import (
 	"flymon/internal/packet"
 	"flymon/internal/rpc"
 	"flymon/internal/telemetry"
+	"flymon/internal/tracing"
 )
+
+// logger is the CLI's leveled logger (stderr); -log-level tunes it.
+var logger = telemetry.NewLogger("flymonctl", telemetry.LevelInfo, os.Stderr)
 
 func main() {
 	if len(os.Args) < 2 {
@@ -41,12 +45,23 @@ func main() {
 	opts := rpc.Options{}
 	args := os.Args[1:]
 	// Leading global flags, in any order, before the command word.
+	// -version is valueless; every other global flag takes a value.
+	need := func(args []string) {
+		if len(args) < 2 {
+			fatal(fmt.Errorf("%s: missing value", args[0]))
+		}
+	}
 global:
-	for len(args) >= 2 {
+	for len(args) >= 1 {
 		switch args[0] {
+		case "-version":
+			fmt.Printf("flymonctl %s\n", telemetry.ReadBuildInfo())
+			return
 		case "-addr":
+			need(args)
 			addr, args = args[1], args[2:]
 		case "-timeout":
+			need(args)
 			d, err := time.ParseDuration(args[1])
 			if err != nil {
 				fatal(fmt.Errorf("-timeout: %w", err))
@@ -54,6 +69,7 @@ global:
 			opts.CallTimeout = d
 			args = args[2:]
 		case "-retries":
+			need(args)
 			n := 0
 			if _, err := fmt.Sscanf(args[1], "%d", &n); err != nil {
 				fatal(fmt.Errorf("-retries: %w", err))
@@ -62,6 +78,14 @@ global:
 				n = -1 // user asked for zero retries, not the default
 			}
 			opts.MaxRetries = n
+			args = args[2:]
+		case "-log-level":
+			need(args)
+			lvl, err := telemetry.ParseLogLevel(args[1])
+			if err != nil {
+				fatal(err)
+			}
+			logger.SetLevel(lvl)
 			args = args[2:]
 		default:
 			break global
@@ -84,6 +108,15 @@ global:
 	// when a switch is down (that is what the straggler report is for).
 	if cmd == "query" {
 		cmdQuery(addr, opts, args)
+		return
+	}
+	// trace and watch read many daemons too and tolerate dead ones.
+	if cmd == "trace" {
+		cmdTrace(addr, opts, args)
+		return
+	}
+	if cmd == "watch" {
+		cmdWatch(addr, opts, args)
 		return
 	}
 
@@ -140,9 +173,11 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: flymonctl [-addr host:9177] [-timeout 30s] [-retries 2] <command> [flags]
 
 global flags:
-  -addr     daemon control-channel address
-  -timeout  per-call deadline (default 30s); a hung daemon errors instead of blocking
-  -retries  retry budget for read-only commands after transport failures (default 2)
+  -addr       daemon control-channel address
+  -timeout    per-call deadline (default 30s); a hung daemon errors instead of blocking
+  -retries    retry budget for read-only commands after transport failures (default 2)
+  -log-level  stderr log verbosity: debug, info, warn, error, off (default info)
+  -version    print version and build info, then exit
 
 commands:
   add          deploy a measurement task
@@ -170,14 +205,24 @@ commands:
                per-switch table (session state, detect time, failures,
                observed/desired tasks); '*' marks a flap-damped session
   query        -addrs a:9177,b:9177 -name N [-epoch E] [-policy wait|skip|partial]
-               [-wait 2s] [-op add|max|or|xor] [-arity K]
+               [-wait 2s] [-op add|max|or|xor] [-arity K] [-trace]
                [-estimate -key SPEC -src IP -dst IP ...]
                epoch-coherent network-wide readout: every switch's epoch-E
                register snapshot (binary frames) streamed through the
                parallel sketch-merge tree. -epoch 0 pins the first healthy
                switch's latest completed epoch. The report separates
                stragglers (reachable, behind) from failures (unreachable);
-               -estimate probes the merged rows for a flow key (CMS min)
+               -estimate probes the merged rows for a flow key (CMS min);
+               -trace prints the end-to-end span tree with its critical path
+  trace        [-addrs a:9177,b:9177] [-n 5] [-op NAME]
+               dump every daemon's span buffer, knit spans into per-operation
+               trace trees, print the newest N with critical-path breakdowns
+  watch        [-addrs a:9177,b:9177] [-interval 1s] [-events 6]
+               [-epoch-task N] [-tx 100ms] [-mult 3]
+               live fleet dashboard: per-switch liveness sessions, task and
+               packet counters, drain/mutation latency percentiles, per-switch
+               completed epoch ('!' marks a straggler), and the newest
+               reconfiguration journal entries; redraws in place each interval
 `)
 }
 
@@ -434,6 +479,7 @@ func cmdQuery(defaultAddr string, opts rpc.Options, args []string) {
 	opStr := fs.String("op", "add", "merge op: add|max|or|xor")
 	arity := fs.Int("arity", 0, "merge-tree fan-in (0 = default)")
 	estimate := fs.Bool("estimate", false, "probe the merged rows for the key flags' flow (CMS min)")
+	traceQ := fs.Bool("trace", false, "trace the query end-to-end and print the assembled span tree")
 	p, keyStr := packetFromFlags(fs, args) // parses the flag set
 
 	if *name == "" {
@@ -455,6 +501,15 @@ func cmdQuery(defaultAddr string, opts rpc.Options, args []string) {
 	}
 	if len(addrs) == 0 {
 		fatal(fmt.Errorf("query: no addresses"))
+	}
+
+	// Tracing is opt-in per query: the CLI process holds the controller
+	// half of the trace, the daemons record their halves, and the tree is
+	// knit together from their trace_dump buffers after the query.
+	var tr *tracing.Tracer
+	if *traceQ {
+		tr = tracing.New(0)
+		opts.Tracer = tr
 	}
 
 	// Dial everything up front; a dead switch becomes a failure row, not a
@@ -491,6 +546,8 @@ func cmdQuery(defaultAddr string, opts rpc.Options, args []string) {
 		}
 	}
 
+	root := tr.StartRoot("query")
+	root.SetDetail(fmt.Sprintf("%s epoch=%d policy=%s", *name, pinned, policy))
 	q := netwide.EpochQuery{Policy: policy, Wait: *waitBound, Op: op}
 	leaves := make(chan netwide.Leaf, len(addrs))
 	var (
@@ -505,7 +562,14 @@ func cmdQuery(defaultAddr string, opts rpc.Options, args []string) {
 		wg.Add(1)
 		go func(i int, c *rpc.Client) {
 			defer wg.Done()
-			rows, fid, err := netwide.FetchEpochRows(c, *name, pinned, q)
+			var sw *tracing.ActiveSpan
+			if tr != nil {
+				sw = tr.StartSpan(root.Context(), "switch")
+				sw.SetSwitch(i)
+				sw.SetDetail(addrs[i])
+			}
+			rows, fid, err := netwide.FetchEpochRows(c, *name, pinned, q, sw.Context())
+			sw.Finish(err)
 			if err != nil {
 				mu.Lock()
 				if have, ok := netwide.StragglerEpoch(err); ok {
@@ -525,7 +589,10 @@ func cmdQuery(defaultAddr string, opts rpc.Options, args []string) {
 		}(i, c)
 	}
 	go func() { wg.Wait(); close(leaves) }()
-	res, err := netwide.MergeStream(leaves, op, netwide.TreeOptions{Task: *name, Arity: *arity})
+	res, err := netwide.MergeStream(leaves, op, netwide.TreeOptions{
+		Task: *name, Arity: *arity, Tracer: tr, Parent: root.Context(),
+	})
+	root.Finish(err)
 	if err != nil {
 		fatal(err)
 	}
@@ -587,6 +654,28 @@ func cmdQuery(defaultAddr string, opts rpc.Options, args []string) {
 		}
 		fmt.Printf("estimate for %s @ epoch %d: %d (%d-of-%d lower bound)\n",
 			spec, pinned, min, len(res.Contributed), len(addrs))
+	}
+	if *traceQ {
+		// Knit the end-to-end tree: this process's spans plus every
+		// reachable daemon's buffer, filtered to this query's trace.
+		spans, _, _ := tr.Dump()
+		for i, c := range clients {
+			if c == nil {
+				continue
+			}
+			dump, err := c.TraceDump(0)
+			if err != nil {
+				logger.Warnf("trace: %s: %v", addrs[i], err)
+				continue
+			}
+			spans = append(spans, dump.Spans...)
+		}
+		fmt.Println()
+		for _, tree := range tracing.Assemble(spans) {
+			if tree.ID == root.Context().Trace {
+				tree.Render(os.Stdout)
+			}
+		}
 	}
 	if policy == netwide.StragglerWait && (stragglers > 0 || len(res.Contributed) < len(addrs)) {
 		os.Exit(1) // a wait-policy caller asked for all-or-nothing

@@ -7,6 +7,7 @@
 //	flymond [-listen :9177] [-admin :9090] [-groups 9] [-buckets 65536]
 //	        [-bitwidth 32] [-mode accurate|efficient] [-workers N] [-sharded]
 //	        [-replay trace.fmt[,more.fmt] [-replay-loop]] [-hello-gc 2m]
+//	        [-log-level info] [-trace-buf 4096] [-version]
 //	        [-chaos-seed N -chaos-read-delay 5ms -chaos-write-delay 5ms
 //	         -chaos-reset-every N -chaos-corrupt-every N]
 //
@@ -23,8 +24,10 @@
 // failures the resilient client claims to survive.
 //
 // The -admin flag opens the telemetry/debug HTTP listener: Prometheus
-// metrics on /metrics, the reconfiguration journal on /debug/events, and
-// the standard pprof handlers on /debug/pprof/. Telemetry itself is always
+// metrics on /metrics, the reconfiguration journal on /debug/events, the
+// control-plane trace span buffer on /debug/trace (add ?format=tree for
+// rendered span trees), and the standard pprof handlers on
+// /debug/pprof/. Telemetry itself is always
 // on (the registry also answers flymonctl's `stats` over the control
 // channel); -admin only controls the HTTP exposition.
 package main
@@ -45,6 +48,7 @@ import (
 	"flymon/internal/mmtrace"
 	"flymon/internal/rpc"
 	"flymon/internal/telemetry"
+	"flymon/internal/tracing"
 )
 
 func main() {
@@ -66,7 +70,20 @@ func main() {
 	chaosResetEvery := flag.Int("chaos-reset-every", 0, "inject a connection reset every Nth I/O op (0 = never)")
 	chaosCorruptEvery := flag.Int("chaos-corrupt-every", 0, "corrupt every Nth response frame (0 = never)")
 	helloGC := flag.Duration("hello-gc", rpc.DefaultHelloGC, "drop controller liveness sessions idle this long (floored at 16× their advertised tx interval)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error, or off")
+	traceBuf := flag.Int("trace-buf", tracing.DefaultBufferSpans, "control-plane trace span buffer capacity (0 = tracing disabled)")
+	version := flag.Bool("version", false, "print version and build info, then exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("flymond %s\n", telemetry.ReadBuildInfo())
+		return
+	}
+	lvl, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("flymond: %v", err)
+	}
+	logger := telemetry.NewLogger("flymond", lvl, os.Stderr)
 
 	var memMode controlplane.MemoryMode
 	switch strings.ToLower(*mode) {
@@ -90,9 +107,17 @@ func main() {
 		ShardedState:  *sharded,
 		Telemetry:     reg,
 	})
-	srv := rpc.NewServer(ctrl, log.Printf)
+	srv := rpc.NewServer(ctrl, nil)
+	srv.SetLogger(logger.With("rpc"))
 	srv.SetTelemetry(reg)
 	srv.SetHelloGC(*helloGC)
+	var tracer *tracing.Tracer
+	if *traceBuf > 0 {
+		tracer = tracing.New(*traceBuf)
+		srv.SetTracer(tracer)
+		reg.AddMetricsWriter(tracer.WriteMetrics)
+	}
+	reg.AddMetricsWriter(telemetry.WriteBuildInfoMetric)
 	plan := faultnet.Plan{
 		Seed:         *chaosSeed,
 		ReadDelay:    *chaosReadDelay,
@@ -129,13 +154,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("flymond: admin listen %s: %v", *admin, err)
 		}
-		adminSrv = &http.Server{Handler: reg.Handler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", reg.Handler())
+		mux.Handle("/debug/trace", tracing.Handler(tracer))
+		adminSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := adminSrv.Serve(aln); err != nil && err != http.ErrServerClosed {
-				log.Printf("flymond: admin: %v", err)
+				logger.Errorf("admin: %v", err)
 			}
 		}()
-		fmt.Printf("flymond: telemetry on http://%s/metrics (journal: /debug/events, pprof: /debug/pprof/)\n", aln.Addr())
+		fmt.Printf("flymond: telemetry on http://%s/metrics (journal: /debug/events, traces: /debug/trace, pprof: /debug/pprof/)\n", aln.Addr())
 	}
 
 	// Soak mode: replay traces through the data plane in the background
@@ -154,7 +182,7 @@ func main() {
 				if t == nil {
 					log.Fatalf("flymond: replay: %v", err)
 				}
-				log.Printf("flymond: replay: warning: %s: %v (replaying the intact prefix)", path, err)
+				logger.Warnf("replay: %s: %v (replaying the intact prefix)", path, err)
 			}
 			traces = append(traces, t)
 		}
@@ -205,6 +233,6 @@ func main() {
 		adminSrv.Close()
 	}
 	if err := srv.Close(); err != nil {
-		log.Printf("flymond: close: %v", err)
+		logger.Errorf("close: %v", err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"flymon/internal/packet"
 	"flymon/internal/rpc"
 	"flymon/internal/telemetry"
+	"flymon/internal/tracing"
 )
 
 // Epoch-coherent fleet readouts: "everyone's state for epoch E".
@@ -125,7 +126,9 @@ func StragglerEpoch(err error) (int, bool) {
 // DeployEpoch installs an epoch task (a rotator) on every daemon and on
 // the mirror, all-or-nothing with rollback like Deploy. The task's name
 // must be unused by both planes.
-func (f *RemoteFleet) DeployEpoch(spec controlplane.TaskSpec) error {
+func (f *RemoteFleet) DeployEpoch(spec controlplane.TaskSpec) (err error) {
+	root := f.startRoot("epoch_deploy", spec.Name)
+	defer func() { root.Finish(err) }()
 	f.mu.Lock()
 	if _, ok := f.taskIDs[spec.Name]; ok {
 		f.mu.Unlock()
@@ -145,8 +148,8 @@ func (f *RemoteFleet) DeployEpoch(spec controlplane.TaskSpec) error {
 	var dmu sync.Mutex
 	deployed := make(map[int]bool)
 	var diverged error
-	errs := f.fanOut(func(i int, c *rpc.Client) error {
-		et, err := c.EpochDeploy(spec)
+	errs := f.fanOut(root.Context(), func(i int, c *rpc.Client, sc tracing.SpanContext) error {
+		et, err := c.EpochDeploy(spec, sc)
 		if err != nil {
 			return fmt.Errorf("netwide: epoch deploy of %q on daemon %d: %w", spec.Name, i, err)
 		}
@@ -189,15 +192,17 @@ func (f *RemoteFleet) DeployEpoch(spec controlplane.TaskSpec) error {
 // RemoveEpochTask reclaims an epoch task everywhere. Like Remove, a
 // partial failure keeps the handle so a retry only needs the stragglers
 // ("no epoch task" answers are treated as already removed).
-func (f *RemoteFleet) RemoveEpochTask(name string) error {
+func (f *RemoteFleet) RemoveEpochTask(name string) (err error) {
+	root := f.startRoot("epoch_remove", name)
+	defer func() { root.Finish(err) }()
 	f.mu.Lock()
 	et := f.epochs[name]
 	f.mu.Unlock()
 	if et == nil {
 		return fmt.Errorf("netwide: no epoch task %q", name)
 	}
-	errs := f.fanOut(func(i int, c *rpc.Client) error {
-		err := c.EpochRemove(name)
+	errs := f.fanOut(root.Context(), func(i int, c *rpc.Client, sc tracing.SpanContext) error {
+		err := c.EpochRemove(name, sc)
 		if err != nil && rpc.IsNoEpochTask(err) {
 			return nil
 		}
@@ -235,7 +240,9 @@ func (f *RemoteFleet) EpochOf(name string) (int, error) {
 // queries in the meantime; with AllowPartial unset they also fail this
 // call (the rotation itself, and the mirror, remain advanced either
 // way — rotation is a decree, not a transaction).
-func (f *RemoteFleet) RotateEpoch(name string) (int, error) {
+func (f *RemoteFleet) RotateEpoch(name string) (target int, err error) {
+	root := f.startRoot("epoch_rotate", name)
+	defer func() { root.Finish(err) }()
 	f.mu.Lock()
 	et := f.epochs[name]
 	f.mu.Unlock()
@@ -247,14 +254,15 @@ func (f *RemoteFleet) RotateEpoch(name string) (int, error) {
 	if _, err := et.rot.Rotate(); err != nil {
 		return 0, fmt.Errorf("netwide: mirror rotate of %q: %w", name, err)
 	}
-	target := et.rot.Epoch()
-	errs := f.fanOut(func(i int, c *rpc.Client) error {
-		_, err := c.EpochRotate(name, target)
+	target = et.rot.Epoch()
+	root.SetDetail(fmt.Sprintf("%s to epoch %d", name, target))
+	errs := f.fanOut(root.Context(), func(i int, c *rpc.Client, sc tracing.SpanContext) error {
+		_, err := c.EpochRotate(name, target, sc)
 		var te *rpc.TransportError
 		if errors.As(err, &te) {
 			// Explicit-target rotation is idempotent: one immediate retry
 			// covers the applied-but-unacknowledged case.
-			_, err = c.EpochRotate(name, target)
+			_, err = c.EpochRotate(name, target, sc)
 		}
 		if err != nil {
 			return fmt.Errorf("netwide: rotating %q to epoch %d on daemon %d: %w", name, target, i, err)
@@ -287,9 +295,13 @@ func pollInterval(wait time.Duration) time.Duration {
 // the frozen task ID the snapshot came from — the handle key_indices
 // needs. This is the mirror-less building block flymonctl query feeds
 // into MergeStream.
-func FetchEpochRows(c *rpc.Client, name string, epochN int, q EpochQuery) ([][]uint32, int, error) {
+func FetchEpochRows(c *rpc.Client, name string, epochN int, q EpochQuery, parent ...tracing.SpanContext) ([][]uint32, int, error) {
 	q = q.withDefaults()
-	res, err := pollEpoch(c, name, epochN, q, nil, nil)
+	var sc tracing.SpanContext
+	if len(parent) > 0 {
+		sc = parent[0]
+	}
+	res, err := pollEpoch(c, name, epochN, q, nil, nil, c.Tracer(), sc)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -298,8 +310,11 @@ func FetchEpochRows(c *rpc.Client, name string, epochN int, q EpochQuery) ([][]u
 
 // pollEpoch is the per-switch epoch fetch: read, classify, and — under
 // the wait/partial policies — poll while the daemon is behind. stats
-// (when set) receives the straggler outcome counters.
-func pollEpoch(c *rpc.Client, name string, epochN int, q EpochQuery, stats statsSink, clock func() time.Time) (rpc.EpochRegistersResult, error) {
+// (when set) receives the straggler outcome counters. tr + parent (when
+// both live) record the straggler decision: a "straggler_wait" span
+// covering the whole poll (error = still behind at the bound) or an
+// instant "straggler_skip" span under the skip policy.
+func pollEpoch(c *rpc.Client, name string, epochN int, q EpochQuery, stats statsSink, clock func() time.Time, tr *tracing.Tracer, parent tracing.SpanContext) (rpc.EpochRegistersResult, error) {
 	if clock == nil {
 		clock = time.Now
 	}
@@ -307,34 +322,52 @@ func pollEpoch(c *rpc.Client, name string, epochN int, q EpochQuery, stats stats
 	deadline := start.Add(q.Wait)
 	poll := pollInterval(q.Wait)
 	polled := false
+	var waitSp *tracing.ActiveSpan
 	for {
-		res, err := c.ReadEpoch(name, epochN)
+		res, err := c.ReadEpoch(name, epochN, parent)
 		if err == nil {
-			if polled && stats != nil {
-				stats.stragglerCaughtUp(clock().Sub(start))
+			if polled {
+				if stats != nil {
+					stats.stragglerCaughtUp(clock().Sub(start))
+				}
+				waitSp.SetDetail(fmt.Sprintf("epoch=%d caught up", epochN))
+				waitSp.Finish(nil)
 			}
 			return res, nil
 		}
 		if !rpc.IsEpochUnavailable(err) {
+			waitSp.Finish(err)
 			return rpc.EpochRegistersResult{}, err
 		}
 		have := rpc.EpochUnavailableHave(err)
 		if have > epochN {
 			// Not behind — ahead: the snapshot was already evicted by
 			// retention. Waiting cannot bring it back.
-			return rpc.EpochRegistersResult{}, fmt.Errorf("netwide: epoch %d of %q evicted on this daemon (retention window passed): %w", epochN, name, err)
+			err = fmt.Errorf("netwide: epoch %d of %q evicted on this daemon (retention window passed): %w", epochN, name, err)
+			waitSp.Finish(err)
+			return rpc.EpochRegistersResult{}, err
 		}
 		if q.Policy == StragglerSkip {
 			if stats != nil {
 				stats.stragglerSkipped()
 			}
-			return rpc.EpochRegistersResult{}, &stragglerError{want: epochN, have: have}
+			serr := &stragglerError{want: epochN, have: have}
+			sp := traceSpan(tr, parent, "straggler_skip")
+			sp.SetDetail(fmt.Sprintf("want=%d have=%d", epochN, have))
+			sp.Finish(serr)
+			return rpc.EpochRegistersResult{}, serr
 		}
 		if !clock().Before(deadline) {
 			if stats != nil {
 				stats.stragglerTimedOut(clock().Sub(start))
 			}
-			return rpc.EpochRegistersResult{}, &stragglerError{want: epochN, have: have}
+			serr := &stragglerError{want: epochN, have: have}
+			waitSp.SetDetail(fmt.Sprintf("want=%d have=%d", epochN, have))
+			waitSp.Finish(serr)
+			return rpc.EpochRegistersResult{}, serr
+		}
+		if waitSp == nil {
+			waitSp = traceSpan(tr, parent, "straggler_wait")
 		}
 		polled = true
 		time.Sleep(poll)
@@ -379,7 +412,7 @@ func fleetSink(st *telemetry.MergeTreeStats) statsSink {
 // (reachable, behind) from failures (unreachable); transport failures
 // still honor AllowPartial, and under the wait policy any switch still
 // behind at the bound fails the whole query.
-func (f *RemoteFleet) QueryEpochRows(name string, epochN int, q EpochQuery) ([][]uint32, QueryReport, error) {
+func (f *RemoteFleet) QueryEpochRows(name string, epochN int, q EpochQuery) (_ [][]uint32, _ QueryReport, err error) {
 	q = q.withDefaults()
 	f.mu.Lock()
 	et := f.epochs[name]
@@ -396,6 +429,8 @@ func (f *RemoteFleet) QueryEpochRows(name string, epochN int, q EpochQuery) ([][
 	if epochN == 0 {
 		return nil, report, fmt.Errorf("netwide: epoch task %q has no completed epoch yet (rotate first)", name)
 	}
+	root := f.startRoot("epoch_query", fmt.Sprintf("%s epoch=%d policy=%s", name, epochN, q.Policy))
+	defer func() { root.Finish(err) }()
 	report.Epoch = epochN
 	st := f.mergeStats()
 	if st != nil {
@@ -407,8 +442,8 @@ func (f *RemoteFleet) QueryEpochRows(name string, epochN int, q EpochQuery) ([][
 	if timeout > 0 && q.Policy != StragglerSkip {
 		timeout += q.Wait
 	}
-	stream := f.fanOutRows(timeout, func(i int, c *rpc.Client) ([][]uint32, error) {
-		res, err := pollEpoch(c, name, epochN, q, fleetSink(st), nil)
+	stream := f.fanOutRows(root.Context(), timeout, func(i int, c *rpc.Client, sc tracing.SpanContext) ([][]uint32, error) {
+		res, err := pollEpoch(c, name, epochN, q, fleetSink(st), nil, f.opts.Tracer, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -434,6 +469,8 @@ func (f *RemoteFleet) QueryEpochRows(name string, epochN int, q EpochQuery) ([][
 		Arity:   f.opts.MergeArity,
 		Stats:   st,
 		Recycle: f.putRowBuf,
+		Tracer:  f.opts.Tracer,
+		Parent:  root.Context(),
 	})
 	report.Contributed = res.Contributed
 	report.Failed = make(map[int]string)

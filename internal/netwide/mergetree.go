@@ -8,6 +8,7 @@ import (
 
 	"flymon/internal/sketch"
 	"flymon/internal/telemetry"
+	"flymon/internal/tracing"
 )
 
 // The parallel k-ary merge tree: the fleet query plane's reduction engine.
@@ -145,6 +146,12 @@ type TreeOptions struct {
 	// a steady query load reuses leaf buffers instead of reallocating
 	// every fetch. Must be safe for concurrent calls. nil = GC.
 	Recycle func([][]uint32)
+	// Tracer and Parent, when both set (Parent valid), record one "merge"
+	// span covering the whole reduction plus a "merge:kernel" child per
+	// interior node, tagged with the node's level and fan-in — the
+	// critical-path view of where a slow fleet query spent its time.
+	Tracer *tracing.Tracer
+	Parent tracing.SpanContext
 }
 
 // TreeResult is a completed reduction.
@@ -191,13 +198,15 @@ func MergeStream(leaves <-chan Leaf, op MergeOp, opts TreeOptions) (TreeResult, 
 	if recycle == nil {
 		recycle = func([][]uint32) {}
 	}
+	msp := traceSpan(opts.Tracer, opts.Parent, "merge")
+	msc := msp.Context()
 
 	jobs := make(chan []treeNode)
 	done := make(chan mergeDone, workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			for nodes := range jobs {
-				done <- runMerge(nodes, op, opts.Stats, recycle)
+				done <- runMerge(nodes, op, opts.Stats, recycle, opts.Tracer, msc)
 			}
 		}()
 	}
@@ -212,6 +221,7 @@ func MergeStream(leaves <-chan Leaf, op MergeOp, opts TreeOptions) (TreeResult, 
 		firstErr    error
 		refSwitch   int
 		refLens     []int
+		lastSwitch  = -1 // switch of the last-arriving leaf: what the merge waited on
 	)
 	absorb := func(d mergeDone) {
 		outstanding--
@@ -279,6 +289,7 @@ func MergeStream(leaves <-chan Leaf, op MergeOp, opts TreeOptions) (TreeResult, 
 				continue
 			}
 			res.Contributed = append(res.Contributed, lf.Switch)
+			lastSwitch = lf.Switch
 			pending = append(pending, treeNode{rows: lf.Rows})
 		case d := <-done:
 			absorb(d)
@@ -289,12 +300,19 @@ func MergeStream(leaves <-chan Leaf, op MergeOp, opts TreeOptions) (TreeResult, 
 		for _, n := range pending {
 			recycle(n.rows)
 		}
+		msp.Finish(firstErr)
 		return TreeResult{}, firstErr
 	}
 	if len(pending) == 1 {
 		res.Rows = pending[0].rows
 	}
 	sort.Ints(res.Contributed)
+	// The merge span's wall clock is dominated by waiting on the slowest
+	// leaf, so tag it with that leaf's switch: a critical path that lands
+	// on the merge then still names the switch the operation waited on.
+	msp.SetSwitch(lastSwitch)
+	msp.SetDetail(fmt.Sprintf("leaves=%d depth=%d merges=%d", len(res.Contributed), res.Depth, res.Merges))
+	msp.Finish(nil)
 	if st := opts.Stats; st != nil {
 		st.Queries.Add(1)
 		st.LastDepth.Store(uint64(res.Depth))
@@ -306,8 +324,9 @@ func MergeStream(leaves <-chan Leaf, op MergeOp, opts TreeOptions) (TreeResult, 
 // runMerge executes one interior node: fold nodes[1:] into nodes[0],
 // recycling consumed sources. Geometry was validated at leaf admission,
 // so combine errors here mean a bug, not bad input — still surfaced.
-func runMerge(nodes []treeNode, op MergeOp, stats *telemetry.MergeTreeStats, recycle func([][]uint32)) mergeDone {
+func runMerge(nodes []treeNode, op MergeOp, stats *telemetry.MergeTreeStats, recycle func([][]uint32), tr *tracing.Tracer, parent tracing.SpanContext) mergeDone {
 	start := time.Now()
+	sp := traceSpan(tr, parent, "merge:kernel")
 	dst := nodes[0]
 	for _, src := range nodes[1:] {
 		if src.level > dst.level {
@@ -315,12 +334,15 @@ func runMerge(nodes []treeNode, op MergeOp, stats *telemetry.MergeTreeStats, rec
 		}
 		for r := range dst.rows {
 			if err := op.Combine(dst.rows[r], src.rows[r]); err != nil {
+				sp.Finish(err)
 				return mergeDone{err: err}
 			}
 		}
 		recycle(src.rows)
 	}
 	dst.level++
+	sp.SetDetail(fmt.Sprintf("level=%d fanin=%d", dst.level-1, len(nodes)))
+	sp.Finish(nil)
 	if stats != nil {
 		elapsed := time.Since(start)
 		stats.Merges.Add(1)

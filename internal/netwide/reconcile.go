@@ -60,6 +60,7 @@ func (f *RemoteFleet) Reconcile() ReconcileResult {
 	if f.opts.Telemetry != nil {
 		f.opts.Telemetry.ReconcileRuns.Add(1)
 	}
+	root := f.startRoot("reconcile", "")
 
 	// Snapshot the desired state. Tombstoned tasks are desired-ABSENT.
 	f.mu.Lock()
@@ -95,12 +96,16 @@ func (f *RemoteFleet) Reconcile() ReconcileResult {
 			continue
 		}
 		res.Switches++
-		tasks, err := c.ListTasks()
+		swSp := traceSpan(f.opts.Tracer, root.Context(), "switch")
+		swSp.SetSwitch(i)
+		swSp.SetDetail(c.Addr())
+		sc := swSp.Context()
+		tasks, err := c.ListTasks(sc)
 		if err != nil {
 			// The first call after a daemon restart fails on the stale
 			// connection (and tears it down); one retry lands on a fresh
 			// dial. list_tasks is idempotent, so this is always safe.
-			tasks, err = c.ListTasks()
+			tasks, err = c.ListTasks(sc)
 		}
 		if err != nil {
 			res.Errors = append(res.Errors, fmt.Errorf("switch %d: list: %w", i, err))
@@ -108,6 +113,7 @@ func (f *RemoteFleet) Reconcile() ReconcileResult {
 				f.opts.Telemetry.ReconcileErrors.Add(1)
 			}
 			allInspected = false
+			swSp.Finish(err)
 			continue
 		}
 		observed := make(map[int]string, len(tasks))
@@ -120,7 +126,7 @@ func (f *RemoteFleet) Reconcile() ReconcileResult {
 			if _, present := observed[id]; !present {
 				continue
 			}
-			if err := c.RemoveTask(id); err != nil && !strings.Contains(err.Error(), "no task") {
+			if err := c.RemoveTask(id, sc); err != nil && !strings.Contains(err.Error(), "no task") {
 				res.Errors = append(res.Errors, fmt.Errorf("switch %d: tombstone %q: %w", i, name, err))
 				if f.opts.Telemetry != nil {
 					f.opts.Telemetry.ReconcileErrors.Add(1)
@@ -148,7 +154,7 @@ func (f *RemoteFleet) Reconcile() ReconcileResult {
 				}
 				continue
 			}
-			rt, err := c.AddTaskAt(d.id, d.spec)
+			rt, err := c.AddTaskAt(d.id, d.spec, sc)
 			if err != nil {
 				res.Errors = append(res.Errors, fmt.Errorf("switch %d: redeploy %q: %w", i, d.name, err))
 				if f.opts.Telemetry != nil {
@@ -166,6 +172,7 @@ func (f *RemoteFleet) Reconcile() ReconcileResult {
 		}
 
 		f.health.setTasks(i, len(desired), len(observed))
+		swSp.Finish(nil)
 	}
 
 	// Finalize tombstones confirmed absent on every switch this pass.
@@ -186,6 +193,9 @@ func (f *RemoteFleet) Reconcile() ReconcileResult {
 		}
 		f.mu.Unlock()
 	}
+	root.SetDetail(fmt.Sprintf("switches=%d redeployed=%d removed=%d skipped=%d",
+		res.Switches, res.Redeployed, res.Removed, res.Skipped))
+	root.Finish(res.Err())
 	return res
 }
 

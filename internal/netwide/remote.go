@@ -12,6 +12,7 @@ import (
 	"flymon/internal/packet"
 	"flymon/internal/rpc"
 	"flymon/internal/telemetry"
+	"flymon/internal/tracing"
 )
 
 // Engine selects how fleet-wide register merges are executed.
@@ -71,6 +72,11 @@ type FleetOptions struct {
 	Engine Engine
 	// MergeArity overrides the merge tree's fan-in (default 4).
 	MergeArity int
+	// Tracer, when set, records a root span per fleet operation plus
+	// per-switch, straggler, and merge-tree child spans, and is attached
+	// to every RPC client so per-attempt transport spans parent under the
+	// fleet's spans. nil = untraced (zero overhead).
+	Tracer *tracing.Tracer
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
@@ -145,6 +151,13 @@ func NewRemoteFleetOptions(clients []*rpc.Client, cfg controlplane.Config, opts 
 	h := newHealthTracker(len(clients), opts.DownAfter, addrs)
 	h.tele = opts.Telemetry
 	h.now = opts.Clock
+	if opts.Tracer != nil {
+		// Per-attempt transport spans (retries, breaker rejections) come
+		// from the clients themselves; they need the fleet's tracer.
+		for _, c := range clients {
+			c.SetTracer(opts.Tracer)
+		}
+	}
 	return &RemoteFleet{
 		clients:    clients,
 		mirror:     controlplane.NewController(cfg),
@@ -181,6 +194,23 @@ func (f *RemoteFleet) journal(kind string, task int, detail string, err error) {
 		ev.Err = err.Error()
 	}
 	f.opts.Journal.Record(ev)
+}
+
+// startRoot mints a fleet-operation root span (nil when untraced).
+func (f *RemoteFleet) startRoot(op, detail string) *tracing.ActiveSpan {
+	sp := f.opts.Tracer.StartRoot(op)
+	sp.SetDetail(detail)
+	return sp
+}
+
+// traceSpan opens a child span iff a tracer is attached AND the caller's
+// operation is itself traced — an invalid parent means "untraced call",
+// not "start a fresh trace", so background probes never flood the buffer.
+func traceSpan(tr *tracing.Tracer, parent tracing.SpanContext, name string) *tracing.ActiveSpan {
+	if tr == nil || !parent.Valid() {
+		return nil
+	}
+	return tr.StartSpan(parent, name)
 }
 
 // StartLiveness attaches BFD-style keepalive sessions to every switch and
@@ -297,7 +327,12 @@ type fanResult struct {
 // liveness error and no RPC is issued, so a dead daemon costs a fleet
 // query nothing. Streaming is what lets the merge tree start folding the
 // fastest switches' rows while the slowest are still on the wire.
-func (f *RemoteFleet) fanOutRows(timeout time.Duration, op func(i int, c *rpc.Client) ([][]uint32, error)) <-chan fanResult {
+//
+// When the fleet is traced and parent names a live operation, every
+// launched switch gets a "switch" child span (tagged with its index and
+// address) whose context the op threads into its RPCs, and every ejected
+// switch gets an instant "eject" span recording why no RPC was issued.
+func (f *RemoteFleet) fanOutRows(parent tracing.SpanContext, timeout time.Duration, op func(i int, c *rpc.Client, sc tracing.SpanContext) ([][]uint32, error)) <-chan fanResult {
 	if f.opts.Telemetry != nil {
 		f.opts.Telemetry.FanOuts.Add(1)
 	}
@@ -310,7 +345,12 @@ func (f *RemoteFleet) fanOutRows(timeout time.Duration, op func(i int, c *rpc.Cl
 	for i, c := range f.clients {
 		if reason, ok := f.health.ejected(i); ok {
 			skipped[i] = true
-			out <- fanResult{i: i, err: fmt.Errorf("netwide: switch %d ejected (%s)", i, reason)}
+			err := fmt.Errorf("netwide: switch %d ejected (%s)", i, reason)
+			esp := traceSpan(f.opts.Tracer, parent, "eject")
+			esp.SetSwitch(i)
+			esp.SetDetail(reason)
+			esp.Finish(err)
+			out <- fanResult{i: i, err: err}
 			if f.opts.Telemetry != nil {
 				f.opts.Telemetry.OpFailures.Add(1)
 			}
@@ -318,7 +358,11 @@ func (f *RemoteFleet) fanOutRows(timeout time.Duration, op func(i int, c *rpc.Cl
 		}
 		launched++
 		go func(i int, c *rpc.Client) {
-			rows, err := op(i, c)
+			sp := traceSpan(f.opts.Tracer, parent, "switch")
+			sp.SetSwitch(i)
+			sp.SetDetail(c.Addr())
+			rows, err := op(i, c, sp.Context())
+			sp.Finish(err)
 			if err != nil && f.opts.Telemetry != nil {
 				f.opts.Telemetry.OpFailures.Add(1)
 			}
@@ -356,10 +400,10 @@ func (f *RemoteFleet) fanOutRows(timeout time.Duration, op func(i int, c *rpc.Cl
 // fanOut runs op on every switch concurrently and collects per-switch
 // errors, bounded by OpTimeout — the barrier form of fanOutRows, used by
 // mutations (deploy/remove/rotate) that need the full outcome map.
-func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error {
+func (f *RemoteFleet) fanOut(parent tracing.SpanContext, op func(i int, c *rpc.Client, sc tracing.SpanContext) error) map[int]error {
 	errs := make(map[int]error)
-	for r := range f.fanOutRows(f.opts.OpTimeout, func(i int, c *rpc.Client) ([][]uint32, error) {
-		return nil, op(i, c)
+	for r := range f.fanOutRows(parent, f.opts.OpTimeout, func(i int, c *rpc.Client, sc tracing.SpanContext) ([][]uint32, error) {
+		return nil, op(i, c, sc)
 	}) {
 		if r.err != nil {
 			errs[r.i] = r.err
@@ -372,7 +416,9 @@ func (f *RemoteFleet) fanOut(op func(i int, c *rpc.Client) error) map[int]error 
 // fanning out concurrently. Deployment stays all-or-nothing: a task that
 // exists only on part of the fleet would silently under-merge forever, so
 // any failure rolls back the switches that did deploy.
-func (f *RemoteFleet) Deploy(spec controlplane.TaskSpec) error {
+func (f *RemoteFleet) Deploy(spec controlplane.TaskSpec) (err error) {
+	root := f.startRoot("deploy", spec.Name)
+	defer func() { root.Finish(err) }()
 	f.mu.Lock()
 	if _, ok := f.taskIDs[spec.Name]; ok {
 		f.mu.Unlock()
@@ -392,8 +438,8 @@ func (f *RemoteFleet) Deploy(spec controlplane.TaskSpec) error {
 	var dmu sync.Mutex
 	deployed := make(map[int]int) // switch index → remote task ID
 	var diverged error
-	errs := f.fanOut(func(i int, c *rpc.Client) error {
-		rt, err := c.AddTask(spec)
+	errs := f.fanOut(root.Context(), func(i int, c *rpc.Client, sc tracing.SpanContext) error {
+		rt, err := c.AddTask(spec, sc)
 		if err != nil {
 			return fmt.Errorf("netwide: deploying %q on daemon %d: %w", spec.Name, i, err)
 		}
@@ -446,15 +492,17 @@ func (f *RemoteFleet) Deploy(spec controlplane.TaskSpec) error {
 // would strand installed tasks on the unreachable switches forever. A
 // retry treats "no task" answers as already-removed (removal is
 // idempotent), so it only needs the stragglers to come back.
-func (f *RemoteFleet) Remove(name string) error {
+func (f *RemoteFleet) Remove(name string) (err error) {
+	root := f.startRoot("remove", name)
+	defer func() { root.Finish(err) }()
 	f.mu.Lock()
 	id, ok := f.taskIDs[name]
 	f.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("netwide: no task %q", name)
 	}
-	errs := f.fanOut(func(i int, c *rpc.Client) error {
-		err := c.RemoveTask(id)
+	errs := f.fanOut(root.Context(), func(i int, c *rpc.Client, sc tracing.SpanContext) error {
+		err := c.RemoveTask(id, sc)
 		if err != nil && strings.Contains(err.Error(), "no task") {
 			return nil // removed by a previous, partially-failed attempt
 		}
@@ -535,16 +583,18 @@ func (f *RemoteFleet) mergedRows(name string, op MergeOp, engine Engine) ([][]ui
 	if engine == EngineAuto {
 		engine = f.engine()
 	}
+	root := f.startRoot("query", fmt.Sprintf("%s op=%s engine=%s", name, op, engine))
 	var (
 		rows   [][]uint32
 		report QueryReport
 		err    error
 	)
 	if engine == EngineFlat {
-		rows, report, err = f.flatMergedRows(name, id, op)
+		rows, report, err = f.flatMergedRows(root.Context(), name, id, op)
 	} else {
-		rows, report, err = f.treeMergedRows(name, id, op)
+		rows, report, err = f.treeMergedRows(root.Context(), name, id, op)
 	}
+	root.Finish(err)
 	return rows, id, report, err
 }
 
@@ -558,14 +608,14 @@ func (f *RemoteFleet) mergedRemoteRows(name string, op MergeOp) ([][]uint32, int
 // AllowPartial set, a subset merge succeeds and the QueryReport says
 // which switches contributed; otherwise any unreachable daemon fails the
 // query.
-func (f *RemoteFleet) flatMergedRows(name string, id int, op MergeOp) ([][]uint32, QueryReport, error) {
+func (f *RemoteFleet) flatMergedRows(parent tracing.SpanContext, name string, id int, op MergeOp) ([][]uint32, QueryReport, error) {
 	var report QueryReport
 	// Each slot is owned by its fetch goroutine until the fan-out yields
 	// its result; timed-out slots are never read.
 	rows := make([][][]uint32, len(f.clients))
 	errs := make(map[int]error)
-	for r := range f.fanOutRows(f.opts.OpTimeout, func(i int, c *rpc.Client) ([][]uint32, error) {
-		rr, err := c.ReadRegisters(id)
+	for r := range f.fanOutRows(parent, f.opts.OpTimeout, func(i int, c *rpc.Client, sc tracing.SpanContext) ([][]uint32, error) {
+		rr, err := c.ReadRegisters(id, sc)
 		if err != nil {
 			return nil, fmt.Errorf("netwide: reading %q on daemon %d: %w", name, i, err)
 		}
@@ -631,10 +681,10 @@ func (f *RemoteFleet) flatMergedRows(name string, id int, op MergeOp) ([][]uint3
 // streamed straight into the k-ary merge tree, leaf buffers recycled
 // through the fleet's pool. Failure semantics match the flat engine
 // exactly (AllowPartial, OpTimeout, report shape).
-func (f *RemoteFleet) treeMergedRows(name string, id int, op MergeOp) ([][]uint32, QueryReport, error) {
+func (f *RemoteFleet) treeMergedRows(parent tracing.SpanContext, name string, id int, op MergeOp) ([][]uint32, QueryReport, error) {
 	var report QueryReport
-	stream := f.fanOutRows(f.opts.OpTimeout, func(i int, c *rpc.Client) ([][]uint32, error) {
-		res, err := c.ReadRegistersPacked(id)
+	stream := f.fanOutRows(parent, f.opts.OpTimeout, func(i int, c *rpc.Client, sc tracing.SpanContext) ([][]uint32, error) {
+		res, err := c.ReadRegistersPacked(id, sc)
 		if err != nil {
 			return nil, fmt.Errorf("netwide: reading %q on daemon %d: %w", name, i, err)
 		}
@@ -660,6 +710,8 @@ func (f *RemoteFleet) treeMergedRows(name string, id int, op MergeOp) ([][]uint3
 		Arity:   f.opts.MergeArity,
 		Stats:   f.mergeStats(),
 		Recycle: f.putRowBuf,
+		Tracer:  f.opts.Tracer,
+		Parent:  parent,
 	})
 	report.Contributed = res.Contributed
 	report.Failed = make(map[int]string, len(errs))
@@ -749,6 +801,45 @@ func (f *RemoteFleet) VerifyAlignment(name string) error {
 		}
 	}
 	return nil
+}
+
+// CollectTrace gathers the fleet's distributed spans: every reachable
+// daemon's trace_dump plus the controller's own buffer, assembled into
+// per-trace trees (newest root first). Collection is best-effort — an
+// unreachable or untraced daemon just contributes nothing (its error is
+// reported per switch), so the controller half of a trace always renders.
+// Ejected switches are skipped without an RPC, and the dump itself is not
+// a health probe: debugging a sick fleet must not perturb its health.
+func (f *RemoteFleet) CollectTrace(perSwitchLimit int) ([]*tracing.Tree, map[int]error) {
+	spans := make([][]tracing.Span, len(f.clients))
+	errs := make(map[int]error)
+	var emu sync.Mutex
+	var wg sync.WaitGroup
+	for i, c := range f.clients {
+		if reason, ok := f.health.ejected(i); ok {
+			errs[i] = fmt.Errorf("netwide: switch %d ejected (%s)", i, reason)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *rpc.Client) {
+			defer wg.Done()
+			dump, err := c.TraceDump(perSwitchLimit)
+			if err != nil {
+				emu.Lock()
+				errs[i] = err
+				emu.Unlock()
+				return
+			}
+			spans[i] = dump.Spans
+		}(i, c)
+	}
+	wg.Wait()
+	local, _, _ := f.opts.Tracer.Dump()
+	all := local
+	for _, s := range spans {
+		all = append(all, s...)
+	}
+	return tracing.Assemble(all), errs
 }
 
 // sortedKeys returns the map's switch indices in ascending order, so

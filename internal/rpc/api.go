@@ -6,6 +6,7 @@ import (
 
 	"flymon/internal/controlplane"
 	"flymon/internal/packet"
+	"flymon/internal/tracing"
 )
 
 // Method names of the control channel.
@@ -56,6 +57,10 @@ const (
 	// frequency task — the piece a mirror-less query client (flymonctl
 	// query) needs to turn merged fleet rows into a per-key estimate.
 	MethodKeyIndices = "key_indices"
+	// MethodTraceDump exports the daemon's bounded span buffer: the
+	// controller (or flymonctl trace) collects dumps fleet-wide and
+	// assembles them with its own spans into end-to-end trace trees.
+	MethodTraceDump = "trace_dump"
 )
 
 // AddTaskParams carries a task spec. WantID, when positive, pins the
@@ -328,6 +333,21 @@ func (r *EpochRegistersResult) FrameRows(dst [][]uint32) [][]uint32 {
 // frequency task (row i of the task's registers is probed at Indices[i]).
 type KeyIndicesResult struct {
 	Indices []uint32 `json:"indices"`
+}
+
+// TraceDumpParams requests the daemon's recorded spans. Limit, when
+// positive, returns only the newest Limit spans (the dump is bounded by
+// the daemon's span buffer regardless).
+type TraceDumpParams struct {
+	Limit int `json:"limit,omitempty"`
+}
+
+// TraceDumpResult carries one process's span-buffer snapshot plus its
+// lifetime totals, so collectors can report drop rates alongside trees.
+type TraceDumpResult struct {
+	Spans   []tracing.Span `json:"spans,omitempty"`
+	Total   uint64         `json:"total"`
+	Dropped uint64         `json:"dropped"`
 }
 
 // keyFromBytes converts wire bytes into a canonical key.

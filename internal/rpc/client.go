@@ -12,6 +12,7 @@ import (
 	"flymon/internal/controlplane"
 	"flymon/internal/packet"
 	"flymon/internal/telemetry"
+	"flymon/internal/tracing"
 )
 
 // Options tunes the client's resilience behavior. The zero value of any
@@ -48,6 +49,11 @@ type Options struct {
 	// timeout counts and breaker-transition counts from this client
 	// (normally a Registry's RPCClient side). nil = uninstrumented.
 	Telemetry *telemetry.RPCStats
+	// Tracer, when set, records one span per RPC attempt (retries and
+	// breaker rejections included) for calls carrying a parent span
+	// context, and stamps that context onto the request envelope so the
+	// daemon's spans join the same trace. nil = untraced.
+	Tracer *tracing.Tracer
 }
 
 // DefaultOptions are the resilience defaults applied by Dial.
@@ -127,6 +133,7 @@ var idempotentMethods = map[string]bool{
 	MethodTelemetry:     true,
 	MethodReadEpoch:     true,
 	MethodKeyIndices:    true,
+	MethodTraceDump:     true,
 	// MethodEpochRotate is NOT here even though an explicit-target rotate
 	// is idempotent: a bare "advance by one" retry would double-rotate.
 	// The fleet layer retries it deliberately, always with a target.
@@ -151,8 +158,9 @@ type Client struct {
 	closed bool
 	rng    *rand.Rand
 
-	brk  *breaker
-	tele *telemetry.RPCStats
+	brk    *breaker
+	tele   *telemetry.RPCStats
+	tracer *tracing.Tracer
 }
 
 // Dial connects to a FlyMon daemon with DefaultOptions.
@@ -168,11 +176,12 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		seed = time.Now().UnixNano()
 	}
 	c := &Client{
-		addr: addr,
-		opts: opts,
-		rng:  rand.New(rand.NewSource(seed)),
-		brk:  newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
-		tele: opts.Telemetry,
+		addr:   addr,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(seed)),
+		brk:    newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		tele:   opts.Telemetry,
+		tracer: opts.Tracer,
 	}
 	if tele := opts.Telemetry; tele != nil {
 		c.brk.onTransition = func(st BreakerState) {
@@ -197,6 +206,22 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 
 // Addr returns the daemon address this client targets.
 func (c *Client) Addr() string { return c.addr }
+
+// SetTracer attaches (or replaces) the tracer recording this client's
+// per-attempt spans. The fleet layer uses it to propagate its tracer to
+// clients it was handed already-dialed.
+func (c *Client) SetTracer(tr *tracing.Tracer) {
+	c.mu.Lock()
+	c.tracer = tr
+	c.mu.Unlock()
+}
+
+// Tracer returns the tracer attached to this client, if any.
+func (c *Client) Tracer() *tracing.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer
+}
 
 // BreakerState reports the circuit breaker's state and the consecutive
 // transport-failure count, for health surfacing.
@@ -257,6 +282,15 @@ func (c *Client) backoff(attempt int) {
 // methods. Calls are serialized: the protocol is strictly one in-flight
 // request per connection.
 func (c *Client) call(method string, params, result any) error {
+	return c.callCtx(tracing.SpanContext{}, method, params, result)
+}
+
+// callCtx is call with an optional parent span context: when the client
+// has a tracer and the parent is valid, every attempt (including backoff
+// retries and breaker rejections) records one rpc:<method> span under
+// the parent, and the request envelope carries that span's context so
+// daemon-side spans join the trace.
+func (c *Client) callCtx(parent tracing.SpanContext, method string, params, result any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -274,7 +308,7 @@ func (c *Client) call(method string, params, result any) error {
 			}
 			c.backoff(attempt - 1)
 		}
-		err := c.callOnce(method, params, result)
+		err := c.callOnce(parent, method, attempt+1, params, result)
 		if err == nil {
 			return nil
 		}
@@ -291,8 +325,17 @@ func (c *Client) call(method string, params, result any) error {
 // callOnce runs a single round trip over the current (or a fresh)
 // connection. Any transport failure tears the connection down so the next
 // attempt starts from a clean stream.
-func (c *Client) callOnce(method string, params, result any) (err error) {
+func (c *Client) callOnce(parent tracing.SpanContext, method string, attempt int, params, result any) (err error) {
+	var sp *tracing.ActiveSpan
+	if c.tracer != nil && parent.Valid() {
+		sp = c.tracer.StartSpan(parent, "rpc:"+method)
+		sp.SetDetail(c.addr)
+		sp.SetAttempt(attempt)
+		defer func() { sp.Finish(err) }()
+	}
 	if err := c.brk.allow(); err != nil {
+		// A breaker rejection is still a span: the trace shows the call
+		// failed fast instead of silently missing an attempt.
 		return err
 	}
 	if c.tele != nil {
@@ -320,6 +363,10 @@ func (c *Client) callOnce(method string, params, result any) (err error) {
 	}
 	c.next++
 	req := Request{ID: c.next, Method: method}
+	if sp != nil {
+		sc := sp.Context()
+		req.Trace = &sc
+	}
 	if params != nil {
 		raw, err := json.Marshal(params)
 		if err != nil {
@@ -390,10 +437,29 @@ func (c *Client) callOnce(method string, params, result any) (err error) {
 	return nil
 }
 
+// firstCtx unwraps the optional trailing span-context parameter the
+// traced methods accept: absent means "untraced call" (the invalid zero
+// context), which keeps every pre-tracing call site source-compatible.
+func firstCtx(parent []tracing.SpanContext) tracing.SpanContext {
+	if len(parent) > 0 {
+		return parent[0]
+	}
+	return tracing.SpanContext{}
+}
+
 // Ping checks connectivity.
 func (c *Client) Ping() error {
 	var r BoolResult
 	return c.call(MethodPing, nil, &r)
+}
+
+// TraceDump fetches the daemon's span-buffer snapshot (limit <= 0 means
+// every retained span). Collectors fetch dumps fleet-wide and assemble
+// them with tracing.Assemble.
+func (c *Client) TraceDump(limit int) (TraceDumpResult, error) {
+	var r TraceDumpResult
+	err := c.call(MethodTraceDump, TraceDumpParams{Limit: limit}, &r)
+	return r, err
 }
 
 // Hello sends one liveness probe carrying the local session's state and
@@ -409,38 +475,39 @@ func (c *Client) Hello(session string, state int, txInterval time.Duration) (Hel
 	return r, err
 }
 
-// AddTask deploys a measurement task.
-func (c *Client) AddTask(spec controlplane.TaskSpec) (TaskResult, error) {
+// AddTask deploys a measurement task. The optional trailing span context
+// parents this call's RPC spans (likewise on the other traced methods).
+func (c *Client) AddTask(spec controlplane.TaskSpec, parent ...tracing.SpanContext) (TaskResult, error) {
 	var r TaskResult
-	err := c.call(MethodAddTask, AddTaskParams{Spec: spec}, &r)
+	err := c.callCtx(firstCtx(parent), MethodAddTask, AddTaskParams{Spec: spec}, &r)
 	return r, err
 }
 
 // AddTaskAt deploys a measurement task pinned to a specific task ID — the
 // reconciler's re-deploy primitive (the daemon refuses if the ID is taken).
-func (c *Client) AddTaskAt(id int, spec controlplane.TaskSpec) (TaskResult, error) {
+func (c *Client) AddTaskAt(id int, spec controlplane.TaskSpec, parent ...tracing.SpanContext) (TaskResult, error) {
 	var r TaskResult
-	err := c.call(MethodAddTask, AddTaskParams{Spec: spec, WantID: id}, &r)
+	err := c.callCtx(firstCtx(parent), MethodAddTask, AddTaskParams{Spec: spec, WantID: id}, &r)
 	return r, err
 }
 
 // RemoveTask removes a task.
-func (c *Client) RemoveTask(id int) error {
+func (c *Client) RemoveTask(id int, parent ...tracing.SpanContext) error {
 	var r BoolResult
-	return c.call(MethodRemoveTask, TaskIDParams{ID: id}, &r)
+	return c.callCtx(firstCtx(parent), MethodRemoveTask, TaskIDParams{ID: id}, &r)
 }
 
 // ResizeTask reallocates a task's memory.
-func (c *Client) ResizeTask(id, newBuckets int) (TaskResult, error) {
+func (c *Client) ResizeTask(id, newBuckets int, parent ...tracing.SpanContext) (TaskResult, error) {
 	var r TaskResult
-	err := c.call(MethodResizeTask, ResizeParams{ID: id, NewBuckets: newBuckets}, &r)
+	err := c.callCtx(firstCtx(parent), MethodResizeTask, ResizeParams{ID: id, NewBuckets: newBuckets}, &r)
 	return r, err
 }
 
 // ListTasks lists deployed tasks.
-func (c *Client) ListTasks() ([]TaskResult, error) {
+func (c *Client) ListTasks(parent ...tracing.SpanContext) ([]TaskResult, error) {
 	var r []TaskResult
-	err := c.call(MethodListTasks, nil, &r)
+	err := c.callCtx(firstCtx(parent), MethodListTasks, nil, &r)
 	return r, err
 }
 
@@ -491,9 +558,9 @@ func (c *Client) Distribution(id int) (DistributionResult, error) {
 }
 
 // ReadRegisters reads a task's raw register partitions.
-func (c *Client) ReadRegisters(id int) ([][]uint32, error) {
+func (c *Client) ReadRegisters(id int, parent ...tracing.SpanContext) ([][]uint32, error) {
 	var r RegistersResult
-	err := c.call(MethodReadRegisters, TaskIDParams{ID: id}, &r)
+	err := c.callCtx(firstCtx(parent), MethodReadRegisters, TaskIDParams{ID: id}, &r)
 	return r.Rows, err
 }
 
@@ -501,24 +568,24 @@ func (c *Client) ReadRegisters(id int) ([][]uint32, error) {
 // packed binary row encoding and returns the undecoded result, letting
 // callers (the fleet merge tree) unpack into recycled buffers via
 // UnpackRows.
-func (c *Client) ReadRegistersPacked(id int) (RegistersResult, error) {
+func (c *Client) ReadRegistersPacked(id int, parent ...tracing.SpanContext) (RegistersResult, error) {
 	var r RegistersResult
-	err := c.call(MethodReadRegisters, ReadRegistersParams{ID: id, Packed: true}, &r)
+	err := c.callCtx(firstCtx(parent), MethodReadRegisters, ReadRegistersParams{ID: id, Packed: true}, &r)
 	return r, err
 }
 
 // EpochDeploy creates an epoch task (a daemon-side rotator) for spec.
-func (c *Client) EpochDeploy(spec controlplane.TaskSpec) (EpochTaskResult, error) {
+func (c *Client) EpochDeploy(spec controlplane.TaskSpec, parent ...tracing.SpanContext) (EpochTaskResult, error) {
 	var r EpochTaskResult
-	err := c.call(MethodEpochDeploy, AddTaskParams{Spec: spec}, &r)
+	err := c.callCtx(firstCtx(parent), MethodEpochDeploy, AddTaskParams{Spec: spec}, &r)
 	return r, err
 }
 
 // EpochRotate advances an epoch task to toEpoch (0 = advance by one).
 // With an explicit target the call is idempotent and safe to re-send.
-func (c *Client) EpochRotate(name string, toEpoch int) (EpochTaskResult, error) {
+func (c *Client) EpochRotate(name string, toEpoch int, parent ...tracing.SpanContext) (EpochTaskResult, error) {
 	var r EpochTaskResult
-	err := c.call(MethodEpochRotate, EpochRotateParams{Name: name, ToEpoch: toEpoch}, &r)
+	err := c.callCtx(firstCtx(parent), MethodEpochRotate, EpochRotateParams{Name: name, ToEpoch: toEpoch}, &r)
 	return r, err
 }
 
@@ -526,16 +593,16 @@ func (c *Client) EpochRotate(name string, toEpoch int) (EpochTaskResult, error) 
 // (epoch 0 = the daemon's latest completed epoch). A daemon that has not
 // reached the epoch answers with an error IsEpochUnavailable recognizes,
 // carrying its current epoch in Current of a successful retry.
-func (c *Client) ReadEpoch(name string, epoch int) (EpochRegistersResult, error) {
+func (c *Client) ReadEpoch(name string, epoch int, parent ...tracing.SpanContext) (EpochRegistersResult, error) {
 	var r EpochRegistersResult
-	err := c.call(MethodReadEpoch, ReadEpochParams{Name: name, Epoch: epoch}, &r)
+	err := c.callCtx(firstCtx(parent), MethodReadEpoch, ReadEpochParams{Name: name, Epoch: epoch}, &r)
 	return r, err
 }
 
 // EpochRemove reclaims an epoch task's deployments and snapshots.
-func (c *Client) EpochRemove(name string) error {
+func (c *Client) EpochRemove(name string, parent ...tracing.SpanContext) error {
 	var r BoolResult
-	return c.call(MethodEpochRemove, EpochTaskParams{Name: name}, &r)
+	return c.callCtx(firstCtx(parent), MethodEpochRemove, EpochTaskParams{Name: name}, &r)
 }
 
 // KeyIndices returns a flow key's per-row register indices on a frequency
@@ -598,8 +665,8 @@ func (c *Client) Stats() (StatsResult, error) {
 
 // Telemetry fetches the daemon's full telemetry report (errors if the
 // daemon runs without a telemetry registry).
-func (c *Client) Telemetry() (telemetry.Report, error) {
+func (c *Client) Telemetry(parent ...tracing.SpanContext) (telemetry.Report, error) {
 	var r telemetry.Report
-	err := c.call(MethodTelemetry, nil, &r)
+	err := c.callCtx(firstCtx(parent), MethodTelemetry, nil, &r)
 	return r, err
 }

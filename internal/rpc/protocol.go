@@ -10,13 +10,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"flymon/internal/tracing"
 )
 
-// Request is one control-channel call.
+// Request is one control-channel call. Trace, when present, carries the
+// caller's span context so the daemon can parent its dispatch span under
+// the controller's operation (distributed tracing). The field is
+// optional and ignored-if-unknown on both ends, so old and new peers
+// interoperate: an old daemon simply drops the context and the trace
+// shows the client-side span only.
 type Request struct {
-	ID     uint64          `json:"id"`
-	Method string          `json:"method"`
-	Params json.RawMessage `json:"params,omitempty"`
+	ID     uint64               `json:"id"`
+	Method string               `json:"method"`
+	Params json.RawMessage      `json:"params,omitempty"`
+	Trace  *tracing.SpanContext `json:"trace,omitempty"`
 }
 
 // Response answers a Request with the same ID. When Frame is non-zero,

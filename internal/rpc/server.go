@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"sort"
@@ -17,6 +16,7 @@ import (
 	"flymon/internal/packet"
 	"flymon/internal/telemetry"
 	"flymon/internal/trace"
+	"flymon/internal/tracing"
 )
 
 // helloSession is the daemon-side half of one liveness session: the state
@@ -61,7 +61,7 @@ type Server struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
-	logf      func(format string, args ...any)
+	log       *telemetry.Logger
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -70,6 +70,11 @@ type Server struct {
 	// handler panics (the registry's RPCServer side) and serves the
 	// MethodTelemetry scrape.
 	tele *telemetry.Registry
+
+	// tracer, when set, records a dispatch span for every request that
+	// arrives carrying a trace context, controlplane child spans around
+	// mutations, and serves MethodTraceDump from its span buffer.
+	tracer *tracing.Tracer
 }
 
 // incarnationSeq distinguishes servers created in the same process (tests
@@ -77,16 +82,15 @@ type Server struct {
 // server instance a unique incarnation.
 var incarnationSeq atomic.Int64
 
-// NewServer wraps a controller. logf may be nil (silent).
+// NewServer wraps a controller. logf may be nil (silent); it is adapted
+// into the leveled logger at debug threshold for compatibility — use
+// SetLogger to install a real telemetry.Logger with level control.
 func NewServer(ctrl *controlplane.Controller, logf func(string, ...any)) *Server {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
 	return &Server{
 		ctrl:        ctrl,
 		epochs:      make(map[string]*epochTask),
 		closed:      make(chan struct{}),
-		logf:        logf,
+		log:         telemetry.NewFuncLogger("rpc", telemetry.LevelDebug, logf),
 		conns:       make(map[net.Conn]struct{}),
 		hellos:      make(map[string]*helloSession),
 		helloGC:     DefaultHelloGC,
@@ -94,6 +98,13 @@ func NewServer(ctrl *controlplane.Controller, logf func(string, ...any)) *Server
 		started:     time.Now(),
 	}
 }
+
+// SetLogger replaces the server's logger (nil silences it). Call before
+// Serve.
+func (s *Server) SetLogger(l *telemetry.Logger) { s.log = l }
+
+// SetTracer attaches the daemon's span tracer. Call before Serve.
+func (s *Server) SetTracer(tr *tracing.Tracer) { s.tracer = tr }
 
 // SetHelloGC overrides how long daemon-side liveness sessions survive
 // without a probe (0 restores the default). Call before Serve.
@@ -240,7 +251,7 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
-			s.logf("rpc: accept: %v", err)
+			s.log.Errorf("accept: %v", err)
 			return
 		}
 		s.wg.Add(1)
@@ -260,7 +271,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.logf("rpc: connection handler panic (connection dropped): %v", r)
+			s.log.Errorf("connection handler panic (connection dropped): %v", r)
 		}
 	}()
 	c := newCodec(conn)
@@ -268,13 +279,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		var req Request
 		if err := c.read(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("rpc: read: %v", err)
+				s.log.Debugf("read: %v", err)
 			}
 			return
 		}
 		resp, frame := s.dispatch(&req)
 		if err := c.writeFramed(resp, frame); err != nil {
-			s.logf("rpc: write: %v", err)
+			s.log.Warnf("write: %v", err)
 			return
 		}
 	}
@@ -285,6 +296,22 @@ func (s *Server) serveConn(conn net.Conn) {
 // frameProvider ship their bulk payload out of band — see Response.Frame).
 func (s *Server) dispatch(req *Request) (resp *Response, frame []byte) {
 	resp = &Response{ID: req.ID}
+	// A request carrying a trace context gets a daemon-side dispatch span
+	// parented under the caller's span. The finish defer is registered
+	// first so it runs last, after the panic-recovery defer below has
+	// turned any handler panic into resp.Error.
+	var sc tracing.SpanContext
+	if s.tracer != nil && req.Trace != nil && req.Trace.Valid() {
+		sp := s.tracer.StartSpan(*req.Trace, "dispatch:"+req.Method)
+		sc = sp.Context()
+		defer func() {
+			var err error
+			if resp.Error != "" {
+				err = errors.New(resp.Error)
+			}
+			sp.Finish(err)
+		}()
+	}
 	if s.tele != nil {
 		ep := s.tele.RPCServer.Endpoint(req.Method)
 		ep.Requests.Add(1)
@@ -298,7 +325,7 @@ func (s *Server) dispatch(req *Request) (resp *Response, frame []byte) {
 	// panic becomes an error Response on this connection and a log line.
 	defer func() {
 		if r := recover(); r != nil {
-			s.logf("rpc: panic in %s handler: %v", req.Method, r)
+			s.log.Errorf("panic in %s handler: %v", req.Method, r)
 			if s.tele != nil {
 				s.tele.RPCServer.Panics.Add(1)
 			}
@@ -308,7 +335,7 @@ func (s *Server) dispatch(req *Request) (resp *Response, frame []byte) {
 			resp.Error = fmt.Sprintf("rpc: internal error handling %s: %v", req.Method, r)
 		}
 	}()
-	result, err := s.handle(req.Method, req.Params)
+	result, err := s.handle(req.Method, req.Params, sc)
 	if err != nil {
 		resp.Error = err.Error()
 		return resp, nil
@@ -339,7 +366,17 @@ func decode[T any](params json.RawMessage) (T, error) {
 	return v, err
 }
 
-func (s *Server) handle(method string, params json.RawMessage) (any, error) {
+// ctlSpan opens a controlplane:<method> child span under the dispatch
+// span — the daemon-side mutation segment of a distributed trace. It
+// returns nil (safe to Finish) when the request was untraced.
+func (s *Server) ctlSpan(sc tracing.SpanContext, method string) *tracing.ActiveSpan {
+	if s.tracer == nil || !sc.Valid() {
+		return nil
+	}
+	return s.tracer.StartSpan(sc, "controlplane:"+method)
+}
+
+func (s *Server) handle(method string, params json.RawMessage, sc tracing.SpanContext) (any, error) {
 	switch method {
 	case MethodPing:
 		return BoolResult{Value: true}, nil
@@ -357,11 +394,13 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 			return nil, err
 		}
 		var t *controlplane.Task
+		sp := s.ctlSpan(sc, method)
 		if p.WantID > 0 {
 			t, err = s.ctrl.AddTaskAt(p.WantID, p.Spec)
 		} else {
 			t, err = s.ctrl.AddTask(p.Spec)
 		}
+		sp.Finish(err)
 		if err != nil {
 			return nil, err
 		}
@@ -372,14 +411,20 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return BoolResult{Value: true}, s.ctrl.RemoveTask(p.ID)
+		sp := s.ctlSpan(sc, method)
+		err = s.ctrl.RemoveTask(p.ID)
+		sp.Finish(err)
+		return BoolResult{Value: true}, err
 
 	case MethodResizeTask:
 		p, err := decode[ResizeParams](params)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := s.ctrl.ResizeTask(p.ID, p.NewBuckets); err != nil {
+		sp := s.ctlSpan(sc, method)
+		_, err = s.ctrl.ResizeTask(p.ID, p.NewBuckets)
+		sp.Finish(err)
+		if err != nil {
 			return nil, err
 		}
 		t, err := s.ctrl.Task(p.ID)
@@ -493,14 +538,20 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return s.handleEpochDeploy(p)
+		sp := s.ctlSpan(sc, method)
+		r, err := s.handleEpochDeploy(p)
+		sp.Finish(err)
+		return r, err
 
 	case MethodEpochRotate:
 		p, err := decode[EpochRotateParams](params)
 		if err != nil {
 			return nil, err
 		}
-		return s.handleEpochRotate(p)
+		sp := s.ctlSpan(sc, method)
+		r, err := s.handleEpochRotate(p)
+		sp.Finish(err)
+		return r, err
 
 	case MethodReadEpoch:
 		p, err := decode[ReadEpochParams](params)
@@ -514,7 +565,10 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return BoolResult{Value: true}, s.handleEpochRemove(p)
+		sp := s.ctlSpan(sc, method)
+		err = s.handleEpochRemove(p)
+		sp.Finish(err)
+		return BoolResult{Value: true}, err
 
 	case MethodKeyIndices:
 		p, err := decode[KeyParams](params)
@@ -537,7 +591,9 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := s.ctlSpan(sc, method)
 		lo, hi, err := s.ctrl.SplitTask(p.ID)
+		sp.Finish(err)
 		if err != nil {
 			return nil, err
 		}
@@ -616,6 +672,20 @@ func (s *Server) handle(method string, params json.RawMessage) (any, error) {
 		}
 		return s.tele.Report(), nil
 
+	case MethodTraceDump:
+		p, err := decode[TraceDumpParams](params)
+		if err != nil {
+			return nil, err
+		}
+		// A daemon without a tracer answers with an empty dump rather than
+		// an error: fleet-wide collection should degrade, not fail, when
+		// some daemons run untraced.
+		spans, total, dropped := s.tracer.Dump()
+		if p.Limit > 0 && len(spans) > p.Limit {
+			spans = spans[len(spans)-p.Limit:]
+		}
+		return TraceDumpResult{Spans: spans, Total: total, Dropped: dropped}, nil
+
 	case MethodDebugPanic:
 		panic("operator-requested fault drill")
 
@@ -636,5 +706,3 @@ func taskResult(t *controlplane.Task) TaskResult {
 		Delay:       t.Delay,
 	}
 }
-
-var _ = log.Printf // keep log imported for handlers that grow logging

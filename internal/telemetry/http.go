@@ -46,10 +46,12 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
-// WriteMetrics renders the registry as Prometheus text-format metrics.
+// WriteMetrics renders the registry as Prometheus text-format metrics,
+// followed by any sections registered via AddMetricsWriter.
 func (r *Registry) WriteMetrics(w io.Writer) {
 	rep := r.Report()
 	WriteMetricsReport(w, rep)
+	r.writeExternal(w)
 }
 
 // WriteMetricsReport renders an already-assembled Report as Prometheus text.

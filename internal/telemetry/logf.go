@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LogLevel orders log severities. The zero value is LevelInfo so a
+// zero-configured logger behaves like the stdlib default: informational
+// and worse.
+type LogLevel int32
+
+const (
+	LevelDebug LogLevel = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff silences the logger entirely.
+	LevelOff
+)
+
+func (l LogLevel) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	case LevelOff:
+		return "off"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLogLevel maps a -log-level flag value to a LogLevel.
+func ParseLogLevel(s string) (LogLevel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	default:
+		return LevelInfo, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error|off)", s)
+	}
+}
+
+// Logger is the small leveled, component-tagged logger flymond and
+// flymonctl share. Lines look like
+//
+//	2026-08-08T12:00:00.123Z WARN  [rpc] accept: connection reset
+//
+// A nil *Logger is the disabled logger: every method is a no-op, so
+// libraries can hold one unconditionally. The level is atomic — a
+// future admin endpoint can flip it at runtime without a restart.
+type Logger struct {
+	component string
+	level     atomic.Int32
+	mu        *sync.Mutex // shared by With-derived loggers writing to one stream
+	w         io.Writer
+	sink      func(format string, args ...any) // alternate output, see NewFuncLogger
+}
+
+// NewLogger builds a logger writing timestamped lines to w.
+func NewLogger(component string, level LogLevel, w io.Writer) *Logger {
+	l := &Logger{component: component, mu: &sync.Mutex{}, w: w}
+	l.level.Store(int32(level))
+	return l
+}
+
+// NewFuncLogger builds a logger that forwards formatted lines (level and
+// component tags included, no timestamp — the sink owns presentation) to
+// a printf-style sink. It adapts legacy logf callbacks, like the one
+// rpc.NewServer has always accepted, to the leveled interface.
+func NewFuncLogger(component string, level LogLevel, logf func(format string, args ...any)) *Logger {
+	if logf == nil {
+		return nil
+	}
+	l := &Logger{component: component, mu: &sync.Mutex{}, sink: logf}
+	l.level.Store(int32(level))
+	return l
+}
+
+// With returns a logger for a sub-component sharing this logger's stream,
+// level, and line mutex.
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	nl := &Logger{component: component, mu: l.mu, w: l.w, sink: l.sink}
+	nl.level.Store(l.level.Load())
+	return nl
+}
+
+// SetLevel changes the threshold at runtime.
+func (l *Logger) SetLevel(level LogLevel) {
+	if l != nil {
+		l.level.Store(int32(level))
+	}
+}
+
+// Level returns the current threshold (LevelOff on a nil logger).
+func (l *Logger) Level() LogLevel {
+	if l == nil {
+		return LevelOff
+	}
+	return LogLevel(l.level.Load())
+}
+
+// Enabled reports whether a message at the given level would be emitted.
+func (l *Logger) Enabled(level LogLevel) bool {
+	return l != nil && level >= l.Level() && l.Level() != LevelOff
+}
+
+func (l *Logger) logf(level LogLevel, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	if l.sink != nil {
+		l.sink("%-5s [%s] %s", strings.ToUpper(level.String()), l.component, fmt.Sprintf(format, args...))
+		return
+	}
+	line := fmt.Sprintf("%s %-5s [%s] %s\n",
+		time.Now().UTC().Format("2006-01-02T15:04:05.000Z"),
+		strings.ToUpper(level.String()), l.component, fmt.Sprintf(format, args...))
+	l.mu.Lock()
+	io.WriteString(l.w, line)
+	l.mu.Unlock()
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }

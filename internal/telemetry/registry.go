@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -177,7 +178,32 @@ type Registry struct {
 	srcMu  sync.Mutex
 	source DataPlaneSource
 
+	extMu sync.Mutex
+	ext   []func(io.Writer)
+
 	replay replayHook
+}
+
+// AddMetricsWriter registers an extra Prometheus-text section appended to
+// every /metrics scrape after the registry's own families. This is how
+// planes the registry does not know about (the tracer's span histograms,
+// the process build-info line) join the exposition without telemetry
+// importing them.
+func (r *Registry) AddMetricsWriter(fn func(io.Writer)) {
+	r.extMu.Lock()
+	r.ext = append(r.ext, fn)
+	r.extMu.Unlock()
+}
+
+// writeExternal runs the registered extra metric writers.
+func (r *Registry) writeExternal(w io.Writer) {
+	r.extMu.Lock()
+	ext := make([]func(io.Writer), len(r.ext))
+	copy(ext, r.ext)
+	r.extMu.Unlock()
+	for _, fn := range ext {
+		fn(w)
+	}
 }
 
 // NewRegistry builds an empty registry with a DefaultJournalSize journal.

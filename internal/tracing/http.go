@@ -1,0 +1,42 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// TraceDump is the JSON shape served on /debug/trace (and mirrored by the
+// trace_dump RPC): the retained spans oldest-first plus the buffer's
+// lifetime accounting, so a scraper can tell a quiet process from one
+// whose ring has lapped.
+type TraceDump struct {
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+	Spans   []Span `json:"spans"`
+}
+
+// Handler serves the tracer's span buffer as JSON. `?limit=N` keeps only
+// the newest N spans; `?format=tree` renders assembled span trees as
+// plain text instead (the /debug/trace counterpart of `flymonctl trace`).
+// A nil tracer serves an empty dump, so the endpoint can be wired
+// unconditionally.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans, total, dropped := t.Dump()
+		if limit, _ := strconv.Atoi(r.URL.Query().Get("limit")); limit > 0 && len(spans) > limit {
+			spans = spans[len(spans)-limit:]
+		}
+		if r.URL.Query().Get("format") == "tree" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, tree := range Assemble(spans) {
+				tree.Render(w)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(TraceDump{Total: total, Dropped: dropped, Spans: spans})
+	})
+}

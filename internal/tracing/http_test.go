@@ -1,0 +1,84 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTraceHandlerJSON(t *testing.T) {
+	tr := New(16)
+	root := tr.StartRoot("deploy")
+	root.SetDetail("hh")
+	child := tr.StartSpan(root.Context(), "rpc:add_task")
+	child.SetSwitch(1)
+	child.Finish(nil)
+	root.Finish(nil)
+
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var dump TraceDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if dump.Total != 2 || dump.Dropped != 0 || len(dump.Spans) != 2 {
+		t.Fatalf("dump = total %d dropped %d spans %d", dump.Total, dump.Dropped, len(dump.Spans))
+	}
+	// Oldest first: the child finished before the root.
+	if dump.Spans[0].Name != "rpc:add_task" || dump.Spans[1].Name != "deploy" {
+		t.Fatalf("span order = %q, %q", dump.Spans[0].Name, dump.Spans[1].Name)
+	}
+}
+
+func TestTraceHandlerLimit(t *testing.T) {
+	tr := New(16)
+	for i := 0; i < 5; i++ {
+		tr.StartRoot("op").Finish(nil)
+	}
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?limit=2", nil))
+	var dump TraceDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Spans) != 2 || dump.Total != 5 {
+		t.Fatalf("limit=2 kept %d spans (total %d)", len(dump.Spans), dump.Total)
+	}
+}
+
+func TestTraceHandlerTreeFormat(t *testing.T) {
+	tr := New(16)
+	root := tr.StartRoot("epoch_rotate")
+	sw := tr.StartSpan(root.Context(), "switch")
+	sw.SetSwitch(2)
+	sw.Finish(nil)
+	root.Finish(nil)
+
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?format=tree", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"epoch_rotate", "switch", "sw-2", "2 span(s)"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("tree output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTraceHandlerNilTracer(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	var dump TraceDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("nil tracer served bad JSON: %v", err)
+	}
+	if dump.Total != 0 || len(dump.Spans) != 0 {
+		t.Fatalf("nil tracer dump = %+v", dump)
+	}
+}

@@ -1,0 +1,65 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flymon/internal/telemetry"
+)
+
+// WriteMetrics renders the tracer's Prometheus series: total/dropped span
+// counters plus one span-latency histogram per operation name. flymond
+// registers this on the telemetry registry's /metrics exposition via
+// Registry.AddMetricsWriter, so the trace plane shows up next to the
+// telemetry plane without the two packages depending on each other's
+// internals. Safe on a nil tracer (writes nothing but the zero counters'
+// headers are skipped too — a daemon without tracing exposes no trace
+// series).
+func (t *Tracer) WriteMetrics(w io.Writer) {
+	if t == nil {
+		return
+	}
+	_, total, droppedN := t.buf.snapshot()
+	fmt.Fprintf(w, "# HELP flymon_trace_spans_total Control-plane spans recorded by the tracer.\n")
+	fmt.Fprintf(w, "# TYPE flymon_trace_spans_total counter\n")
+	fmt.Fprintf(w, "flymon_trace_spans_total %d\n", total)
+	fmt.Fprintf(w, "# HELP flymon_trace_dropped_total Spans overwritten by the bounded span buffer.\n")
+	fmt.Fprintf(w, "# TYPE flymon_trace_dropped_total counter\n")
+	fmt.Fprintf(w, "flymon_trace_dropped_total %d\n", droppedN)
+
+	t.mu.Lock()
+	ops := make([]string, 0, len(t.hists))
+	snaps := make(map[string]telemetry.HistogramSnapshot, len(t.hists))
+	for op, h := range t.hists {
+		ops = append(ops, op)
+		snaps[op] = h.Snapshot()
+	}
+	t.mu.Unlock()
+	if len(ops) == 0 {
+		return
+	}
+	sort.Strings(ops)
+
+	const name = "flymon_trace_span_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Span latency by operation name.\n", name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, op := range ops {
+		h := snaps[op]
+		var cum uint64
+		for i, n := range h.Buckets {
+			cum += n
+			if i == telemetry.HistogramBuckets-1 {
+				break // the open-ended bucket is the +Inf line below
+			}
+			if cum == 0 {
+				continue // skip the empty prefix, like the telemetry writer
+			}
+			fmt.Fprintf(w, "%s_bucket{op=%q,le=\"%g\"} %d\n",
+				name, op, float64(telemetry.BucketUpperNs(i))/1e9, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{op=%q,le=\"+Inf\"} %d\n", name, op, h.Count)
+		fmt.Fprintf(w, "%s_sum{op=%q} %g\n", name, op, float64(h.SumNs)/1e9)
+		fmt.Fprintf(w, "%s_count{op=%q} %d\n", name, op, h.Count)
+	}
+}

@@ -1,0 +1,243 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Node is one span plus its children, assembled controller-side from the
+// span buffers of every process that participated in the trace.
+type Node struct {
+	Span     Span
+	Children []*Node
+}
+
+// EndNs returns the node's wall-clock end in unix nanoseconds.
+func (n *Node) EndNs() int64 { return n.Span.End() }
+
+// Tree is one assembled trace. Root is nil when the root span was not
+// among the collected spans (e.g. the originating process's buffer
+// lapped); Orphans holds spans whose parent span is missing — under a
+// complete collection both stay empty/non-nil respectively.
+type Tree struct {
+	ID      TraceID
+	Root    *Node
+	Orphans []*Node
+	Spans   int
+}
+
+// Duration is the root span's duration (0 without a root).
+func (t *Tree) Duration() time.Duration {
+	if t.Root == nil {
+		return 0
+	}
+	return time.Duration(t.Root.Span.DurNs)
+}
+
+// Assemble groups spans by trace ID and links parents to children. Spans
+// from different processes mix freely — the IDs carry the causality.
+// Trees come back newest-root-first (the order `flymonctl trace` prints).
+func Assemble(spans []Span) []*Tree {
+	byTrace := make(map[TraceID]map[SpanID]*Node)
+	for _, sp := range spans {
+		m := byTrace[sp.Trace]
+		if m == nil {
+			m = make(map[SpanID]*Node)
+			byTrace[sp.Trace] = m
+		}
+		// Duplicate IDs (a span collected from two dumps) keep the first.
+		if _, ok := m[sp.ID]; !ok {
+			m[sp.ID] = &Node{Span: sp}
+		}
+	}
+	trees := make([]*Tree, 0, len(byTrace))
+	for id, m := range byTrace {
+		tr := &Tree{ID: id, Spans: len(m)}
+		for _, n := range m {
+			if n.Span.Parent == 0 {
+				if tr.Root == nil {
+					tr.Root = n
+				} else {
+					tr.Orphans = append(tr.Orphans, n)
+				}
+				continue
+			}
+			if p := m[n.Span.Parent]; p != nil {
+				p.Children = append(p.Children, n)
+			} else {
+				tr.Orphans = append(tr.Orphans, n)
+			}
+		}
+		for _, n := range m {
+			sort.Slice(n.Children, func(i, j int) bool {
+				return n.Children[i].Span.StartNs < n.Children[j].Span.StartNs
+			})
+		}
+		sort.Slice(tr.Orphans, func(i, j int) bool {
+			return tr.Orphans[i].Span.StartNs < tr.Orphans[j].Span.StartNs
+		})
+		trees = append(trees, tr)
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		return treeStart(trees[i]) > treeStart(trees[j])
+	})
+	return trees
+}
+
+func treeStart(t *Tree) int64 {
+	if t.Root != nil {
+		return t.Root.Span.StartNs
+	}
+	if len(t.Orphans) > 0 {
+		return t.Orphans[0].Span.StartNs
+	}
+	return 0
+}
+
+// PathStep is one node on a trace's critical path with its exclusive
+// contribution: the node's duration minus the part covered by the next
+// step down the path.
+type PathStep struct {
+	Node   *Node
+	SelfNs int64
+}
+
+// CriticalPath walks from the root, at each node descending into the
+// child that finishes last (the one the parent was still waiting on),
+// and reports each step's exclusive time. An empty path means no root.
+func (t *Tree) CriticalPath() []PathStep {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	var path []PathStep
+	n := t.Root
+	for {
+		var next *Node
+		for _, c := range n.Children {
+			if next == nil || c.EndNs() > next.EndNs() {
+				next = c
+			}
+		}
+		self := n.Span.DurNs
+		if next != nil {
+			self -= next.Span.DurNs
+			if self < 0 {
+				self = 0
+			}
+		}
+		path = append(path, PathStep{Node: n, SelfNs: self})
+		if next == nil {
+			return path
+		}
+		n = next
+	}
+}
+
+// Dominant returns the critical-path step with the largest exclusive
+// time below the root — the single place this operation's wall clock
+// actually went. ok is false for rootless trees.
+func (t *Tree) Dominant() (PathStep, bool) {
+	path := t.CriticalPath()
+	if len(path) == 0 {
+		return PathStep{}, false
+	}
+	best := path[0]
+	for _, st := range path[1:] {
+		if st.SelfNs >= best.SelfNs {
+			best = st
+		}
+	}
+	return best, true
+}
+
+// Breakdown renders the one-line critical-path summary, e.g.
+//
+//	epoch_rotate 40.2ms: 31.0ms rpc:epoch_rotate on sw-17 (77%)
+func (t *Tree) Breakdown() string {
+	if t == nil || t.Root == nil {
+		return fmt.Sprintf("trace %016x: %d span(s), root span missing", uint64(t.ID), t.Spans)
+	}
+	root := t.Root.Span
+	dom, _ := t.Dominant()
+	if dom.Node == t.Root && len(t.Root.Children) == 0 {
+		return fmt.Sprintf("%s %s", root.Name, fmtDur(root.DurNs))
+	}
+	pct := 0.0
+	if root.DurNs > 0 {
+		pct = 100 * float64(dom.SelfNs) / float64(root.DurNs)
+	}
+	site := dom.Node.Span.Name
+	if sw := t.pathSwitch(dom.Node); sw >= 0 {
+		site += fmt.Sprintf(" on sw-%d", sw)
+	}
+	return fmt.Sprintf("%s %s: %s %s (%.0f%%)",
+		root.Name, fmtDur(root.DurNs), fmtDur(dom.SelfNs), site, pct)
+}
+
+// pathSwitch finds the switch tag nearest to target along the critical
+// path: target's own, else the closest tagged ancestor on the path.
+func (t *Tree) pathSwitch(target *Node) int {
+	sw := -1
+	for _, st := range t.CriticalPath() {
+		if st.Node.Span.Switch >= 0 {
+			sw = st.Node.Span.Switch
+		}
+		if st.Node == target {
+			return sw
+		}
+	}
+	return sw
+}
+
+// Render prints the span tree with durations, switch/attempt/detail tags
+// and error outcomes — the body of `flymonctl trace`.
+func (t *Tree) Render(w io.Writer) {
+	fmt.Fprintf(w, "trace %016x · %d span(s) · %s\n", uint64(t.ID), t.Spans, t.Breakdown())
+	if t.Root != nil {
+		renderNode(w, t.Root, 1)
+	}
+	for _, o := range t.Orphans {
+		fmt.Fprintf(w, "  (orphan)\n")
+		renderNode(w, o, 2)
+	}
+}
+
+func renderNode(w io.Writer, n *Node, depth int) {
+	for i := 0; i < depth; i++ {
+		io.WriteString(w, "  ")
+	}
+	sp := n.Span
+	fmt.Fprintf(w, "%-24s %10s", sp.Name, fmtDur(sp.DurNs))
+	if sp.Switch >= 0 {
+		fmt.Fprintf(w, "  sw-%d", sp.Switch)
+	}
+	if sp.Attempt > 1 {
+		fmt.Fprintf(w, "  attempt=%d", sp.Attempt)
+	}
+	if sp.Detail != "" {
+		fmt.Fprintf(w, "  %s", sp.Detail)
+	}
+	if sp.Err != "" {
+		fmt.Fprintf(w, "  ERR: %s", sp.Err)
+	}
+	io.WriteString(w, "\n")
+	for _, c := range n.Children {
+		renderNode(w, c, depth+1)
+	}
+}
+
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,158 @@
+package tracing
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkSpan builds a raw span for assembly tests; times are absolute unix ns.
+func mkSpan(trace TraceID, id, parent SpanID, name string, start, dur int64, sw int) Span {
+	return Span{Trace: trace, ID: id, Parent: parent, Name: name, StartNs: start, DurNs: dur, Switch: sw}
+}
+
+// slowSwitchTrace models an epoch rotation where sw-17's RPC dominates:
+//
+//	rotate [0,40ms]
+//	├── sw-0  [0,4ms]  └── rpc [0,4ms]
+//	├── sw-17 [0,38ms] └── rpc [1,32ms] └── dispatch [2,1ms]
+//	└── straggler_wait [33,6ms]
+func slowSwitchTrace() []Span {
+	ms := int64(1e6)
+	return []Span{
+		mkSpan(9, 1, 0, "epoch_rotate", 0, 40*ms, -1),
+		mkSpan(9, 2, 1, "sw", 0, 4*ms, 0),
+		mkSpan(9, 3, 2, "rpc:epoch_rotate", 0, 4*ms, -1),
+		mkSpan(9, 4, 1, "sw", 0, 38*ms, 17),
+		mkSpan(9, 5, 4, "rpc:epoch_rotate", 1*ms, 32*ms, -1),
+		mkSpan(9, 6, 5, "dispatch:epoch_rotate", 2*ms, 1*ms, -1),
+		mkSpan(9, 7, 1, "straggler_wait", 33*ms, 6*ms, 17),
+	}
+}
+
+func TestAssembleLinksParents(t *testing.T) {
+	trees := Assemble(slowSwitchTrace())
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	tr := trees[0]
+	if tr.Root == nil || tr.Root.Span.Name != "epoch_rotate" {
+		t.Fatalf("bad root: %+v", tr.Root)
+	}
+	if len(tr.Orphans) != 0 {
+		t.Fatalf("unexpected orphans: %d", len(tr.Orphans))
+	}
+	if tr.Spans != 7 {
+		t.Fatalf("span count = %d", tr.Spans)
+	}
+	if len(tr.Root.Children) != 3 {
+		t.Fatalf("root children = %d", len(tr.Root.Children))
+	}
+	// Children sorted by start: sw-0/sw-17 (t=0) then straggler_wait (t=33ms).
+	if last := tr.Root.Children[2]; last.Span.Name != "straggler_wait" {
+		t.Fatalf("children unsorted: last = %s", last.Span.Name)
+	}
+}
+
+func TestCriticalPathFindsSlowSwitch(t *testing.T) {
+	tr := Assemble(slowSwitchTrace())[0]
+	path := tr.CriticalPath()
+	if len(path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	// The path must descend through the latest-finishing chain: the
+	// straggler wait ends at 39ms, after sw-17's subtree (38ms).
+	if got := path[1].Node.Span.Name; got != "straggler_wait" {
+		t.Fatalf("critical path step 1 = %s, want straggler_wait", got)
+	}
+	dom, ok := tr.Dominant()
+	if !ok {
+		t.Fatal("no dominant step")
+	}
+	// Root self = 40-6 = 34ms dominates here; the breakdown still names
+	// the rotation. Now check switch attribution via a deeper dominant:
+	// drop the root's slack by shrinking it to its children's extent.
+	if dom.Node != tr.Root {
+		t.Fatalf("dominant = %s", dom.Node.Span.Name)
+	}
+	if sw := tr.pathSwitch(path[1].Node); sw != 17 {
+		t.Fatalf("pathSwitch = %d, want 17", sw)
+	}
+}
+
+func TestBreakdownNamesSwitch(t *testing.T) {
+	ms := int64(1e6)
+	spans := []Span{
+		mkSpan(5, 1, 0, "epoch_rotate", 0, 40*ms, -1),
+		mkSpan(5, 2, 1, "sw", 0, 39*ms, 17),
+		mkSpan(5, 3, 2, "rpc:epoch_rotate", 1*ms, 31*ms, -1),
+		mkSpan(5, 4, 1, "sw", 0, 3*ms, 0),
+	}
+	tr := Assemble(spans)[0]
+	b := tr.Breakdown()
+	if !strings.Contains(b, "epoch_rotate 40.0ms") {
+		t.Fatalf("breakdown missing root timing: %s", b)
+	}
+	if !strings.Contains(b, "on sw-17") {
+		t.Fatalf("breakdown does not attribute the slow switch: %s", b)
+	}
+}
+
+func TestAssembleOrphans(t *testing.T) {
+	spans := []Span{
+		mkSpan(7, 2, 99, "rpc:add_task", 10, 5, -1), // parent never collected
+	}
+	tr := Assemble(spans)[0]
+	if tr.Root != nil {
+		t.Fatalf("rootless trace grew a root")
+	}
+	if len(tr.Orphans) != 1 {
+		t.Fatalf("orphans = %d", len(tr.Orphans))
+	}
+	if got := tr.CriticalPath(); got != nil {
+		t.Fatalf("rootless critical path = %v", got)
+	}
+	var b strings.Builder
+	tr.Render(&b)
+	if !strings.Contains(b.String(), "orphan") {
+		t.Fatalf("render hides orphans:\n%s", b.String())
+	}
+}
+
+func TestAssembleMultipleTracesNewestFirst(t *testing.T) {
+	spans := []Span{
+		mkSpan(1, 1, 0, "old", 100, 10, -1),
+		mkSpan(2, 2, 0, "new", 200, 10, -1),
+	}
+	trees := Assemble(spans)
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	if trees[0].Root.Span.Name != "new" || trees[1].Root.Span.Name != "old" {
+		t.Fatalf("order: %s, %s", trees[0].Root.Span.Name, trees[1].Root.Span.Name)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	tr := Assemble(slowSwitchTrace())[0]
+	var b strings.Builder
+	tr.Render(&b)
+	out := b.String()
+	for _, want := range []string{"epoch_rotate", "sw-17", "straggler_wait", "dispatch:epoch_rotate", "40.0ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Child indented deeper than root.
+	rootLine, childLine := -1, -1
+	for i, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "epoch_rotate ") && rootLine < 0 && !strings.Contains(line, "trace") {
+			rootLine = i
+		}
+		if strings.Contains(line, "dispatch:epoch_rotate") {
+			childLine = i
+		}
+	}
+	if rootLine < 0 || childLine < 0 || childLine <= rootLine {
+		t.Fatalf("tree structure lost:\n%s", out)
+	}
+}
